@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ablation: memory lanes (store-to-load forwarding, §5.2) on/off.
+ */
+#include <cstdio>
+
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+
+using namespace diag;
+using namespace diag::core;
+using namespace diag::harness;
+
+int
+main()
+{
+    Table t("Ablation: memory lanes on vs off (F4C32, serial)");
+    t.header({"benchmark", "cycles (lanes)", "cycles (no lanes)",
+              "speedup", "forwards"});
+    const char *names[] = {"nw", "pathfinder", "lud", "xz", "bfs",
+                           "hotspot"};
+    for (const char *name : names) {
+        const workloads::Workload w = workloads::findWorkload(name);
+        DiagConfig on = DiagConfig::f4c32();
+        DiagConfig off = DiagConfig::f4c32();
+        off.mem_lanes_enabled = false;
+        off.name = "F4C32-nomemlanes";
+        const EngineRun a = runOnDiag(on, w, {1, false});
+        const EngineRun b = runOnDiag(off, w, {1, false});
+        t.row({name,
+               Table::num(static_cast<double>(a.stats.cycles), 0),
+               Table::num(static_cast<double>(b.stats.cycles), 0),
+               Table::num(static_cast<double>(b.stats.cycles) /
+                              static_cast<double>(a.stats.cycles),
+                          2) + "x",
+               Table::num(a.stats.counters.get("memlane_fwd"), 0)});
+    }
+    t.print();
+    return 0;
+}

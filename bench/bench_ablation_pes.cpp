@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation: PE-count sweep on serial code. Reproduces the paper's
+ * observation that, "much like large ROB sizes, no noticeable
+ * improvement can be gained with more than 256 PEs for serial
+ * programs" (§7.2.1).
+ */
+#include <cstdio>
+
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+
+using namespace diag;
+using namespace diag::core;
+using namespace diag::harness;
+
+int
+main()
+{
+    const unsigned cluster_counts[] = {2, 4, 8, 16, 32};
+    const char *names[] = {"backprop", "hotspot", "kmeans", "srad"};
+
+    Table t("Ablation: cycles vs total PEs (serial execution)");
+    std::vector<std::string> head{"benchmark"};
+    for (unsigned c : cluster_counts)
+        head.push_back(std::to_string(16 * c) + " PEs");
+    t.header(head);
+
+    for (const char *name : names) {
+        const workloads::Workload w = workloads::findWorkload(name);
+        std::vector<std::string> cells{name};
+        double first = 0.0;
+        for (unsigned clusters : cluster_counts) {
+            DiagConfig cfg = DiagConfig::f4c32();
+            cfg.total_clusters = clusters;
+            cfg.name = "F4C" + std::to_string(clusters);
+            const EngineRun run = runOnDiag(cfg, w, {1, false});
+            const double cycles =
+                static_cast<double>(run.stats.cycles);
+            if (first == 0.0)
+                first = cycles;
+            cells.push_back(Table::num(cycles, 0) + " (" +
+                            Table::num(first / cycles, 2) + "x)");
+        }
+        t.row(cells);
+    }
+    t.print();
+    std::printf("\nExpected shape: gains flatten beyond 256 PEs — "
+                "serial ILP saturates\njust like a larger ROB stops "
+                "helping an OoO core (§7.2.1).\n");
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Ablation: datapath reuse on/off. With reuse disabled every backward
+ * branch pays the mispredict/refetch path, quantifying how much of
+ * DiAG's performance comes from reusing already-constructed datapaths
+ * (§4.3.2, Table 1's "DiAG (Reuse)" column).
+ */
+#include <cstdio>
+
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+
+using namespace diag;
+using namespace diag::core;
+using namespace diag::harness;
+
+int
+main()
+{
+    Table t("Ablation: datapath reuse on vs off (F4C32, serial)");
+    t.header({"benchmark", "cycles (reuse)", "cycles (no reuse)",
+              "speedup from reuse", "fetches saved"});
+    for (const auto &w : workloads::rodiniaSuite()) {
+        DiagConfig on = DiagConfig::f4c32();
+        DiagConfig off = DiagConfig::f4c32();
+        off.reuse_enabled = false;
+        off.name = "F4C32-noreuse";
+        const EngineRun a = runOnDiag(on, w, {1, false});
+        const EngineRun b = runOnDiag(off, w, {1, false});
+        t.row({w.name,
+               Table::num(static_cast<double>(a.stats.cycles), 0),
+               Table::num(static_cast<double>(b.stats.cycles), 0),
+               Table::num(static_cast<double>(b.stats.cycles) /
+                              static_cast<double>(a.stats.cycles),
+                          2) + "x",
+               Table::num(b.stats.counters.get("iline_fetches") -
+                              a.stats.counters.get("iline_fetches"),
+                          0)});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 10a reproduction: SPEC CPU2017-class single-thread relative
+ * performance of DiAG (32 / 256 / 512 PEs) against the OoO baseline.
+ */
+#include "fig_common.hpp"
+
+int
+main()
+{
+    diag::bench::relPerfSingleThread(
+        "Fig 10a: SPEC single-thread relative performance "
+        "(baseline = 1.0)",
+        diag::workloads::specSuite(), 0.81, 0.97, 0.97);
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Figure 9b reproduction: Rodinia multithreaded relative performance —
+ * DiAG in the 16x2 ring arrangement, plus SIMT thread pipelining where
+ * the benchmark has a pipelineable region, against the 12-core OoO.
+ */
+#include "fig_common.hpp"
+
+int
+main()
+{
+    diag::bench::relPerfMultiThread(
+        "Fig 9b: Rodinia multithreaded relative performance "
+        "(12-core baseline = 1.0)",
+        diag::workloads::rodiniaSuite(), 0.95, 1.20);
+    return 0;
+}

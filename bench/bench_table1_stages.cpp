@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table 1 reproduction: per-instruction pipeline stages in an OoO
+ * processor versus DiAG on first execution versus DiAG under datapath
+ * reuse. The structural rows come from the architectures; the measured
+ * rows demonstrate them on a 1000-iteration loop: under reuse, fetches
+ * and decodes stop scaling with retired instructions.
+ */
+#include <cstdio>
+
+#include "asm/assembler.hpp"
+#include "diag/processor.hpp"
+#include "harness/table.hpp"
+
+using namespace diag;
+using namespace diag::core;
+using namespace diag::harness;
+
+int
+main()
+{
+    const Program p = assembler::assemble(R"(
+        _start:
+            li a0, 0
+            li a1, 1000
+        loop:
+            addi a0, a0, 1
+            bne a0, a1, loop
+            ebreak
+    )");
+    DiagProcessor proc(DiagConfig::f4c32());
+    const sim::RunStats rs = proc.run(p);
+
+    Table t("Table 1: stage comparison (structural + measured)");
+    t.header({"Stage/Structure", "Out-of-Order", "DiAG (Initial)",
+              "DiAG (Reuse)"});
+    t.row({"Fetch", "Yes", "Yes (Batch)", "No"});
+    t.row({"Decode", "Yes", "Yes", "No"});
+    t.row({"Issue", "Yes", "No", "No"});
+    t.row({"Issue Width", "4-8 Instr.", "Scalable", "Scalable"});
+    t.row({"Rename", "Yes", "No", "No"});
+    t.row({"Register File", "Physical RF", "Reg Lanes", "Reg Lanes"});
+    t.row({"Dispatch", "Yes", "No", "No"});
+    t.row({"Execute", "Yes", "Yes", "Yes"});
+    t.row({"Commit", "Reorder Buffer", "Reg Lanes", "Reg Lanes"});
+    t.print();
+
+    Table m("Measured on a 1000-iteration loop (F4C32)");
+    m.header({"Counter", "Value"});
+    m.row({"instructions retired",
+           Table::num(static_cast<double>(rs.instructions), 0)});
+    m.row({"cluster activations",
+           Table::num(rs.counters.get("activations"), 0)});
+    m.row({"reused activations (no fetch, no decode)",
+           Table::num(rs.counters.get("reuse_activations"), 0)});
+    m.row({"I-line fetches", Table::num(
+                                 rs.counters.get("iline_fetches"), 0)});
+    m.row({"instructions decoded",
+           Table::num(rs.counters.get("decodes"), 0)});
+    m.row({"decodes per retired instruction",
+           Table::num(rs.counters.get("decodes") /
+                          static_cast<double>(rs.instructions),
+                      4)});
+    m.print();
+
+    std::printf("\nUnder reuse the loop's steady state performs no "
+                "fetch and no decode:\nonly the execute stage remains "
+                "per instruction (paper Table 1).\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table 2 reproduction: the four DiAG hardware configurations used for
+ * evaluation, printed from the config presets the other benches use.
+ */
+#include <cstdio>
+
+#include "diag/config.hpp"
+#include "harness/table.hpp"
+
+using namespace diag;
+using namespace diag::core;
+using namespace diag::harness;
+
+namespace
+{
+
+std::string
+kb(u32 bytes)
+{
+    if (bytes >= 1024 * 1024)
+        return std::to_string(bytes / (1024 * 1024)) + "MB";
+    return std::to_string(bytes / 1024) + "KB";
+}
+
+} // namespace
+
+int
+main()
+{
+    Table t("Table 2: DiAG configurations used for evaluation");
+    t.header({"Configuration", "I4C2", "F4C2", "F4C16", "F4C32"});
+    const DiagConfig cfgs[4] = {DiagConfig::i4c2(), DiagConfig::f4c2(),
+                                DiagConfig::f4c16(),
+                                DiagConfig::f4c32()};
+    auto row = [&](const char *name, auto getter) {
+        std::vector<std::string> cells{name};
+        for (const DiagConfig &c : cfgs)
+            cells.push_back(getter(c));
+        t.row(cells);
+    };
+    row("ISA", [](const DiagConfig &c) {
+        return std::string(c.fp_supported ? "RV32IMF" : "RV32I");
+    });
+    row("PEs / Cluster", [](const DiagConfig &c) {
+        return std::to_string(c.pes_per_cluster);
+    });
+    row("Total Clusters", [](const DiagConfig &c) {
+        return std::to_string(c.total_clusters);
+    });
+    row("Total PEs", [](const DiagConfig &c) {
+        return std::to_string(c.totalPes());
+    });
+    row("Freq. (Sim.)", [](const DiagConfig &c) {
+        return c.fp_supported ? Table::num(c.freq_ghz, 1) + "GHz"
+                              : std::string("N/A");
+    });
+    row("L1I Cache Size", [](const DiagConfig &c) {
+        return kb(c.mem.l1i.size_bytes);
+    });
+    row("L1D Cache Size", [](const DiagConfig &c) {
+        return kb(c.mem.l1d.size_bytes);
+    });
+    row("L2 Cache Size", [](const DiagConfig &c) {
+        return c.fp_supported ? kb(c.mem.l2.size_bytes)
+                              : std::string("N/A");
+    });
+    row("Lane buffer every", [](const DiagConfig &c) {
+        return std::to_string(c.segment_size) + " PEs";
+    });
+    t.print();
+
+    std::printf("\nPaper Table 2: I4C2/F4C2 = 32 PEs, F4C16 = 256 PEs, "
+                "F4C32 = 512 PEs;\n32KB L1I; 32/64/128/128KB L1D; 4MB "
+                "L2; 2.0GHz simulated clock.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table 3 reproduction: hardware area and power breakdown by component
+ * for the F4C32 configuration, from the Table-3-seeded component
+ * library and the area roll-up, printed against the paper's values.
+ */
+#include <cstdio>
+
+#include "diag/config.hpp"
+#include "energy/components.hpp"
+#include "energy/diag_energy.hpp"
+#include "harness/table.hpp"
+
+using namespace diag;
+using namespace diag::core;
+using namespace diag::energy;
+using namespace diag::harness;
+
+int
+main()
+{
+    const DiagConfig cfg = DiagConfig::f4c32();
+    const AreaReport area = diagArea(cfg);
+
+    Table t("Table 3: area and power breakdown (45nm, 1GHz synthesis)");
+    t.header({"Component", "Area", "Power", "Paper area", "Paper power"});
+    t.row({"F4C32 (TOP)",
+           Table::num(area.totalMm2(), 2) + " mm2",
+           Table::num(diagPeakPowerW(cfg), 2) + " W",
+           "93.07 mm2*", "74.30 W*"});
+    t.row({"PCLUSTER",
+           Table::num((16.0 * (kPeWithFpu.area_um2 + kRegLane.area_um2) +
+                       kClusterCtrlAreaUm2) * 1e-6, 3) + " mm2",
+           Table::num(kClusterPjCycle * 1e-3, 3) + " W",
+           "2.208 mm2*", "2.104 W*"});
+    t.row({"PE (w/ FPU)", Table::num(kPeWithFpu.area_um2, 0) + " um2",
+           Table::num(kPeWithFpu.dyn_pj_cycle, 1) + " mW",
+           "97014 um2", "120.4 mW"});
+    t.row({"REGLANE", Table::num(kRegLane.area_um2, 0) + " um2",
+           Table::num(kRegLane.dyn_pj_cycle, 3) + " mW",
+           "15731 um2", "3.063 mW"});
+    t.row({"INT ALU", Table::num(kIntAlu.area_um2, 1) + " um2",
+           Table::num(kIntAlu.dyn_pj_cycle, 3) + " mW",
+           "1375.4 um2", "0.774 mW"});
+    t.row({"FPU (MUL / DIV)", Table::num(kFpu.area_um2, 0) + " um2",
+           Table::num(kFpu.dyn_pj_cycle, 1) + " mW",
+           "66592 um2", "105.2 mW"});
+    t.row({"RV_DECODER", Table::num(kRvDecoder.area_um2, 1) + " um2",
+           Table::num(kRvDecoder.dyn_pj_cycle, 3) + " mW",
+           "244.6 um2", "0.019 mW"});
+    t.print();
+
+    Table b("F4C32 area roll-up by category");
+    b.header({"Category", "Area (mm2)", "Share"});
+    for (const auto &kv : area.breakdown_mm2)
+        b.row({kv.first, Table::num(kv.second, 2),
+               Table::num(100.0 * kv.second / area.totalMm2(), 1) +
+                   "%"});
+    b.print();
+
+    // §6.1.1 observations.
+    std::printf("\nFPU share of a PE: %.1f%% (paper: 68%%)\n",
+                100.0 * kFpu.area_um2 / kPeWithFpu.area_um2);
+    std::printf("Register-lane share of a cluster: %.1f%% "
+                "(paper: 16.3%% incl. read network)\n",
+                100.0 * 16.0 * kRegLane.area_um2 / kClusterAreaUm2);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Datapath reuse demo (paper §4.3.2, Table 1): a dot-product loop runs
+ * on two DiAG configurations. On F4C16 the loop body stays resident in
+ * the ring and every iteration reuses the constructed datapath — no
+ * fetch, no decode. With reuse disabled (ablation switch), every
+ * backward branch pays the full fetch/decode path again.
+ *
+ * Build & run:  ./build/examples/loop_reuse
+ */
+#include <cstdio>
+
+#include "asm/assembler.hpp"
+#include "diag/processor.hpp"
+
+using namespace diag;
+using namespace diag::core;
+
+namespace
+{
+
+const char *kDotProduct = R"(
+    .data
+    .org 0x100000
+    va: .space 4096
+    .org 0x102000
+    vb: .space 4096
+    .text
+    _start:
+        li t0, 0x100000
+        li t1, 0x102000
+        li t2, 1024          # elements
+        li t3, 0
+        fmv.w.x fa0, x0
+    init:                    # fill both vectors with i as float
+        fcvt.s.w ft0, t3
+        fsw ft0, 0(t0)
+        fsw ft0, 0(t1)
+        addi t0, t0, 4
+        addi t1, t1, 4
+        addi t3, t3, 1
+        bne t3, t2, init
+        li t0, 0x100000
+        li t1, 0x102000
+        li t3, 0
+    dot:
+        flw ft0, 0(t0)
+        flw ft1, 0(t1)
+        fmadd.s fa0, ft0, ft1, fa0
+        addi t0, t0, 4
+        addi t1, t1, 4
+        addi t3, t3, 1
+        bne t3, t2, dot
+        fcvt.w.s a0, fa0
+        ebreak
+)";
+
+void
+runOne(const char *label, const DiagConfig &cfg)
+{
+    DiagProcessor proc(cfg);
+    const sim::RunStats rs =
+        proc.run(assembler::assemble(kDotProduct));
+    std::printf("%-22s cycles=%8llu  ipc=%5.2f  fetches=%5.0f  "
+                "decodes=%6.0f  reused=%6.0f\n",
+                label, static_cast<unsigned long long>(rs.cycles),
+                rs.ipc(), rs.counters.get("iline_fetches"),
+                rs.counters.get("decodes"),
+                rs.counters.get("reuse_activations"));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("dot product of 1024-element vectors "
+                "(~7200 dynamic instructions in the kernel loop)\n\n");
+
+    runOne("F4C16 (reuse)", DiagConfig::f4c16());
+
+    DiagConfig no_reuse = DiagConfig::f4c16();
+    no_reuse.name = "F4C16-noreuse";
+    no_reuse.reuse_enabled = false;
+    runOne("F4C16 (reuse off)", no_reuse);
+
+    DiagConfig tiny = DiagConfig::f4c2();
+    runOne("F4C2 (2 clusters)", tiny);
+
+    std::printf(
+        "\nWith reuse, the loop line is fetched and decoded once and "
+        "the backward\nbranch re-activates the resident datapath "
+        "(paper Table 1: 'DiAG (Reuse)'\nperforms no fetch, no decode, "
+        "no rename - only execute).\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Thread-pipelining demo (paper §4.4, §5.4): a data-parallel loop is
+ * annotated with the simt_s / simt_e ISA extensions. DiAG's control
+ * unit detects the region, spawns one thread per loop instance, and
+ * pipelines them through the resident datapath — spatially replicating
+ * the pipeline across free clusters.
+ *
+ * Build & run:  ./build/examples/simt_pipelining
+ */
+#include <cstdio>
+
+#include "asm/assembler.hpp"
+#include "diag/processor.hpp"
+#include "sim/golden.hpp"
+
+using namespace diag;
+using namespace diag::core;
+
+namespace
+{
+
+// out[i] = 3 * in[i] + 1 over 1024 elements. rc (a2) carries the byte
+// offset, stepping by 4 until 4096; every loop instance is a thread.
+const char *kKernel = R"(
+    .data
+    .org 0x100000
+    vin: .space 4096
+    .org 0x102000
+    vout: .space 4096
+    .text
+    _start:
+        li t0, 0x100000
+        li t1, 0
+        li t2, 1024
+    init:
+        slli t3, t1, 2
+        add t4, t0, t3
+        sw t1, 0(t4)
+        addi t1, t1, 1
+        bne t1, t2, init
+        li s2, 0x100000
+        li s3, 0x102000
+        li a2, 0              # rc: byte offset
+        li a3, 4              # step
+        li a4, 4096           # end
+    head:
+        simt_s a2, a3, a4, 1
+        add t5, s2, a2
+        lw t6, 0(t5)
+        slli t0, t6, 1
+        add t6, t6, t0        # 3 * in[i]
+        addi t6, t6, 1
+        add t5, s3, a2
+        sw t6, 0(t5)
+        simt_e a2, a4, head
+        ebreak
+)";
+
+} // namespace
+
+int
+main()
+{
+    const Program prog = assembler::assemble(kKernel);
+
+    // Reference run: the simt pair has well-defined scalar semantics
+    // (a do-while loop), so any engine can execute the same binary.
+    sim::GoldenSim golden(prog);
+    golden.run();
+
+    for (const bool simt_on : {false, true}) {
+        DiagConfig cfg = DiagConfig::f4c32();
+        cfg.simt_enabled = simt_on;
+        DiagProcessor proc(cfg);
+        const sim::RunStats rs = proc.run(prog);
+
+        bool ok = true;
+        for (u32 i = 0; i < 1024 && ok; ++i)
+            ok = proc.memory().read32(0x102000 + 4 * i) ==
+                 golden.memory().read32(0x102000 + 4 * i);
+
+        std::printf("%-26s cycles=%7llu ipc=%5.2f  threads=%5.0f "
+                    "replicas=%2.0f  output %s\n",
+                    simt_on ? "F4C32 (simt pipelining)"
+                            : "F4C32 (scalar loop)",
+                    static_cast<unsigned long long>(rs.cycles),
+                    rs.ipc(), rs.counters.get("simt_threads"),
+                    rs.counters.get("simt_replicas"),
+                    ok ? "matches golden" : "MISMATCH");
+    }
+
+    std::printf("\nWith pipelining, each loop instance becomes a "
+                "thread carrying its own rc;\nthe region is replicated "
+                "across free clusters and threads launch every\n"
+                "`interval` cycles (paper Fig. 7: every PE busy, IPC "
+                "scaling with PEs).\n");
+    return 0;
+}

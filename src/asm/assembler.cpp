@@ -1,0 +1,1120 @@
+#include "asm/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "asm/regnames.hpp"
+#include "common/bits.hpp"
+#include "isa/encoder.hpp"
+
+namespace diag::assembler
+{
+
+namespace
+{
+
+using namespace diag::isa::enc;
+
+// ---------------------------------------------------------------------
+// Statement representation
+// ---------------------------------------------------------------------
+
+enum class StmtKind : u8 { Instruction, Directive };
+
+struct Stmt
+{
+    int line = 0;
+    StmtKind kind = StmtKind::Instruction;
+    std::string mnemonic;            // lowercase
+    std::vector<std::string> ops;    // trimmed operand strings
+    Addr addr = 0;                   // assigned in pass 1
+    u32 size = 0;                    // bytes emitted (fixed in pass 1)
+};
+
+struct Section
+{
+    Addr lc;  // location counter
+};
+
+// ---------------------------------------------------------------------
+// Small string helpers
+// ---------------------------------------------------------------------
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+lower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '$';
+}
+
+/** Strip comments (#, //, ;) outside of string literals. */
+std::string
+stripComment(const std::string &line)
+{
+    bool in_str = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '"')
+            in_str = !in_str;
+        if (in_str)
+            continue;
+        if (c == '#' || c == ';')
+            return line.substr(0, i);
+        if (c == '/' && i + 1 < line.size() && line[i + 1] == '/')
+            return line.substr(0, i);
+    }
+    return line;
+}
+
+/** Split operands on commas not inside parentheses or strings. */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    int depth = 0;
+    bool in_str = false;
+    std::string cur;
+    for (char c : s) {
+        if (c == '"')
+            in_str = !in_str;
+        if (!in_str) {
+            if (c == '(')
+                ++depth;
+            else if (c == ')')
+                --depth;
+            else if (c == ',' && depth == 0) {
+                out.push_back(trim(cur));
+                cur.clear();
+                continue;
+            }
+        }
+        cur += c;
+    }
+    const std::string last = trim(cur);
+    if (!last.empty() || !out.empty())
+        out.push_back(last);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------
+
+class SymbolTable
+{
+  public:
+    void define(const std::string &name, i64 value)
+    {
+        table_[name] = value;
+    }
+
+    std::optional<i64>
+    lookup(const std::string &name) const
+    {
+        auto it = table_.find(name);
+        if (it == table_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    bool has(const std::string &name) const
+    {
+        return table_.count(name) != 0;
+    }
+
+    const std::map<std::string, i64> &all() const { return table_; }
+
+  private:
+    std::map<std::string, i64> table_;
+};
+
+/** Recursive-descent evaluator for `[+-] term ([+-] term)*`. */
+class ExprEval
+{
+  public:
+    ExprEval(const std::string &text, const SymbolTable &syms, int line)
+        : text_(text), syms_(syms), line_(line)
+    {}
+
+    /** Evaluate; throws AsmError on syntax errors or undefined syms. */
+    i64
+    eval()
+    {
+        pos_ = 0;
+        const i64 v = expr();
+        skipWs();
+        if (pos_ != text_.size())
+            throw AsmError(line_, "trailing junk in expression '" +
+                                      text_ + "'");
+        return v;
+    }
+
+    /** Evaluate, returning nullopt when a symbol is undefined. */
+    std::optional<i64>
+    tryEval()
+    {
+        try {
+            return eval();
+        } catch (const AsmError &) {
+            return std::nullopt;
+        }
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    i64
+    expr()
+    {
+        skipWs();
+        i64 value = 0;
+        bool neg = false;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+')) {
+            neg = text_[pos_] == '-';
+            ++pos_;
+        }
+        value = neg ? -term() : term();
+        for (;;) {
+            skipWs();
+            if (pos_ >= text_.size())
+                break;
+            const char c = text_[pos_];
+            if (c == '+') {
+                ++pos_;
+                value += term();
+            } else if (c == '-') {
+                ++pos_;
+                value -= term();
+            } else {
+                break;
+            }
+        }
+        return value;
+    }
+
+    i64
+    term()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            throw AsmError(line_, "expected operand in expression");
+        const char c = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            char *end = nullptr;
+            const i64 v = std::strtoll(text_.c_str() + pos_, &end, 0);
+            pos_ = static_cast<size_t>(end - text_.c_str());
+            return v;
+        }
+        if (c == '\'') {  // character literal
+            if (pos_ + 2 >= text_.size() || text_[pos_ + 2] != '\'')
+                throw AsmError(line_, "bad character literal");
+            const i64 v = static_cast<unsigned char>(text_[pos_ + 1]);
+            pos_ += 3;
+            return v;
+        }
+        if (isIdentChar(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = pos_;
+            while (pos_ < text_.size() && isIdentChar(text_[pos_]))
+                ++pos_;
+            const std::string name = text_.substr(start, pos_ - start);
+            const auto v = syms_.lookup(name);
+            if (!v)
+                throw AsmError(line_, "undefined symbol '" + name + "'");
+            return *v;
+        }
+        throw AsmError(line_, std::string("unexpected character '") + c +
+                                  "' in expression");
+    }
+
+    const std::string &text_;
+    const SymbolTable &syms_;
+    int line_;
+    size_t pos_ = 0;
+};
+
+/** %hi/%lo relocation split (RISC-V rules: hi compensates lo's sign). */
+u32 relHi(i64 value) { return (static_cast<u32>(value) + 0x800u) >> 12; }
+i32
+relLo(i64 value)
+{
+    return static_cast<i32>(sext(static_cast<u32>(value) & 0xfff, 12));
+}
+
+// ---------------------------------------------------------------------
+// Encoding tables
+// ---------------------------------------------------------------------
+
+struct RSpec { u32 f3, f7; };
+struct ISpec { u32 opc, f3; };
+struct FSpec { u32 f3, f7; };
+
+const std::map<std::string, RSpec> kRType = {
+    {"add", {0, 0x00}},  {"sub", {0, 0x20}},  {"sll", {1, 0x00}},
+    {"slt", {2, 0x00}},  {"sltu", {3, 0x00}}, {"xor", {4, 0x00}},
+    {"srl", {5, 0x00}},  {"sra", {5, 0x20}},  {"or", {6, 0x00}},
+    {"and", {7, 0x00}},  {"mul", {0, 0x01}},  {"mulh", {1, 0x01}},
+    {"mulhsu", {2, 0x01}}, {"mulhu", {3, 0x01}}, {"div", {4, 0x01}},
+    {"divu", {5, 0x01}}, {"rem", {6, 0x01}},  {"remu", {7, 0x01}},
+};
+
+const std::map<std::string, u32> kIAlu = {
+    {"addi", 0}, {"slti", 2}, {"sltiu", 3}, {"xori", 4}, {"ori", 6},
+    {"andi", 7},
+};
+
+const std::map<std::string, RSpec> kShiftImm = {
+    {"slli", {1, 0x00}}, {"srli", {5, 0x00}}, {"srai", {5, 0x20}},
+};
+
+const std::map<std::string, ISpec> kLoads = {
+    {"lb", {0x03, 0}}, {"lh", {0x03, 1}}, {"lw", {0x03, 2}},
+    {"lbu", {0x03, 4}}, {"lhu", {0x03, 5}}, {"flw", {0x07, 2}},
+};
+
+const std::map<std::string, ISpec> kStores = {
+    {"sb", {0x23, 0}}, {"sh", {0x23, 1}}, {"sw", {0x23, 2}},
+    {"fsw", {0x27, 2}},
+};
+
+const std::map<std::string, u32> kBranches = {
+    {"beq", 0}, {"bne", 1}, {"blt", 4}, {"bge", 5}, {"bltu", 6},
+    {"bgeu", 7},
+};
+
+// mnemonic -> {swap operands, base mnemonic}
+const std::map<std::string, std::pair<bool, std::string>> kBranchAliases = {
+    {"bgt", {true, "blt"}},  {"ble", {true, "bge"}},
+    {"bgtu", {true, "bltu"}}, {"bleu", {true, "bgeu"}},
+};
+
+// fp3 register-register ops: f7 and f3 fields
+const std::map<std::string, FSpec> kFpRR = {
+    {"fadd.s", {7, 0x00}},   {"fsub.s", {7, 0x04}},
+    {"fmul.s", {7, 0x08}},   {"fdiv.s", {7, 0x0c}},
+    {"fsgnj.s", {0, 0x10}},  {"fsgnjn.s", {1, 0x10}},
+    {"fsgnjx.s", {2, 0x10}}, {"fmin.s", {0, 0x14}},
+    {"fmax.s", {1, 0x14}},
+};
+
+// fp compare ops write an integer register
+const std::map<std::string, u32> kFpCmp = {
+    {"fle.s", 0}, {"flt.s", 1}, {"feq.s", 2},
+};
+
+const std::map<std::string, u32> kFma = {
+    {"fmadd.s", 0x43}, {"fmsub.s", 0x47}, {"fnmsub.s", 0x4b},
+    {"fnmadd.s", 0x4f},
+};
+
+// ---------------------------------------------------------------------
+// The assembler proper
+// ---------------------------------------------------------------------
+
+class Assembler
+{
+  public:
+    Program
+    run(const std::string &source)
+    {
+        parse(source);
+        passOne();
+        passTwo();
+        finalize();
+        return std::move(prog_);
+    }
+
+  private:
+    // ---- parsing ----------------------------------------------------
+
+    void
+    parse(const std::string &source)
+    {
+        int line_no = 0;
+        size_t pos = 0;
+        while (pos <= source.size()) {
+            const size_t nl = source.find('\n', pos);
+            std::string line = source.substr(
+                pos, nl == std::string::npos ? std::string::npos
+                                             : nl - pos);
+            pos = nl == std::string::npos ? source.size() + 1 : nl + 1;
+            ++line_no;
+            line = trim(stripComment(line));
+            // Peel off any leading `label:` definitions.
+            for (;;) {
+                const size_t colon = line.find(':');
+                if (colon == std::string::npos)
+                    break;
+                const std::string head = trim(line.substr(0, colon));
+                if (head.empty() || !std::all_of(head.begin(), head.end(),
+                                                 isIdentChar))
+                    break;
+                labels_.push_back({line_no, head,
+                                   static_cast<int>(stmts_.size())});
+                line = trim(line.substr(colon + 1));
+            }
+            if (line.empty())
+                continue;
+            Stmt st;
+            st.line = line_no;
+            size_t sp = 0;
+            while (sp < line.size() &&
+                   !std::isspace(static_cast<unsigned char>(line[sp])))
+                ++sp;
+            st.mnemonic = lower(line.substr(0, sp));
+            st.ops = splitOperands(trim(line.substr(sp)));
+            if (st.ops.size() == 1 && st.ops[0].empty())
+                st.ops.clear();
+            st.kind = st.mnemonic[0] == '.' ? StmtKind::Directive
+                                            : StmtKind::Instruction;
+            stmts_.push_back(std::move(st));
+        }
+    }
+
+    // ---- pass 1: addresses and sizes --------------------------------
+
+    void
+    passOne()
+    {
+        Section text{kTextBase};
+        Section data{kDataBase};
+        Section *cur = &text;
+        size_t label_idx = 0;
+        for (size_t i = 0; i < stmts_.size(); ++i) {
+            Stmt &st = stmts_[i];
+            // Bind labels that precede this statement.
+            while (label_idx < labels_.size() &&
+                   labels_[label_idx].stmt_index <= static_cast<int>(i)) {
+                defineLabel(labels_[label_idx], cur->lc);
+                ++label_idx;
+            }
+            st.addr = cur->lc;
+            if (st.kind == StmtKind::Directive) {
+                st.size = directiveSize(st, cur, &text, &data);
+            } else {
+                st.size = instrSize(st);
+            }
+            st.addr = cur->lc;  // .org/.align may have moved the counter
+            cur->lc += st.size;
+        }
+        while (label_idx < labels_.size()) {
+            defineLabel(labels_[label_idx], cur->lc);
+            ++label_idx;
+        }
+    }
+
+    struct Label
+    {
+        int line;
+        std::string name;
+        int stmt_index;
+    };
+
+    void
+    defineLabel(const Label &lbl, Addr addr)
+    {
+        if (syms_.has(lbl.name))
+            throw AsmError(lbl.line, "duplicate label '" + lbl.name + "'");
+        syms_.define(lbl.name, addr);
+    }
+
+    i64
+    evalNow(const Stmt &st, const std::string &text)
+    {
+        return ExprEval(text, syms_, st.line).eval();
+    }
+
+    /**
+     * Apply location-counter effects of a directive and return emitted
+     * size at the (possibly updated) counter.
+     */
+    u32
+    directiveSize(const Stmt &st, Section *&cur, Section *text,
+                  Section *data)
+    {
+        const std::string &d = st.mnemonic;
+        if (d == ".text") {
+            cur = text;
+            return 0;
+        }
+        if (d == ".data") {
+            cur = data;
+            return 0;
+        }
+        if (d == ".globl" || d == ".global" || d == ".entry" ||
+            d == ".section") {
+            return 0;
+        }
+        if (d == ".equ" || d == ".set") {
+            if (st.ops.size() != 2)
+                throw AsmError(st.line, d + " needs name, value");
+            syms_.define(st.ops[0], evalNow(st, st.ops[1]));
+            return 0;
+        }
+        if (d == ".org") {
+            if (st.ops.size() != 1)
+                throw AsmError(st.line, ".org needs one operand");
+            cur->lc = static_cast<Addr>(evalNow(st, st.ops[0]));
+            return 0;
+        }
+        if (d == ".align") {
+            if (st.ops.size() != 1)
+                throw AsmError(st.line, ".align needs one operand");
+            const i64 p = evalNow(st, st.ops[0]);
+            if (p < 0 || p > 16)
+                throw AsmError(st.line, "bad .align power");
+            cur->lc = static_cast<Addr>(
+                alignUp(cur->lc, u64{1} << p));
+            return 0;
+        }
+        if (d == ".space" || d == ".zero") {
+            if (st.ops.size() != 1)
+                throw AsmError(st.line, d + " needs one operand");
+            return static_cast<u32>(evalNow(st, st.ops[0]));
+        }
+        if (d == ".word" || d == ".float")
+            return static_cast<u32>(4 * st.ops.size());
+        if (d == ".half")
+            return static_cast<u32>(2 * st.ops.size());
+        if (d == ".byte")
+            return static_cast<u32>(st.ops.size());
+        if (d == ".asciz") {
+            if (st.ops.size() != 1)
+                throw AsmError(st.line, ".asciz needs one string");
+            return static_cast<u32>(parseString(st, st.ops[0]).size() + 1);
+        }
+        throw AsmError(st.line, "unknown directive '" + d + "'");
+    }
+
+    /** Instruction byte size, accounting for pseudo-op expansion. */
+    u32
+    instrSize(const Stmt &st)
+    {
+        const std::string &m = st.mnemonic;
+        if (m == "la")
+            return 8;
+        if (m == "li") {
+            if (st.ops.size() != 2)
+                throw AsmError(st.line, "li needs rd, imm");
+            const auto v =
+                ExprEval(st.ops[1], syms_, st.line).tryEval();
+            // Unresolvable (forward label) => conservatively 2 words;
+            // pass 2 re-checks against the recorded size.
+            if (!v)
+                return 8;
+            return (*v >= -2048 && *v <= 2047) ? 4 : 8;
+        }
+        return 4;
+    }
+
+    std::string
+    parseString(const Stmt &st, const std::string &text)
+    {
+        const std::string t = trim(text);
+        if (t.size() < 2 || t.front() != '"' || t.back() != '"')
+            throw AsmError(st.line, "expected string literal");
+        std::string out;
+        for (size_t i = 1; i + 1 < t.size(); ++i) {
+            char c = t[i];
+            if (c == '\\' && i + 2 < t.size()) {
+                ++i;
+                switch (t[i]) {
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case '0': c = '\0'; break;
+                  case '\\': c = '\\'; break;
+                  case '"': c = '"'; break;
+                  default:
+                    throw AsmError(st.line, "bad escape in string");
+                }
+            }
+            out += c;
+        }
+        return out;
+    }
+
+    // ---- pass 2: encoding --------------------------------------------
+
+    void
+    passTwo()
+    {
+        for (const Stmt &st : stmts_) {
+            at_ = st.addr;
+            if (st.kind == StmtKind::Directive)
+                emitDirective(st);
+            else
+                emitInstr(st);
+            if (at_ - st.addr != st.size)
+                throw AsmError(st.line,
+                               "internal: pass1/pass2 size mismatch");
+        }
+    }
+
+    void
+    emit32(u32 word)
+    {
+        prog_.image.write32(at_, word);
+        noteEmit(at_, 4);
+        at_ += 4;
+    }
+
+    void
+    emitBytes(const void *src, u32 len)
+    {
+        prog_.image.writeBlock(at_, src, len);
+        noteEmit(at_, len);
+        at_ += len;
+    }
+
+    void
+    noteEmit(Addr addr, u32 len)
+    {
+        emits_.push_back({addr, len});
+    }
+
+    void
+    emitDirective(const Stmt &st)
+    {
+        const std::string &d = st.mnemonic;
+        if (d == ".word") {
+            for (const auto &op : st.ops) {
+                const u32 v = static_cast<u32>(evalNow(st, op));
+                emit32(v);
+            }
+        } else if (d == ".half") {
+            for (const auto &op : st.ops) {
+                const u16 v = static_cast<u16>(evalNow(st, op));
+                emitBytes(&v, 2);
+            }
+        } else if (d == ".byte") {
+            for (const auto &op : st.ops) {
+                const u8 v = static_cast<u8>(evalNow(st, op));
+                emitBytes(&v, 1);
+            }
+        } else if (d == ".float") {
+            for (const auto &op : st.ops) {
+                const float f = std::strtof(op.c_str(), nullptr);
+                emitBytes(&f, 4);
+            }
+        } else if (d == ".space" || d == ".zero") {
+            const u32 n = static_cast<u32>(evalNow(st, st.ops[0]));
+            const std::vector<u8> zeros(n, 0);
+            if (n)
+                emitBytes(zeros.data(), n);
+        } else if (d == ".asciz") {
+            const std::string s = parseString(st, st.ops[0]);
+            emitBytes(s.c_str(), static_cast<u32>(s.size() + 1));
+        } else if (d == ".entry") {
+            if (st.ops.size() != 1)
+                throw AsmError(st.line, ".entry needs a symbol");
+            explicit_entry_ = static_cast<Addr>(evalNow(st, st.ops[0]));
+        }
+        // .text/.data/.org/.align/.equ/.globl have no pass-2 effect.
+    }
+
+    // Operand helpers -------------------------------------------------
+
+    u32
+    intReg(const Stmt &st, const std::string &op)
+    {
+        const int r = parseIntReg(lower(trim(op)));
+        if (r < 0)
+            throw AsmError(st.line, "expected integer register, got '" +
+                                        op + "'");
+        return static_cast<u32>(r);
+    }
+
+    u32
+    fpRegOf(const Stmt &st, const std::string &op)
+    {
+        const int r = parseFpReg(lower(trim(op)));
+        if (r < 0)
+            throw AsmError(st.line,
+                           "expected FP register, got '" + op + "'");
+        return static_cast<u32>(r);
+    }
+
+    /** Immediate with %hi/%lo support. */
+    i64
+    immOf(const Stmt &st, const std::string &op)
+    {
+        const std::string t = trim(op);
+        if (t.rfind("%hi(", 0) == 0 && t.back() == ')')
+            throw AsmError(st.line, "%hi() is only valid in lui/auipc");
+        if (t.rfind("%lo(", 0) == 0 && t.back() == ')')
+            return relLo(evalNow(st, t.substr(4, t.size() - 5)));
+        return evalNow(st, t);
+    }
+
+    /** U-type immediate: accepts %hi(sym) or a raw 20-bit value. */
+    i32
+    uimmOf(const Stmt &st, const std::string &op)
+    {
+        const std::string t = trim(op);
+        i64 v;
+        if (t.rfind("%hi(", 0) == 0 && t.back() == ')')
+            v = relHi(evalNow(st, t.substr(4, t.size() - 5)));
+        else
+            v = evalNow(st, t);
+        if (v < 0 || v > 0xfffff)
+            throw AsmError(st.line, "U-immediate out of range");
+        return static_cast<i32>(v << 12);
+    }
+
+    /** Parse `offset(reg)` memory operands. */
+    std::pair<i32, u32>
+    memOperand(const Stmt &st, const std::string &op)
+    {
+        const std::string t = trim(op);
+        const size_t open = t.rfind('(');
+        if (open == std::string::npos || t.back() != ')')
+            throw AsmError(st.line, "expected offset(reg), got '" + op +
+                                        "'");
+        // Keep %lo(...) intact: the '(' we want is the last one, and for
+        // "%lo(sym)(a0)" rfind finds the second-to-last... find the
+        // matching open paren of the trailing ')'.
+        size_t depth = 1;
+        size_t pos = t.size() - 1;
+        while (pos > 0) {
+            --pos;
+            if (t[pos] == ')')
+                ++depth;
+            else if (t[pos] == '(' && --depth == 0)
+                break;
+        }
+        if (depth != 0)
+            throw AsmError(st.line, "unbalanced parens in '" + op + "'");
+        const std::string off_text = trim(t.substr(0, pos));
+        const std::string reg_text =
+            t.substr(pos + 1, t.size() - pos - 2);
+        const i64 off = off_text.empty() ? 0 : immOf(st, off_text);
+        if (off < -2048 || off > 2047)
+            throw AsmError(st.line, "memory offset out of range");
+        return {static_cast<i32>(off), intReg(st, reg_text)};
+    }
+
+    i32
+    branchOffset(const Stmt &st, const std::string &op, Addr pc,
+                 i64 limit)
+    {
+        const i64 target = evalNow(st, op);
+        const i64 off = target - static_cast<i64>(pc);
+        if (off < -limit || off >= limit || (off & 1))
+            throw AsmError(st.line, "branch/jump target out of range");
+        return static_cast<i32>(off);
+    }
+
+    void
+    needOps(const Stmt &st, size_t n)
+    {
+        if (st.ops.size() != n)
+            throw AsmError(st.line, st.mnemonic + " expects " +
+                                        std::to_string(n) + " operands");
+    }
+
+    // Instruction emission ---------------------------------------------
+
+    void
+    emitInstr(const Stmt &st)
+    {
+        const std::string &m = st.mnemonic;
+        const Addr pc = st.addr;
+
+        // ---- pseudo-instructions ----
+        if (m == "nop") {
+            emit32(iType(0x13, 0, 0, 0, 0));
+            return;
+        }
+        if (m == "mv") {
+            needOps(st, 2);
+            emit32(iType(0x13, intReg(st, st.ops[0]), 0,
+                         intReg(st, st.ops[1]), 0));
+            return;
+        }
+        if (m == "not") {
+            needOps(st, 2);
+            emit32(iType(0x13, intReg(st, st.ops[0]), 4,
+                         intReg(st, st.ops[1]), -1));
+            return;
+        }
+        if (m == "neg") {
+            needOps(st, 2);
+            emit32(rType(0x33, intReg(st, st.ops[0]), 0, 0,
+                         intReg(st, st.ops[1]), 0x20));
+            return;
+        }
+        if (m == "seqz") {
+            needOps(st, 2);
+            emit32(iType(0x13, intReg(st, st.ops[0]), 3,
+                         intReg(st, st.ops[1]), 1));
+            return;
+        }
+        if (m == "snez") {
+            needOps(st, 2);
+            emit32(rType(0x33, intReg(st, st.ops[0]), 3, 0,
+                         intReg(st, st.ops[1]), 0));
+            return;
+        }
+        if (m == "sltz") {
+            needOps(st, 2);
+            emit32(rType(0x33, intReg(st, st.ops[0]), 2,
+                         intReg(st, st.ops[1]), 0, 0));
+            return;
+        }
+        if (m == "sgtz") {
+            needOps(st, 2);
+            emit32(rType(0x33, intReg(st, st.ops[0]), 2, 0,
+                         intReg(st, st.ops[1]), 0));
+            return;
+        }
+        if (m == "li") {
+            needOps(st, 2);
+            const u32 rd = intReg(st, st.ops[0]);
+            const i64 v64 = evalNow(st, st.ops[1]);
+            if (v64 < INT32_MIN || v64 > static_cast<i64>(UINT32_MAX))
+                throw AsmError(st.line, "li immediate out of range");
+            const i32 v = static_cast<i32>(v64);
+            if (st.size == 4) {
+                emit32(iType(0x13, rd, 0, 0, v));
+            } else {
+                const u32 hi = relHi(v);
+                const i32 lo = relLo(v);
+                emit32(uType(0x37, rd, static_cast<i32>(hi << 12)));
+                emit32(iType(0x13, rd, 0, rd, lo));
+            }
+            return;
+        }
+        if (m == "la") {
+            needOps(st, 2);
+            const u32 rd = intReg(st, st.ops[0]);
+            const i64 v = evalNow(st, st.ops[1]);
+            emit32(uType(0x37, rd, static_cast<i32>(relHi(v) << 12)));
+            emit32(iType(0x13, rd, 0, rd, relLo(v)));
+            return;
+        }
+        if (m == "j") {
+            needOps(st, 1);
+            emit32(jType(0x6f, 0,
+                         branchOffset(st, st.ops[0], pc, 1 << 20)));
+            return;
+        }
+        if (m == "jr") {
+            needOps(st, 1);
+            emit32(iType(0x67, 0, 0, intReg(st, st.ops[0]), 0));
+            return;
+        }
+        if (m == "call") {
+            needOps(st, 1);
+            emit32(jType(0x6f, 1,
+                         branchOffset(st, st.ops[0], pc, 1 << 20)));
+            return;
+        }
+        if (m == "ret") {
+            needOps(st, 0);
+            emit32(iType(0x67, 0, 0, 1, 0));
+            return;
+        }
+        if (m == "beqz" || m == "bnez" || m == "bgez" || m == "bltz") {
+            needOps(st, 2);
+            const u32 rs = intReg(st, st.ops[0]);
+            const i32 off = branchOffset(st, st.ops[1], pc, 4096);
+            u32 f3 = 0;
+            u32 rs1 = rs;
+            u32 rs2 = 0;
+            if (m == "beqz") f3 = 0;
+            else if (m == "bnez") f3 = 1;
+            else if (m == "bgez") f3 = 5;
+            else f3 = 4;  // bltz
+            emit32(bType(0x63, f3, rs1, rs2, off));
+            return;
+        }
+        if (m == "blez" || m == "bgtz") {
+            needOps(st, 2);
+            const u32 rs = intReg(st, st.ops[0]);
+            const i32 off = branchOffset(st, st.ops[1], pc, 4096);
+            // blez rs == bge x0, rs ; bgtz rs == blt x0, rs
+            emit32(bType(0x63, m == "blez" ? 5u : 4u, 0, rs, off));
+            return;
+        }
+        if (auto it = kBranchAliases.find(m); it != kBranchAliases.end()) {
+            needOps(st, 3);
+            const u32 a = intReg(st, st.ops[0]);
+            const u32 b = intReg(st, st.ops[1]);
+            const i32 off = branchOffset(st, st.ops[2], pc, 4096);
+            emit32(bType(0x63, kBranches.at(it->second.second), b, a,
+                         off));
+            return;
+        }
+        if (m == "fmv.s" || m == "fabs.s" || m == "fneg.s") {
+            needOps(st, 2);
+            const u32 rd = fpRegOf(st, st.ops[0]);
+            const u32 rs = fpRegOf(st, st.ops[1]);
+            u32 f3 = 0;
+            if (m == "fabs.s") f3 = 2;
+            else if (m == "fneg.s") f3 = 1;
+            emit32(rType(0x53, rd, f3, rs, rs, 0x10));
+            return;
+        }
+
+        // ---- real instructions ----
+        if (auto it = kRType.find(m); it != kRType.end()) {
+            needOps(st, 3);
+            emit32(rType(0x33, intReg(st, st.ops[0]), it->second.f3,
+                         intReg(st, st.ops[1]), intReg(st, st.ops[2]),
+                         it->second.f7));
+            return;
+        }
+        if (auto it = kIAlu.find(m); it != kIAlu.end()) {
+            needOps(st, 3);
+            const i64 imm = immOf(st, st.ops[2]);
+            if (imm < -2048 || imm > 2047)
+                throw AsmError(st.line, "immediate out of range");
+            emit32(iType(0x13, intReg(st, st.ops[0]), it->second,
+                         intReg(st, st.ops[1]), static_cast<i32>(imm)));
+            return;
+        }
+        if (auto it = kShiftImm.find(m); it != kShiftImm.end()) {
+            needOps(st, 3);
+            const i64 sh = immOf(st, st.ops[2]);
+            if (sh < 0 || sh > 31)
+                throw AsmError(st.line, "shift amount out of range");
+            emit32(rType(0x13, intReg(st, st.ops[0]), it->second.f3,
+                         intReg(st, st.ops[1]), static_cast<u32>(sh),
+                         it->second.f7));
+            return;
+        }
+        if (auto it = kLoads.find(m); it != kLoads.end()) {
+            needOps(st, 2);
+            const auto [off, base] = memOperand(st, st.ops[1]);
+            const u32 rd = it->first == "flw" ? fpRegOf(st, st.ops[0])
+                                              : intReg(st, st.ops[0]);
+            emit32(iType(it->second.opc, rd, it->second.f3, base, off));
+            return;
+        }
+        if (auto it = kStores.find(m); it != kStores.end()) {
+            needOps(st, 2);
+            const auto [off, base] = memOperand(st, st.ops[1]);
+            const u32 rs2 = it->first == "fsw" ? fpRegOf(st, st.ops[0])
+                                               : intReg(st, st.ops[0]);
+            emit32(sType(it->second.opc, it->second.f3, base, rs2, off));
+            return;
+        }
+        if (auto it = kBranches.find(m); it != kBranches.end()) {
+            needOps(st, 3);
+            emit32(bType(0x63, it->second, intReg(st, st.ops[0]),
+                         intReg(st, st.ops[1]),
+                         branchOffset(st, st.ops[2], pc, 4096)));
+            return;
+        }
+        if (m == "lui" || m == "auipc") {
+            needOps(st, 2);
+            emit32(uType(m == "lui" ? 0x37u : 0x17u,
+                         intReg(st, st.ops[0]), uimmOf(st, st.ops[1])));
+            return;
+        }
+        if (m == "jal") {
+            // `jal label` (rd=ra) or `jal rd, label`
+            if (st.ops.size() == 1) {
+                emit32(jType(0x6f, 1,
+                             branchOffset(st, st.ops[0], pc, 1 << 20)));
+            } else {
+                needOps(st, 2);
+                emit32(jType(0x6f, intReg(st, st.ops[0]),
+                             branchOffset(st, st.ops[1], pc, 1 << 20)));
+            }
+            return;
+        }
+        if (m == "jalr") {
+            // `jalr rs`, `jalr rd, imm(rs)`, or `jalr rd, rs, imm`
+            if (st.ops.size() == 1) {
+                emit32(iType(0x67, 1, 0, intReg(st, st.ops[0]), 0));
+            } else if (st.ops.size() == 2) {
+                const auto [off, base] = memOperand(st, st.ops[1]);
+                emit32(iType(0x67, intReg(st, st.ops[0]), 0, base, off));
+            } else {
+                needOps(st, 3);
+                const i64 imm = immOf(st, st.ops[2]);
+                emit32(iType(0x67, intReg(st, st.ops[0]), 0,
+                             intReg(st, st.ops[1]),
+                             static_cast<i32>(imm)));
+            }
+            return;
+        }
+        if (m == "fence") {
+            emit32(0x0000000f);
+            return;
+        }
+        if (m == "ecall") {
+            emit32(0x00000073);
+            return;
+        }
+        if (m == "ebreak") {
+            emit32(0x00100073);
+            return;
+        }
+        if (auto it = kFpRR.find(m); it != kFpRR.end()) {
+            needOps(st, 3);
+            emit32(rType(0x53, fpRegOf(st, st.ops[0]), it->second.f3,
+                         fpRegOf(st, st.ops[1]), fpRegOf(st, st.ops[2]),
+                         it->second.f7));
+            return;
+        }
+        if (auto it = kFpCmp.find(m); it != kFpCmp.end()) {
+            needOps(st, 3);
+            emit32(rType(0x53, intReg(st, st.ops[0]), it->second,
+                         fpRegOf(st, st.ops[1]), fpRegOf(st, st.ops[2]),
+                         0x50));
+            return;
+        }
+        if (m == "fsqrt.s") {
+            needOps(st, 2);
+            emit32(rType(0x53, fpRegOf(st, st.ops[0]), 7,
+                         fpRegOf(st, st.ops[1]), 0, 0x2c));
+            return;
+        }
+        if (m == "fcvt.w.s" || m == "fcvt.wu.s") {
+            needOps(st, 2);
+            emit32(rType(0x53, intReg(st, st.ops[0]), 1,
+                         fpRegOf(st, st.ops[1]),
+                         m == "fcvt.w.s" ? 0u : 1u, 0x60));
+            return;
+        }
+        if (m == "fcvt.s.w" || m == "fcvt.s.wu") {
+            needOps(st, 2);
+            emit32(rType(0x53, fpRegOf(st, st.ops[0]), 7,
+                         intReg(st, st.ops[1]),
+                         m == "fcvt.s.w" ? 0u : 1u, 0x68));
+            return;
+        }
+        if (m == "fmv.x.w") {
+            needOps(st, 2);
+            emit32(rType(0x53, intReg(st, st.ops[0]), 0,
+                         fpRegOf(st, st.ops[1]), 0, 0x70));
+            return;
+        }
+        if (m == "fclass.s") {
+            needOps(st, 2);
+            emit32(rType(0x53, intReg(st, st.ops[0]), 1,
+                         fpRegOf(st, st.ops[1]), 0, 0x70));
+            return;
+        }
+        if (m == "fmv.w.x") {
+            needOps(st, 2);
+            emit32(rType(0x53, fpRegOf(st, st.ops[0]), 0,
+                         intReg(st, st.ops[1]), 0, 0x78));
+            return;
+        }
+        if (auto it = kFma.find(m); it != kFma.end()) {
+            needOps(st, 4);
+            emit32(r4Type(it->second, fpRegOf(st, st.ops[0]), 0,
+                          fpRegOf(st, st.ops[1]), fpRegOf(st, st.ops[2]),
+                          0, fpRegOf(st, st.ops[3])));
+            return;
+        }
+        if (m == "simt_s") {
+            needOps(st, 4);
+            const i64 interval = immOf(st, st.ops[3]);
+            if (interval < 0 || interval > 127)
+                throw AsmError(st.line, "simt_s interval out of range");
+            emit32(simtS(intReg(st, st.ops[0]), intReg(st, st.ops[1]),
+                         intReg(st, st.ops[2]),
+                         static_cast<u32>(interval)));
+            return;
+        }
+        if (m == "simt_e") {
+            needOps(st, 3);
+            const i64 target = evalNow(st, st.ops[2]);
+            const i64 l_offset = static_cast<i64>(pc) - target;
+            if (l_offset <= 0 || l_offset > 2047)
+                throw AsmError(st.line,
+                               "simt_e must follow its simt_s within "
+                               "2047 bytes");
+            emit32(simtE(intReg(st, st.ops[0]), intReg(st, st.ops[1]),
+                         static_cast<u32>(l_offset)));
+            return;
+        }
+        throw AsmError(st.line, "unknown mnemonic '" + m + "'");
+    }
+
+    // ---- finalize -----------------------------------------------------
+
+    void
+    finalize()
+    {
+        for (const auto &kv : syms_.all())
+            prog_.symbols[kv.first] = static_cast<Addr>(kv.second);
+        // Merge emitted ranges into chunks.
+        std::sort(emits_.begin(), emits_.end(),
+                  [](const ProgramChunk &a, const ProgramChunk &b) {
+                      return a.base < b.base;
+                  });
+        for (const auto &e : emits_) {
+            if (!prog_.chunks.empty()) {
+                auto &last = prog_.chunks.back();
+                if (last.base + last.size >= e.base) {
+                    const u32 end =
+                        std::max(last.base + last.size, e.base + e.size);
+                    last.size = end - last.base;
+                    continue;
+                }
+            }
+            prog_.chunks.push_back(e);
+        }
+        if (prog_.hasSymbol("_start"))
+            prog_.entry = prog_.symbol("_start");
+        else if (explicit_entry_)
+            prog_.entry = *explicit_entry_;
+        else
+            prog_.entry = kTextBase;
+    }
+
+    std::vector<Stmt> stmts_;
+    std::vector<Label> labels_;
+    SymbolTable syms_;
+    Program prog_;
+    std::vector<ProgramChunk> emits_;
+    Addr at_ = 0;
+    std::optional<Addr> explicit_entry_;
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    Assembler as;
+    return as.run(source);
+}
+
+} // namespace diag::assembler

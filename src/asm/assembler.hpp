@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Two-pass RISC-V (RV32IMF + DiAG simt extensions) assembler.
+ *
+ * Supported syntax:
+ *  - labels (`loop:`), `#`, `//`, and `;` comments
+ *  - directives: .text .data .org .align .word .half .byte .float
+ *    .space .asciz .equ .globl (ignored) .entry
+ *  - all RV32IMF mnemonics plus simt_s/simt_e
+ *  - common pseudo-instructions: nop mv not neg seqz snez sltz sgtz li
+ *    la j jr jalr(1-op) call ret beqz bnez blez bgez bltz bgtz bgt ble
+ *    bgtu bleu fmv.s fabs.s fneg.s
+ *  - ABI and architectural register names
+ *  - operand expressions over literals and labels with + and -, and
+ *    %hi()/%lo() relocation operators
+ */
+#ifndef DIAG_ASM_ASSEMBLER_HPP
+#define DIAG_ASM_ASSEMBLER_HPP
+
+#include <stdexcept>
+#include <string>
+
+#include "asm/program.hpp"
+
+namespace diag::assembler
+{
+
+/** Assembly failure, carrying the 1-based source line. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(int line, const std::string &msg)
+        : std::runtime_error("line " + std::to_string(line) + ": " + msg),
+          line_(line)
+    {}
+
+    int line() const { return line_; }
+
+  private:
+    int line_;
+};
+
+/** Default base address of the .text section. */
+inline constexpr Addr kTextBase = 0x00001000;
+/** Default base address of the .data section. */
+inline constexpr Addr kDataBase = 0x00100000;
+
+/**
+ * Assemble @p source into a program image. The entry point is the
+ * `_start` label if defined, else the `.entry <sym>` directive, else
+ * the start of .text. Throws AsmError on any syntax or range error.
+ */
+Program assemble(const std::string &source);
+
+} // namespace diag::assembler
+
+#endif // DIAG_ASM_ASSEMBLER_HPP

@@ -1,0 +1,40 @@
+#include "asm/program.hpp"
+
+#include "common/log.hpp"
+
+namespace diag
+{
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    fatal_if(it == symbols.end(), "undefined symbol '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+Program::hasSymbol(const std::string &name) const
+{
+    return symbols.find(name) != symbols.end();
+}
+
+void
+Program::loadInto(SparseMemory &mem) const
+{
+    for (const auto &chunk : chunks) {
+        for (u32 off = 0; off < chunk.size; ++off)
+            mem.write8(chunk.base + off, image.read8(chunk.base + off));
+    }
+}
+
+u32
+Program::totalBytes() const
+{
+    u32 total = 0;
+    for (const auto &chunk : chunks)
+        total += chunk.size;
+    return total;
+}
+
+} // namespace diag

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * An assembled program image: code/data bytes, symbol table, and entry
+ * point. Produced by the assembler, consumed by every execution engine.
+ */
+#ifndef DIAG_ASM_PROGRAM_HPP
+#define DIAG_ASM_PROGRAM_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sparse_mem.hpp"
+#include "common/types.hpp"
+
+namespace diag
+{
+
+/** A contiguous run of emitted bytes. */
+struct ProgramChunk
+{
+    Addr base = 0;
+    u32 size = 0;
+};
+
+/** Assembled program image. */
+struct Program
+{
+    /** First instruction to execute. */
+    Addr entry = 0;
+    /** All emitted bytes (code and data). */
+    SparseMemory image;
+    /** Label name -> address. */
+    std::map<std::string, Addr> symbols;
+    /** Emitted regions, merged and sorted by base. */
+    std::vector<ProgramChunk> chunks;
+
+    /** Address of @p name; fatal() if the label was never defined. */
+    Addr symbol(const std::string &name) const;
+
+    /** True iff a label @p name exists. */
+    bool hasSymbol(const std::string &name) const;
+
+    /** Fetch the instruction word at @p addr. */
+    u32 word(Addr addr) const { return image.read32(addr); }
+
+    /** Copy every emitted chunk into @p mem (program loading). */
+    void loadInto(SparseMemory &mem) const;
+
+    /** Total bytes emitted across all chunks. */
+    u32 totalBytes() const;
+};
+
+} // namespace diag
+
+#endif // DIAG_ASM_PROGRAM_HPP

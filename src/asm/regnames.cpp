@@ -1,0 +1,75 @@
+#include "asm/regnames.hpp"
+
+#include <cstdlib>
+
+namespace diag::assembler
+{
+
+namespace
+{
+
+/** Parse "<prefix><n>" with n in [0, limit); -1 on mismatch. */
+int
+numbered(const std::string &name, char prefix, int limit)
+{
+    if (name.size() < 2 || name[0] != prefix)
+        return -1;
+    int value = 0;
+    for (size_t i = 1; i < name.size(); ++i) {
+        if (name[i] < '0' || name[i] > '9')
+            return -1;
+        value = value * 10 + (name[i] - '0');
+        if (value >= limit)
+            return -1;
+    }
+    return value;
+}
+
+} // namespace
+
+int
+parseIntReg(const std::string &name)
+{
+    const int direct = numbered(name, 'x', 32);
+    if (direct >= 0)
+        return direct;
+    if (name == "zero") return 0;
+    if (name == "ra") return 1;
+    if (name == "sp") return 2;
+    if (name == "gp") return 3;
+    if (name == "tp") return 4;
+    if (name == "fp") return 8;
+    int n = numbered(name, 't', 7);
+    if (n >= 0)
+        return n <= 2 ? 5 + n : 25 + n;  // t0-2 -> x5-7, t3-6 -> x28-31
+    n = numbered(name, 's', 12);
+    if (n >= 0)
+        return n <= 1 ? 8 + n : 16 + n;  // s0-1 -> x8-9, s2-11 -> x18-27
+    n = numbered(name, 'a', 8);
+    if (n >= 0)
+        return 10 + n;  // a0-7 -> x10-17
+    return -1;
+}
+
+int
+parseFpReg(const std::string &name)
+{
+    const int direct = numbered(name, 'f', 32);
+    if (direct >= 0)
+        return direct;
+    if (name.size() >= 3 && name[0] == 'f') {
+        const std::string rest = name.substr(1);
+        int n = numbered(rest, 't', 12);
+        if (n >= 0)
+            return n <= 7 ? n : 20 + n;  // ft0-7 -> f0-7, ft8-11 -> f28-31
+        n = numbered(rest, 's', 12);
+        if (n >= 0)
+            return n <= 1 ? 8 + n : 16 + n;
+        n = numbered(rest, 'a', 8);
+        if (n >= 0)
+            return 10 + n;
+    }
+    return -1;
+}
+
+} // namespace diag::assembler

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Register-name parsing: architectural (x0/f0) and ABI (a0, t1, fs2…)
+ * names for the assembler front-end.
+ */
+#ifndef DIAG_ASM_REGNAMES_HPP
+#define DIAG_ASM_REGNAMES_HPP
+
+#include <string>
+
+namespace diag::assembler
+{
+
+/** Parse an integer register name; returns -1 if not one. */
+int parseIntReg(const std::string &name);
+
+/** Parse an FP register name (0..31 in the FP file); -1 if not one. */
+int parseFpReg(const std::string &name);
+
+} // namespace diag::assembler
+
+#endif // DIAG_ASM_REGNAMES_HPP

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA encoder/decoder and the
+ * microarchitectural models.
+ */
+#ifndef DIAG_COMMON_BITS_HPP
+#define DIAG_COMMON_BITS_HPP
+
+#include <bit>
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace diag
+{
+
+/**
+ * Extract bits [hi:lo] (inclusive, hi >= lo) of @p value, shifted down
+ * so the lowest extracted bit lands at position 0.
+ */
+constexpr u32
+bits(u32 value, unsigned hi, unsigned lo)
+{
+    assert(hi >= lo && hi < 32);
+    const u32 width = hi - lo + 1;
+    const u32 mask = width >= 32 ? ~u32{0} : ((u32{1} << width) - 1);
+    return (value >> lo) & mask;
+}
+
+/** Extract a single bit of @p value. */
+constexpr u32
+bit(u32 value, unsigned pos)
+{
+    assert(pos < 32);
+    return (value >> pos) & 1u;
+}
+
+/**
+ * Sign-extend the low @p width bits of @p value to a full 32-bit signed
+ * integer, returned as u32 (two's complement).
+ */
+constexpr u32
+sext(u32 value, unsigned width)
+{
+    assert(width >= 1 && width <= 32);
+    if (width == 32)
+        return value;
+    const u32 sign = u32{1} << (width - 1);
+    const u32 mask = (u32{1} << width) - 1;
+    value &= mask;
+    return (value ^ sign) - sign;
+}
+
+/** Insert the low @p width bits of @p field at position @p lo. */
+constexpr u32
+insertBits(u32 word, unsigned lo, unsigned width, u32 field)
+{
+    assert(lo + width <= 32);
+    const u32 mask = width >= 32 ? ~u32{0} : ((u32{1} << width) - 1);
+    return (word & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** True iff @p value is a power of two (zero excluded). */
+constexpr bool
+isPow2(u64 value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr unsigned
+log2i(u64 value)
+{
+    assert(isPow2(value));
+    return static_cast<unsigned>(std::countr_zero(value));
+}
+
+/** Round @p value up to the next multiple of the power-of-two @p align. */
+constexpr u64
+alignUp(u64 value, u64 align)
+{
+    assert(isPow2(align));
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round @p value down to a multiple of the power-of-two @p align. */
+constexpr u64
+alignDown(u64 value, u64 align)
+{
+    assert(isPow2(align));
+    return value & ~(align - 1);
+}
+
+} // namespace diag
+
+#endif // DIAG_COMMON_BITS_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 style: panic() for internal
+ * invariant violations, fatal() for user/configuration errors, warn()
+ * and inform() for non-fatal diagnostics.
+ */
+#ifndef DIAG_COMMON_LOG_HPP
+#define DIAG_COMMON_LOG_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace diag
+{
+
+namespace detail
+{
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+} // namespace detail
+
+/** Global verbosity switch for inform(); warnings always print. */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace diag
+
+/**
+ * Report an internal simulator bug (a condition that should never occur
+ * regardless of user input) and abort.
+ */
+#define panic(...) \
+    ::diag::detail::panicImpl(__FILE__, __LINE__, \
+                              ::diag::detail::vformat(__VA_ARGS__))
+
+/**
+ * Report an unrecoverable user-level error (bad configuration, malformed
+ * input) and exit(1).
+ */
+#define fatal(...) \
+    ::diag::detail::fatalImpl(::diag::detail::vformat(__VA_ARGS__))
+
+/** Report suspicious but survivable conditions. */
+#define warn(...) \
+    ::diag::detail::warnImpl(::diag::detail::vformat(__VA_ARGS__))
+
+/** Report normal operating status (suppressed unless verbose; the
+ *  format arguments are not evaluated when verbosity is off). */
+#define inform(...) \
+    do { \
+        if (::diag::verbose()) \
+            ::diag::detail::informImpl( \
+                ::diag::detail::vformat(__VA_ARGS__)); \
+    } while (0)
+
+/** panic() unless @p cond holds. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) \
+            panic(__VA_ARGS__); \
+    } while (0)
+
+/** fatal() unless @p cond holds. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) \
+            fatal(__VA_ARGS__); \
+    } while (0)
+
+#endif // DIAG_COMMON_LOG_HPP

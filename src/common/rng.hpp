@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xorshift64*), used by
+ * workload input generators and property tests so runs are reproducible
+ * across platforms and standard-library versions.
+ */
+#ifndef DIAG_COMMON_RNG_HPP
+#define DIAG_COMMON_RNG_HPP
+
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace diag
+{
+
+/** Small, fast, seedable PRNG with a 64-bit state. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit sample. */
+    u64
+    next64()
+    {
+        u64 x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Next 32-bit sample. */
+    u32 next32() { return static_cast<u32>(next64() >> 32); }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    u64
+    below(u64 bound)
+    {
+        assert(bound != 0);
+        return next64() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    i64
+    range(i64 lo, i64 hi)
+    {
+        assert(lo <= hi);
+        return lo + static_cast<i64>(below(static_cast<u64>(hi - lo) + 1));
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    uniform()
+    {
+        return static_cast<float>(next64() >> 40) * 0x1.0p-24f;
+    }
+
+    /** Bernoulli sample with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    u64 state_;
+};
+
+} // namespace diag
+
+#endif // DIAG_COMMON_RNG_HPP

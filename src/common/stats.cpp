@@ -1,0 +1,17 @@
+#include "common/stats.hpp"
+
+#include <iomanip>
+
+namespace diag
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : values_) {
+        os << name_ << '.' << kv.first << ' ' << std::setprecision(12)
+           << kv.second << '\n';
+    }
+}
+
+} // namespace diag

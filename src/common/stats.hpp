@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Lightweight named-statistics registry. Components own a StatGroup and
+ * register scalar counters in it; the harness and benches walk groups to
+ * render tables or feed the energy model.
+ */
+#ifndef DIAG_COMMON_STATS_HPP
+#define DIAG_COMMON_STATS_HPP
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace diag
+{
+
+/**
+ * A flat collection of named double-valued statistics. Counters default
+ * to zero; reading a missing counter returns zero so consumers do not
+ * need to know the full set in advance.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "stats") : name_(std::move(name))
+    {}
+
+    /** Group name used as a prefix when dumping. */
+    const std::string &name() const { return name_; }
+
+    /** Add @p delta (default 1) to the counter @p key. */
+    void
+    inc(const std::string &key, double delta = 1.0)
+    {
+        values_[key] += delta;
+    }
+
+    /** Overwrite the counter @p key. */
+    void
+    set(const std::string &key, double value)
+    {
+        values_[key] = value;
+    }
+
+    /** Read a counter; missing keys read as zero. */
+    double
+    get(const std::string &key) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? 0.0 : it->second;
+    }
+
+    /** True iff the counter was ever written. */
+    bool
+    has(const std::string &key) const
+    {
+        return values_.find(key) != values_.end();
+    }
+
+    /** Reset every counter to zero (keys are retained). */
+    void
+    clear()
+    {
+        for (auto &kv : values_)
+            kv.second = 0.0;
+    }
+
+    /** Merge another group into this one by summing matching keys. */
+    void
+    merge(const StatGroup &other)
+    {
+        for (const auto &kv : other.values_)
+            values_[kv.first] += kv.second;
+    }
+
+    /** All (key, value) pairs, sorted by key. */
+    const std::map<std::string, double> &all() const { return values_; }
+
+    /** Pretty-print "group.key value" lines. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, double> values_;
+};
+
+} // namespace diag
+
+#endif // DIAG_COMMON_STATS_HPP

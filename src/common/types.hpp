@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental fixed-width type aliases shared by all modules.
+ */
+#ifndef DIAG_COMMON_TYPES_HPP
+#define DIAG_COMMON_TYPES_HPP
+
+#include <cstdint>
+
+namespace diag
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Byte address in the simulated 32-bit physical address space. */
+using Addr = u32;
+
+/** Absolute simulation time in core clock cycles. */
+using Cycle = u64;
+
+/** Sentinel for "not yet scheduled / unknown" cycle values. */
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+} // namespace diag
+
+#endif // DIAG_COMMON_TYPES_HPP

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Register-lane state. A lane carries one architectural register's value
+ * and valid timing through the PE row (paper §4.1): `ready` is the cycle
+ * the value becomes valid at its producer, and `seg` records which
+ * 8-PE segment produced it so downstream consumers pay one extra cycle
+ * per lane buffer crossed (§6.1.2: lanes are buffered every 8 PEs).
+ */
+#ifndef DIAG_DIAG_LANES_HPP
+#define DIAG_DIAG_LANES_HPP
+
+#include <array>
+
+#include "common/types.hpp"
+#include "isa/opcodes.hpp"
+
+namespace diag::core
+{
+
+/** Producer segment index meaning "the cluster's input latch". */
+inline constexpr int kInputLatch = -1;
+
+/** One register lane's value and validity timing. */
+struct LaneState
+{
+    u32 value = 0;
+    Cycle ready = 0;       //!< cycle valid at the producer's output
+    int seg = kInputLatch; //!< producing segment within the cluster
+};
+
+/** All 64 lanes (x0..x31, f0..f31). x0 is never written. */
+using LaneFile = std::array<LaneState, isa::kNumRegs>;
+
+/**
+ * Cycles for a value produced in @p producer_seg to reach a consumer in
+ * @p consumer_seg (>= producer_seg): one cycle per lane buffer crossed.
+ * The input latch behaves like segment 0.
+ */
+constexpr Cycle
+laneDelay(int producer_seg, int consumer_seg)
+{
+    const int from = producer_seg < 0 ? 0 : producer_seg;
+    return static_cast<Cycle>(consumer_seg - from);
+}
+
+} // namespace diag::core
+
+#endif // DIAG_DIAG_LANES_HPP

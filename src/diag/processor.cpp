@@ -1,0 +1,82 @@
+#include "diag/processor.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace diag::core
+{
+
+DiagProcessor::DiagProcessor(DiagConfig cfg)
+    : cfg_(std::move(cfg)), mh_(cfg_.mem, 1), bus_("diag_bus"),
+      stats_("diag")
+{
+    fatal_if(cfg_.total_clusters % cfg_.num_rings != 0,
+             "%u clusters do not split evenly over %u rings",
+             cfg_.total_clusters, cfg_.num_rings);
+    for (unsigned r = 0; r < cfg_.num_rings; ++r)
+        rings_.push_back(
+            std::make_unique<Ring>(cfg_, r, mh_, bus_, stats_));
+}
+
+sim::RunStats
+DiagProcessor::run(const Program &prog, u64 max_insts)
+{
+    return runThreads(prog, {ThreadSpec{prog.entry, {}}}, max_insts);
+}
+
+sim::RunStats
+DiagProcessor::runThreads(const Program &prog,
+                          const std::vector<ThreadSpec> &threads,
+                          u64 max_insts)
+{
+    if (!program_loaded_)
+        loadProgram(prog);
+    results_.clear();
+    sim::RunStats rs;
+    rs.halted = true;
+    Cycle finish = 0;
+    // When there are more threads than rings, later waves start on a
+    // ring only after its previous thread finished.
+    std::vector<Cycle> ring_free(rings_.size(), 0);
+    for (unsigned t = 0; t < threads.size(); ++t) {
+        const ThreadSpec &spec = threads[t];
+        LaneFile regs{};
+        for (const auto &[reg, value] : spec.init_regs) {
+            panic_if(reg == 0 || reg >= isa::kNumRegs,
+                     "bad init register %u", reg);
+            regs[reg].value = value;
+        }
+        const unsigned r = t % rings_.size();
+        Ring &ring = *rings_[r];
+        const ThreadResult tr = ring.runThread(spec.entry, regs, mem_,
+                                               ring_free[r], max_insts);
+        ring_free[r] = tr.finish;
+        if (tr.faulted)
+            warn("thread %u faulted at pc 0x%x", t, tr.stop_pc);
+        rs.halted = rs.halted && tr.halted;
+        rs.instructions += tr.retired;
+        finish = std::max(finish, tr.finish);
+        results_.push_back(tr);
+    }
+    rs.cycles = finish;
+    rs.counters = stats_;
+    rs.counters.set("threads", static_cast<double>(threads.size()));
+    rs.counters.set("bus_wait_cycles",
+                    bus_.stats().get("wait_cycles"));
+    rs.counters.set("bus_transfers", bus_.stats().get("transfers"));
+    mh_.mergeStats(rs.counters);
+    return rs;
+}
+
+u32
+DiagProcessor::finalReg(unsigned thread, isa::RegId reg) const
+{
+    panic_if(thread >= results_.size(), "no result for thread %u",
+             thread);
+    if (reg == isa::kRegZero)
+        return 0;
+    return results_[thread].final_regs[reg].value;
+}
+
+} // namespace diag::core

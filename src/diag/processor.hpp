@@ -1,0 +1,101 @@
+/**
+ * @file
+ * DiagProcessor: the full DiAG chip — dataflow rings over a shared
+ * banked L1D / unified L2 hierarchy and the shared 512-bit bus.
+ * Public entry point of the DiAG model.
+ */
+#ifndef DIAG_DIAG_PROCESSOR_HPP
+#define DIAG_DIAG_PROCESSOR_HPP
+
+#include <memory>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "diag/ring.hpp"
+#include "sim/run_stats.hpp"
+
+namespace diag::core
+{
+
+/** Initial state for one software thread. */
+struct ThreadSpec
+{
+    Addr entry = 0;
+    /** (unified register, value) pairs applied before start. */
+    std::vector<std::pair<isa::RegId, u32>> init_regs;
+};
+
+/** A complete DiAG processor instance. */
+class DiagProcessor
+{
+  public:
+    explicit DiagProcessor(DiagConfig cfg);
+
+    /** The functional memory image (set inputs before run()). */
+    SparseMemory &memory() { return mem_; }
+
+    /**
+     * Load the program image now, so callers can initialize input data
+     * on top of it before run()/runThreads() (which otherwise load the
+     * image themselves and would overwrite such data with .space zeros).
+     */
+    void
+    loadProgram(const Program &prog)
+    {
+        prog.loadInto(mem_);
+        program_loaded_ = true;
+    }
+
+    /**
+     * Pre-install every resident line of the memory image into the
+     * shared L2 (steady-state warmup, as in the paper's methodology of
+     * measuring kernels rather than cold starts). Call after
+     * loadProgram() and input initialization.
+     */
+    void
+    warmCaches()
+    {
+        mem_.forEachPage([&](Addr base) {
+            for (Addr off = 0; off < SparseMemory::kPageSize; off += 64)
+                mh_.warmLine(base + off);
+        });
+    }
+
+    const DiagConfig &config() const { return cfg_; }
+
+    /**
+     * Run @p prog single-threaded on ring 0. Loads the program image
+     * into memory first.
+     */
+    sim::RunStats run(const Program &prog,
+                      u64 max_insts = 500'000'000);
+
+    /**
+     * Run one thread per spec; thread t executes on ring t % rings.
+     * Total cycles = latest finish across threads. Threads must touch
+     * disjoint writable data (the paper's parallelizable workloads).
+     */
+    sim::RunStats runThreads(const Program &prog,
+                             const std::vector<ThreadSpec> &threads,
+                             u64 max_insts = 500'000'000);
+
+    /** Architectural register value of thread @p t after a run. */
+    u32 finalReg(unsigned thread, isa::RegId reg) const;
+
+    /** Model-wide counters (activations, reuse, stalls, energy events). */
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    DiagConfig cfg_;
+    SparseMemory mem_;
+    mem::MemHierarchy mh_;
+    mem::Bus bus_;
+    StatGroup stats_;
+    std::vector<std::unique_ptr<Ring>> rings_;
+    std::vector<ThreadResult> results_;
+    bool program_loaded_ = false;
+};
+
+} // namespace diag::core
+
+#endif // DIAG_DIAG_PROCESSOR_HPP

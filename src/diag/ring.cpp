@@ -1,0 +1,560 @@
+#include "diag/ring.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "isa/decoder.hpp"
+
+namespace diag::core
+{
+
+using namespace diag::isa;
+
+Ring::Ring(const DiagConfig &cfg, unsigned index, mem::MemHierarchy &mh,
+           mem::Bus &bus, StatGroup &stats)
+    : cfg_(cfg), index_(index), mh_(mh), bus_(bus), stats_(stats),
+      engine_(cfg, mh, 0, stats),
+      line_bytes_(cfg.pes_per_cluster * 4)
+{
+    clusters_.resize(cfg.clustersPerRing());
+    for (unsigned c = 0; c < clusters_.size(); ++c)
+        clusters_[c].index = c;
+    fatal_if(clusters_.size() < 2,
+             "a ring needs at least two clusters to alternate (have %zu)",
+             clusters_.size());
+}
+
+void
+Ring::reset()
+{
+    for (Cluster &cl : clusters_)
+        cl.reset();
+    resident_.clear();
+    pinned_lines_.clear();
+    not_pipelinable_.clear();
+    use_counter_ = 0;
+}
+
+Cluster &
+Ring::chooseVictim()
+{
+    Cluster *victim = nullptr;
+    for (Cluster &cl : clusters_) {
+        if (cl.loaded() && pinned_lines_.count(cl.line_base))
+            continue;
+        if (!victim || cl.last_use < victim->last_use)
+            victim = &cl;
+    }
+    panic_if(!victim, "all clusters pinned; cannot evict");
+    return *victim;
+}
+
+Cycle
+Ring::loadLine(Cluster &cl, Addr line, Cycle when, SparseMemory &mem)
+{
+    if (cl.loaded() && resident_.count(cl.line_base) &&
+        resident_[cl.line_base] == cl.index)
+        resident_.erase(cl.line_base);
+
+    // The cluster must finish draining before it can be re-loaded.
+    const Cycle start = std::max(when, cl.free_at);
+    if (cl.free_at > when)
+        stats_.inc("other_stall_cycles",
+                   static_cast<double>(cl.free_at - when));
+    // I-cache line fetch, delivery over the shared 512-bit bus, and
+    // one decode cycle (paper §5.1.1).
+    const mem::MemResult res = mh_.fetchLine(0, line, start);
+    const Cycle grant = bus_.request(res.done, cfg_.bus_iline_transfer);
+    const Cycle ready =
+        grant + cfg_.bus_iline_transfer + cfg_.decode_latency;
+
+    if (cl.last_use == 0)
+        stats_.inc("clusters_used");  // first use: un-gates its lanes
+    cl.line_base = line;
+    cl.ready_at = ready;
+    cl.last_use = ++use_counter_;
+    cl.insts.clear();
+    cl.insts.reserve(cfg_.pes_per_cluster);
+    for (unsigned i = 0; i < cfg_.pes_per_cluster; ++i)
+        cl.insts.push_back(decode(mem.read32(line + 4 * i)));
+    stats_.inc("iline_fetches");
+    stats_.inc("decodes", cfg_.pes_per_cluster);
+    return ready;
+}
+
+Ring::Resident
+Ring::ensureLoaded(Addr line, Cycle when, SparseMemory &mem)
+{
+    auto it = resident_.find(line);
+    if (it != resident_.end()) {
+        Cluster &cl = clusters_[it->second];
+        cl.last_use = ++use_counter_;
+        if (cfg_.reuse_enabled)
+            return {&cl, cl.ready_at, true};
+        // Ablation: without datapath reuse every activation re-fetches
+        // and re-decodes its line, even when it is still resident.
+        const Cycle ready = loadLine(cl, line, when, mem);
+        resident_[line] = cl.index;
+        return {&cl, ready, false};
+    }
+    Cluster &victim = chooseVictim();
+    const Cycle ready = loadLine(victim, line, when, mem);
+    resident_[line] = victim.index;
+    return {&victim, ready, false};
+}
+
+void
+Ring::prefetch(Addr line, Cycle when, SparseMemory &mem)
+{
+    if (resident_.count(line))
+        return;
+    ensureLoaded(line, when, mem);
+    stats_.inc("prefetches");
+}
+
+ThreadResult
+Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
+                Cycle start_cycle, u64 max_insts)
+{
+    ThreadResult res;
+    LaneFile regs = init_regs;
+    for (LaneState &l : regs) {
+        l.ready = std::max(l.ready, start_cycle);
+        l.seg = kInputLatch;
+    }
+    Addr pc = entry;
+    Cycle pc_enter = start_cycle;
+    Cycle min_start = start_cycle;
+    ThreadMemCtx tmc(mem, cfg_.mem_lane_entries);
+    u64 retired = 0;
+    // Lookahead window: an activation may not begin before the one
+    // speculation_depth activations earlier finished executing.
+    std::deque<Cycle> inflight;
+
+    while (retired < max_insts) {
+        const Addr line = alignDown(pc, line_bytes_);
+        const Cycle demand = std::max(pc_enter, min_start);
+        const Resident got = ensureLoaded(line, demand, mem);
+        Cluster &cl = *got.cluster;
+        if (got.reused)
+            stats_.inc("reuse_activations");
+        if (got.ready > demand)
+            stats_.inc("fetch_wait_cycles",
+                       static_cast<double>(got.ready - demand));
+
+        ActivationInput in;
+        in.cluster = &cl;
+        in.entry_pc = pc;
+        in.regs = regs;
+        in.pc_enter = std::max(pc_enter, got.ready);
+        // Per-PE occupancy is enforced inside the activation engine;
+        // min_start carries decode readiness, squash re-steer floors,
+        // and the bounded speculation window.
+        in.min_start = std::max(min_start, got.ready);
+        if (inflight.size() >= cfg_.speculation_depth)
+            in.min_start = std::max(in.min_start, inflight.front());
+        in.mode = ActMode::Serial;
+        in.trap_on_simt = cfg_.simt_enabled;
+
+        // Overlap: prefetch the fall-through line while executing —
+        // but not while a loop is resident in this line (a backward
+        // branch will re-enter it; prefetching would evict the loop's
+        // own lines in small rings, defeating reuse).
+        bool has_backward_branch = false;
+        for (const DecodedInst &di : cl.insts) {
+            if ((di.isBranch() || di.op == Op::JAL) && di.imm < 0) {
+                has_backward_branch = true;
+                break;
+            }
+        }
+        if (!has_backward_branch)
+            prefetch(line + line_bytes_, in.min_start, mem);
+
+        const ActivationOutput act = engine_.run(in, tmc);
+        inform("ring%u act cl%u pc=0x%x..0x%x start=%llu done=%llu "
+               "retired=%llu exit=%d%s",
+               index_, cl.index, pc, act.exit_pc,
+               static_cast<unsigned long long>(in.min_start),
+               static_cast<unsigned long long>(act.compute_done),
+               static_cast<unsigned long long>(act.retired),
+               static_cast<int>(act.exit), got.reused ? " [reuse]" : "");
+        // The cluster accepts the next (speculative) activation once
+        // its PEs finished executing; the retire sweep (pc_exit) can
+        // trail behind.
+        cl.free_at = act.compute_done;
+        cl.last_use = ++use_counter_;
+        retired += act.retired;
+        regs = act.regs;
+        inflight.push_back(act.compute_done);
+        if (inflight.size() > cfg_.speculation_depth)
+            inflight.pop_front();
+
+        switch (act.exit) {
+          case ActExit::Halt:
+            res.finish = act.end_cycle;
+            res.retired = retired;
+            res.halted = !act.faulted;
+            res.faulted = act.faulted;
+            res.stop_pc = act.exit_pc;
+            res.final_regs = regs;
+            return res;
+          case ActExit::SimtTrap: {
+            const Addr simt_s_pc = act.exit_pc;
+            if (!not_pipelinable_.count(simt_s_pc)) {
+                const SimtRegion region = scanSimtRegion(simt_s_pc, mem);
+                if (region.ok) {
+                    runSimtPipeline(region, simt_s_pc, regs,
+                                    act.exit_resolve, pc, pc_enter,
+                                    min_start, tmc, retired);
+                    continue;
+                }
+                not_pipelinable_.insert(simt_s_pc);
+                stats_.inc("simt_fallbacks");
+            }
+            // Fall back to scalar execution: re-enter at the simt_s
+            // with trapping suppressed via a one-shot serial pass.
+            {
+                ActivationInput again = in;
+                again.entry_pc = simt_s_pc;
+                again.regs = regs;
+                again.pc_enter = std::max(act.exit_resolve, got.ready);
+                again.min_start =
+                    std::max(act.exit_resolve, got.ready);
+                again.trap_on_simt = false;
+                const ActivationOutput act2 = engine_.run(again, tmc);
+                cl.free_at = act2.end_cycle;
+                retired += act2.retired;
+                regs = act2.regs;
+                if (act2.exit == ActExit::Halt) {
+                    res.finish = act2.end_cycle;
+                    res.retired = retired;
+                    res.halted = !act2.faulted;
+                    res.faulted = act2.faulted;
+                    res.stop_pc = act2.exit_pc;
+                    res.final_regs = regs;
+                    return res;
+                }
+                pc = act2.exit_pc;
+                if (act2.exit == ActExit::FellThrough) {
+                    pc_enter = act2.exit_resolve + cfg_.inter_cluster_latch;
+                    min_start = 0;
+                    for (LaneState &l : regs)
+                        l.ready += cfg_.inter_cluster_latch;
+                } else {  // Redirect
+                    const Cycle grant = bus_.request(
+                        act2.exit_resolve, cfg_.bus_regfile_transfer);
+                    const Cycle xfer =
+                        grant + cfg_.bus_regfile_transfer;
+                    for (LaneState &l : regs)
+                        l.ready = std::max(l.ready, grant) +
+                                  cfg_.bus_regfile_transfer;
+                    pc_enter = xfer;
+                    min_start = act2.exit_resolve + cfg_.squash_resteer;
+                    stats_.inc("ctrl_stall_cycles",
+                               static_cast<double>(
+                                   xfer - act2.exit_resolve));
+                }
+            }
+            continue;
+          }
+          case ActExit::FellThrough:
+            pc = act.exit_pc;
+            pc_enter = act.exit_resolve + cfg_.inter_cluster_latch;
+            min_start = 0;
+            for (LaneState &l : regs)
+                l.ready += cfg_.inter_cluster_latch;
+            break;
+          case ActExit::Redirect: {
+            pc = act.exit_pc;
+            const Addr target_line = alignDown(pc, line_bytes_);
+            const auto res_it = resident_.find(target_line);
+            const bool reuse = cfg_.reuse_enabled &&
+                               act.redirect_backward &&
+                               res_it != resident_.end();
+            if (reuse) {
+                // Predicted-taken backward branch into a resident
+                // datapath: no fetch, no decode, no re-steer bubble —
+                // the control unit's scheduling table has the loop's
+                // head/tail clusters registered (§5.1.3), so the lane
+                // wrap path is pre-configured and the handover costs
+                // one latch like any cluster-to-cluster transfer.
+                const Cycle latch = cfg_.inter_cluster_latch;
+                for (LaneState &l : regs)
+                    l.ready += latch;
+                min_start = act.branch_done + latch;
+                pc_enter = act.exit_resolve + latch;
+                stats_.inc("reuse_redirects");
+            } else if (pc == line + line_bytes_) {
+                // Taken forward branch to the immediately next line:
+                // lanes hand over through the inter-cluster latch; the
+                // wrong-path squash costs the re-steer bubble.
+                pc_enter = act.exit_resolve + cfg_.inter_cluster_latch;
+                for (LaneState &l : regs)
+                    l.ready += cfg_.inter_cluster_latch;
+                min_start = act.exit_resolve + cfg_.squash_resteer;
+                stats_.inc("ctrl_stall_cycles",
+                           static_cast<double>(cfg_.squash_resteer));
+            } else {
+                // Mispredicted control transfer to a far or
+                // non-resident target: register file over the bus plus
+                // the squash re-steer.
+                const Cycle grant = bus_.request(
+                    act.exit_resolve, cfg_.bus_regfile_transfer);
+                const Cycle xfer = grant + cfg_.bus_regfile_transfer;
+                for (LaneState &l : regs)
+                    l.ready = std::max(l.ready, grant) +
+                              cfg_.bus_regfile_transfer;
+                pc_enter = xfer;
+                min_start = act.exit_resolve + cfg_.squash_resteer;
+                stats_.inc("ctrl_stall_cycles",
+                           static_cast<double>(xfer - act.exit_resolve));
+            }
+            break;
+          }
+          case ActExit::ThreadEnd:
+            panic("ThreadEnd exit outside a simt pipeline stage");
+        }
+    }
+    // Instruction budget exhausted: report a non-halted result.
+    res.finish = std::max(pc_enter, min_start);
+    res.retired = retired;
+    res.halted = false;
+    res.final_regs = regs;
+    return res;
+}
+
+Ring::SimtRegion
+Ring::scanSimtRegion(Addr simt_s_pc, SparseMemory &mem) const
+{
+    SimtRegion region;
+    if (!cfg_.simt_enabled)
+        return region;
+    const DecodedInst start = decode(mem.read32(simt_s_pc));
+    if (start.op != Op::SIMT_S)
+        return region;
+    region.fields = simtStartFields(start);
+    // The whole region [simt_s, simt_e] must fit in this ring's
+    // clusters, and the body must be free of backward control flow and
+    // indirect jumps (paper §4.4.3). Additionally reject loop-carried
+    // register dependences: any register other than rc that is read
+    // before it is written in the body would observe the previous
+    // thread's value, which a pipeline cannot provide.
+    const unsigned max_insts =
+        cfg_.clustersPerRing() * cfg_.pes_per_cluster;
+    bool written[isa::kNumRegs] = {};        // definitely written
+    bool maybe_written[isa::kNumRegs] = {};  // written on any path
+    bool live_in[isa::kNumRegs] = {};  // read before a definite write
+    Addr conditional_until = 0;  // writes under a forward branch are
+                                 // not definite
+    for (unsigned i = 1; i <= max_insts; ++i) {
+        const Addr pc = simt_s_pc + 4 * i;
+        const DecodedInst di = decode(mem.read32(pc));
+        if (di.op != Op::SIMT_E) {
+            for (const RegId src : {di.rs1, di.rs2, di.rs3}) {
+                if (src != kNoReg && src != kRegZero &&
+                    src != region.fields.rc && !written[src])
+                    live_in[src] = true;
+            }
+            if ((di.isBranch() || di.op == Op::JAL) && di.imm > 0)
+                conditional_until = std::max(
+                    conditional_until,
+                    pc + static_cast<u32>(di.imm));
+            if (di.writesReg() && di.rd != region.fields.rc) {
+                maybe_written[di.rd] = true;
+                if (pc >= conditional_until)
+                    written[di.rd] = true;
+            }
+        }
+        if (di.op == Op::SIMT_E) {
+            if (simtEndFields(di).lOffset != 4 * i)
+                return region;  // belongs to a different simt_s
+            // Check the line span fits the ring.
+            const Addr first_line =
+                alignDown(simt_s_pc + 4, line_bytes_);
+            const Addr last_line = alignDown(pc, line_bytes_);
+            const unsigned lines =
+                (last_line - first_line) / line_bytes_ + 1;
+            if (lines > cfg_.clustersPerRing())
+                return region;
+            // Loop-carried register dependence: a register that can
+            // carry a value from one iteration into a read of the
+            // next cannot be pipelined (threads see only the simt_s
+            // snapshot plus their own writes).
+            for (unsigned r = 1; r < isa::kNumRegs; ++r) {
+                if (live_in[r] && maybe_written[r])
+                    return region;
+            }
+            region.ok = true;
+            region.simt_e_pc = pc;
+            return region;
+        }
+        if (!di.valid() || di.op == Op::SIMT_S || di.isIndirect() ||
+            di.op == Op::EBREAK || di.op == Op::ECALL)
+            return region;
+        if ((di.isBranch() || di.op == Op::JAL) && di.imm < 0)
+            return region;  // backward branch: cannot pipeline
+    }
+    return region;
+}
+
+void
+Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
+                      LaneFile &regs, Cycle resolve, Addr &pc,
+                      Cycle &pc_enter, Cycle &min_start,
+                      ThreadMemCtx &tmc, u64 &retired)
+{
+    const auto &f = region.fields;
+    auto reg_value = [&](RegId r) -> u32 {
+        return r == kRegZero ? 0 : regs[r].value;
+    };
+    const u32 rc0 = reg_value(f.rc);
+    const u32 step = reg_value(f.rStep);
+    const u32 end = reg_value(f.rEnd);
+
+    // Trip count with do-while semantics, matching simt_e's scalar
+    // behaviour exactly (the step's sign selects the condition).
+    u64 trips = 0;
+    for (u32 v = rc0;;) {
+        ++trips;
+        v += step;
+        const bool more =
+            static_cast<i32>(step) >= 0
+                ? static_cast<i32>(v) < static_cast<i32>(end)
+                : static_cast<i32>(v) > static_cast<i32>(end);
+        if (!more)
+            break;
+        if (trips >= (u64{1} << 20)) {
+            warn("simt region at 0x%x exceeds 2^20 threads; capping",
+                 simt_s_pc);
+            break;
+        }
+    }
+    stats_.inc("simt_regions");
+    stats_.inc("simt_threads", static_cast<double>(trips));
+
+    // Region lines; pin them so stage clusters are never evicted.
+    const Addr first_line = alignDown(simt_s_pc + 4, line_bytes_);
+    const Addr last_line = alignDown(region.simt_e_pc, line_bytes_);
+    std::vector<Addr> lines;
+    for (Addr line = first_line; line <= last_line; line += line_bytes_)
+        lines.push_back(line);
+    for (Addr line : lines)
+        pinned_lines_.insert(line);
+
+    // Spatial replication (paper §4.4.1): when the pipeline has fewer
+    // stages than the ring has clusters, replicate it to maximise PE
+    // utilisation. Threads round-robin across replicas.
+    const unsigned max_replicas = static_cast<unsigned>(
+        clusters_.size() / lines.size());
+    const unsigned replicas = static_cast<unsigned>(std::max<u64>(
+        1, std::min<u64>({max_replicas, trips})));
+    stats_.inc("simt_replicas", static_cast<double>(replicas));
+
+    // Allocate and load stage clusters: replica r, stage s uses a
+    // dedicated cluster. Replica 0 reuses already-resident lines.
+    std::vector<std::vector<Cluster *>> stage(replicas);
+    Cycle ready_all = resolve;
+    for (unsigned r = 0; r < replicas; ++r) {
+        for (const Addr line : lines) {
+            Cluster *cl = nullptr;
+            Cycle ready = 0;
+            if (r == 0) {
+                const Resident got = ensureLoaded(line, resolve,
+                                                  tmc.mem());
+                cl = got.cluster;
+                ready = got.ready;
+            } else {
+                cl = &chooseVictim();
+                ready = loadLine(*cl, line, resolve, tmc.mem());
+            }
+            stage[r].push_back(cl);
+            ready_all = std::max(ready_all, ready);
+        }
+    }
+
+    const Cycle interval = std::max<Cycle>(1, f.interval);
+    Cycle launch = std::max(resolve, ready_all);
+    Cycle last_exit_resolve = resolve;
+    LaneFile last_regs = regs;
+
+    for (u64 k = 0; k < trips; ++k) {
+        const auto &my_stages = stage[k % replicas];
+        LaneFile thr = regs;
+        thr[f.rc] = {rc0 + static_cast<u32>(k) * step, launch,
+                     kInputLatch};
+        Addr tpc = simt_s_pc + 4;
+        Cycle tpc_enter = launch;
+        Cycle tmin = launch;
+        for (;;) {
+            const Addr line = alignDown(tpc, line_bytes_);
+            const size_t idx =
+                static_cast<size_t>((line - first_line) / line_bytes_);
+            Cluster &cl = *my_stages[idx];
+            ActivationInput in;
+            in.cluster = &cl;
+            in.entry_pc = tpc;
+            in.regs = thr;
+            in.pc_enter = std::max(tpc_enter, cl.ready_at);
+            // Threads stream through stage PEs back-to-back; per-PE
+            // occupancy (pipeline registers) is enforced inside the
+            // engine rather than whole-cluster exclusivity.
+            in.min_start = std::max(tmin, cl.ready_at);
+            in.mode = ActMode::SimtStage;
+            in.simt_step = step;
+            const ActivationOutput act = engine_.run(in, tmc);
+            inform("simt thread %llu stage cl%u: launch=%llu "
+                   "min_start=%llu end=%llu exit=%d",
+                   static_cast<unsigned long long>(k), cl.index,
+                   static_cast<unsigned long long>(launch),
+                   static_cast<unsigned long long>(in.min_start),
+                   static_cast<unsigned long long>(act.end_cycle),
+                   static_cast<int>(act.exit));
+            cl.free_at = act.end_cycle;
+            cl.last_use = ++use_counter_;
+            retired += act.retired;
+            thr = act.regs;
+            if (act.exit == ActExit::ThreadEnd) {
+                if (act.exit_resolve > last_exit_resolve) {
+                    last_exit_resolve = act.exit_resolve;
+                }
+                if (k == trips - 1)
+                    last_regs = thr;
+                break;
+            }
+            panic_if(act.exit == ActExit::Halt ||
+                         act.exit == ActExit::SimtTrap,
+                     "unexpected exit %d inside simt stage",
+                     static_cast<int>(act.exit));
+            // FellThrough or forward Redirect within the region.
+            panic_if(act.exit_pc <= tpc || act.exit_pc >
+                         region.simt_e_pc,
+                     "simt stage left the region: 0x%x", act.exit_pc);
+            tpc = act.exit_pc;
+            tpc_enter = act.exit_resolve + cfg_.inter_cluster_latch;
+            tmin = 0;
+            for (LaneState &l : thr)
+                l.ready += cfg_.inter_cluster_latch;
+        }
+        launch += interval;
+    }
+
+    // Release replica clusters (replica 0 stays resident for reuse).
+    for (unsigned r = 1; r < replicas; ++r) {
+        for (Cluster *cl : stage[r])
+            cl->evict();
+    }
+    for (Addr line : lines)
+        pinned_lines_.erase(line);
+
+    // Only the last thread's lanes propagate past simt_e (paper §5.4).
+    regs = last_regs;
+    pc = region.simt_e_pc + 4;
+    pc_enter = last_exit_resolve + cfg_.inter_cluster_latch;
+    min_start = 0;
+    for (LaneState &l : regs)
+        l.ready += cfg_.inter_cluster_latch;
+}
+
+} // namespace diag::core

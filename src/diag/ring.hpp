@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A dataflow ring: a chain of processing clusters with a control unit
+ * (paper §5.1.3). The control unit fetches I-lines into clusters,
+ * tracks which lines are resident (enabling backward-branch datapath
+ * reuse), prefetches the fall-through line, and orchestrates the SIMT
+ * thread pipeline for simt_s/simt_e regions.
+ */
+#ifndef DIAG_DIAG_RING_HPP
+#define DIAG_DIAG_RING_HPP
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "diag/activation.hpp"
+#include "mem/bus.hpp"
+
+namespace diag::core
+{
+
+/** Result of running one software thread to completion on a ring. */
+struct ThreadResult
+{
+    Cycle finish = 0;      //!< cycle the thread halted
+    u64 retired = 0;       //!< instructions committed
+    bool halted = false;   //!< reached EBREAK/ECALL
+    bool faulted = false;  //!< invalid encoding reached
+    Addr stop_pc = 0;      //!< PC of the halting instruction
+    LaneFile final_regs{}; //!< architectural registers at halt
+};
+
+/** One dataflow ring and its control unit. */
+class Ring
+{
+  public:
+    Ring(const DiagConfig &cfg, unsigned index, mem::MemHierarchy &mh,
+         mem::Bus &bus, StatGroup &stats);
+
+    /**
+     * Run a thread starting at @p entry with initial lane state
+     * @p init_regs against memory @p mem. @p start_cycle is the cycle
+     * the thread becomes runnable (MT launch skew).
+     */
+    ThreadResult runThread(Addr entry, const LaneFile &init_regs,
+                           SparseMemory &mem, Cycle start_cycle,
+                           u64 max_insts);
+
+    void reset();
+
+  private:
+    /** A line made resident in a cluster. */
+    struct Resident
+    {
+        Cluster *cluster;
+        Cycle ready;   //!< fetched + decoded
+        bool reused;   //!< was already resident (datapath reuse)
+    };
+
+    /**
+     * Make @p line resident, fetching into an LRU victim if needed,
+     * with the request issued no earlier than @p when.
+     */
+    Resident ensureLoaded(Addr line, Cycle when, SparseMemory &mem);
+
+    /** Pick the LRU unpinned cluster (panics if all are pinned). */
+    Cluster &chooseVictim();
+
+    /** Fetch + decode @p line into @p cl; returns the ready cycle. */
+    Cycle loadLine(Cluster &cl, Addr line, Cycle when,
+                   SparseMemory &mem);
+
+    /** Fire-and-forget prefetch of the fall-through line. */
+    void prefetch(Addr line, Cycle when, SparseMemory &mem);
+
+    /** Pre-validate a simt region starting at @p simt_s_pc. */
+    struct SimtRegion
+    {
+        bool ok = false;
+        Addr simt_e_pc = 0;
+        isa::SimtStartFields fields{};
+    };
+    SimtRegion scanSimtRegion(Addr simt_s_pc, SparseMemory &mem) const;
+
+    /**
+     * Execute a simt region as a thread pipeline. Returns the serial
+     * resume state via the in/out parameters.
+     */
+    void runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
+                         LaneFile &regs, Cycle resolve, Addr &pc,
+                         Cycle &pc_enter, Cycle &min_start,
+                         ThreadMemCtx &tmc, u64 &retired);
+
+    const DiagConfig &cfg_;
+    unsigned index_;
+    mem::MemHierarchy &mh_;
+    mem::Bus &bus_;
+    StatGroup &stats_;
+    ActivationEngine engine_;
+    std::vector<Cluster> clusters_;
+    std::unordered_map<Addr, unsigned> resident_;  // line -> cluster
+    std::set<Addr> pinned_lines_;      //!< simt region lines (no evict)
+    std::set<Addr> not_pipelinable_;   //!< simt_s PCs that fell back
+    u64 use_counter_ = 0;
+    u32 line_bytes_;
+};
+
+} // namespace diag::core
+
+#endif // DIAG_DIAG_RING_HPP

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Per-thread memory context for the DiAG model. The memory lanes of
+ * paper §5.2 are modelled by the shared StoreTracker: a window of
+ * recent stores searchable for store-to-load forwarding, plus the
+ * program-order address gate that load issue respects.
+ */
+#ifndef DIAG_DIAG_THREAD_CTX_HPP
+#define DIAG_DIAG_THREAD_CTX_HPP
+
+#include "sim/mem_order.hpp"
+
+namespace diag::core
+{
+
+/** DiAG's memory lanes are a per-thread store tracker. */
+using ThreadMemCtx = sim::StoreTracker;
+
+} // namespace diag::core
+
+#endif // DIAG_DIAG_THREAD_CTX_HPP

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Hardware component library seeded from the paper's Table 3
+ * (Synopsys DC + FreePDK45 synthesis at 1 GHz) plus CACTI-class SRAM
+ * estimates for the caches the paper models separately. A component's
+ * dynamic energy per active cycle in pJ equals its Table 3 power in mW
+ * at the 1 GHz synthesis clock.
+ */
+#ifndef DIAG_ENERGY_COMPONENTS_HPP
+#define DIAG_ENERGY_COMPONENTS_HPP
+
+#include "common/types.hpp"
+
+namespace diag::energy
+{
+
+/** One hardware component's silicon cost. */
+struct Component
+{
+    const char *name;
+    double area_um2;      //!< layout area in µm²
+    double dyn_pj_cycle;  //!< dynamic energy per active cycle (pJ)
+    double leak_frac;     //!< leakage as a fraction of dynamic power
+};
+
+// ---- DiAG components, straight from Table 3 ----
+inline constexpr Component kPeWithFpu{"PE (w/ FPU)", 97014.0, 120.4,
+                                      0.10};
+inline constexpr Component kRegLane{"REGLANE", 15731.0, 3.063, 0.10};
+inline constexpr Component kIntAlu{"INT ALU", 1375.4, 0.774, 0.10};
+inline constexpr Component kFpu{"FPU (MUL / DIV)", 66592.0, 105.2,
+                                0.10};
+inline constexpr Component kRvDecoder{"RV_DECODER", 244.6, 0.019, 0.10};
+
+/**
+ * PE miscellaneous logic (operand capture, instruction register, PC
+ * comparator): the PE total minus FPU, ALU, and decoder.
+ */
+inline constexpr double kPeMiscPjCycle =
+    kPeWithFpu.dyn_pj_cycle - kFpu.dyn_pj_cycle - kIntAlu.dyn_pj_cycle -
+    kRvDecoder.dyn_pj_cycle;
+inline constexpr double kPeMiscAreaUm2 =
+    kPeWithFpu.area_um2 - kFpu.area_um2 - kIntAlu.area_um2 -
+    kRvDecoder.area_um2;
+
+/** Table 3: a processing cluster (16 PEs plus LSU/control). */
+inline constexpr double kClusterAreaUm2 = 2.208e6;
+inline constexpr double kClusterPjCycle = 2104.0;  // 2.104 W at 1 GHz
+/** Cluster-level LSU + control: the residual over 16 PE slices. */
+inline constexpr double kClusterCtrlPjCycle =
+    kClusterPjCycle - 16.0 * kPeWithFpu.dyn_pj_cycle;
+inline constexpr double kClusterCtrlAreaUm2 =
+    kClusterAreaUm2 - 16.0 * (kPeWithFpu.area_um2 + kRegLane.area_um2);
+
+// ---- ring/bus control (estimated, §5.1.3) ----
+inline constexpr double kRingCtrlPjCycle = 25.0;
+inline constexpr double kBusTransferPj = 180.0;   //!< 512-bit transfer
+inline constexpr double kIlineFetchPj = 220.0;    //!< 64B line delivery
+
+// ---- CACTI-class SRAM costs (45 nm) ----
+/** Per-access dynamic energy. */
+inline constexpr double kL1AccessPj = 60.0;
+inline constexpr double kL2AccessPj = 800.0;
+inline constexpr double kDramAccessPj = 15000.0;
+inline constexpr double kLineBufferPj = 8.0;  //!< cluster line buffer
+inline constexpr double kMemLanePj = 6.0;     //!< memory-lane forward
+
+/** Leakage per cycle per KB of SRAM capacity (45 nm, 2 GHz). */
+inline constexpr double kSramLeakPjCycleKb = 0.03;
+
+/** SRAM area per KB in µm² (45 nm). */
+inline constexpr double kSramAreaUm2Kb = 5200.0;
+
+// ---- OoO baseline per-event energies (McPAT-class, 45 nm, 8-wide) ----
+inline constexpr double kOooFetchPj = 15.0;     //!< per instruction
+inline constexpr double kOooDecodePj = 4.0;
+inline constexpr double kOooRenamePj = 11.0;    //!< RAT + freelist
+inline constexpr double kOooDispatchPj = 7.0;   //!< IQ write
+inline constexpr double kOooIssuePj = 12.0;     //!< wakeup + select
+inline constexpr double kOooRegReadPj = 4.0;    //!< per operand
+inline constexpr double kOooRegWritePj = 6.0;
+inline constexpr double kOooRobPj = 8.0;        //!< alloc + commit
+inline constexpr double kOooBypassPj = 3.0;
+inline constexpr double kOooBpLookupPj = 4.0;
+inline constexpr double kOooLsqSearchPj = 10.0;
+inline constexpr double kOooIntOpPj = 1.5;
+inline constexpr double kOooMulOpPj = 15.0;
+inline constexpr double kOooDivOpPj = 25.0;
+/** FPU op energy matches DiAG's FPU for an apples-to-apples compare. */
+inline constexpr double kOooFpOpPj = 105.2;
+/** Core static power per cycle (only while the core runs a thread). */
+inline constexpr double kOooCoreLeakPjCycle = 420.0;
+
+} // namespace diag::energy
+
+#endif // DIAG_ENERGY_COMPONENTS_HPP

@@ -1,0 +1,106 @@
+#include "energy/diag_energy.hpp"
+
+#include <algorithm>
+
+#include "energy/components.hpp"
+
+namespace diag::energy
+{
+
+EnergyReport
+diagEnergy(const core::DiagConfig &cfg, const sim::RunStats &rs)
+{
+    EnergyReport rep;
+    const auto &c = rs.counters;
+    const double cycles = static_cast<double>(rs.cycles);
+
+    // ---- FP units: clock-gated, pay only for active cycles ----
+    rep.breakdown_pj["fp_units"] =
+        c.get("fpu_active_cycles") * kFpu.dyn_pj_cycle +
+        // Clock-gated FPUs "consume very little leakage power"
+        // (paper §7.3.1): ~1% of dynamic, in powered-up clusters only.
+        cycles * c.get("clusters_used") * cfg.pes_per_cluster *
+            kFpu.dyn_pj_cycle * 0.01;
+
+    // ---- Register lanes + integer ALUs: always powered in clusters
+    // that have been brought up (paper §7.3.1) ----
+    const double lanes_on =
+        std::max(1.0, c.get("clusters_used")) * cfg.pes_per_cluster;
+    double lanes = cycles * lanes_on *
+                   (kRegLane.dyn_pj_cycle + kIntAlu.dyn_pj_cycle) * 0.5;
+    // Transport activity: each lane write drives its remaining hops.
+    lanes += c.get("lane_hops") * kRegLane.dyn_pj_cycle;
+    // PE miscellaneous logic when executing (operand capture etc.).
+    lanes += c.get("pe_exec_cycles") * kPeMiscPjCycle * 0.35;
+    rep.breakdown_pj["lanes_alu"] = lanes;
+
+    // ---- Memory subsystem ----
+    double memory = 0.0;
+    memory += (c.get("l1d.reads") + c.get("l1d.writes")) * kL1AccessPj;
+    memory += c.get("l1i.reads") * kL1AccessPj;
+    memory += (c.get("l2.reads") + c.get("l2.writes")) * kL2AccessPj;
+    memory += c.get("dram.accesses") * kDramAccessPj;
+    memory += c.get("linebuf_hits") * kLineBufferPj;
+    memory += c.get("memlane_fwd") * kMemLanePj;
+    // SRAM leakage (L1s + L2), always on.
+    const double sram_kb =
+        (cfg.mem.l1i.size_bytes + cfg.mem.l1d.size_bytes +
+         cfg.mem.l2.size_bytes) /
+        1024.0;
+    memory += cycles * sram_kb * kSramLeakPjCycleKb;
+    rep.breakdown_pj["memory"] = memory;
+
+    // ---- Control: cluster LSU/control slices, ring control units,
+    // decode, line delivery, register-file bus transfers ----
+    double control = 0.0;
+    control += cycles * std::max(1.0, c.get("clusters_used")) *
+               kClusterCtrlPjCycle * 0.05;
+    control += cycles * cfg.num_rings * kRingCtrlPjCycle;
+    control += c.get("decodes") * kRvDecoder.dyn_pj_cycle * 16.0;
+    control += c.get("iline_fetches") * kIlineFetchPj;
+    control += c.get("bus_transfers") * kBusTransferPj;
+    rep.breakdown_pj["control"] = control;
+
+    return rep;
+}
+
+AreaReport
+diagArea(const core::DiagConfig &cfg)
+{
+    AreaReport rep;
+    const double pes = static_cast<double>(cfg.totalPes());
+    const double clusters = static_cast<double>(cfg.total_clusters);
+    rep.breakdown_mm2["pe_compute"] =
+        pes * (kPeWithFpu.area_um2 - (cfg.fp_supported
+                                          ? 0.0
+                                          : kFpu.area_um2)) *
+        1e-6;
+    rep.breakdown_mm2["register_lanes"] =
+        pes * kRegLane.area_um2 * 1e-6;
+    rep.breakdown_mm2["cluster_ctrl_lsu"] =
+        clusters * kClusterCtrlAreaUm2 * 1e-6;
+    const double cache_kb =
+        (cfg.mem.l1i.size_bytes + cfg.mem.l1d.size_bytes +
+         cfg.mem.l2.size_bytes) /
+        1024.0;
+    rep.breakdown_mm2["caches"] = cache_kb * kSramAreaUm2Kb * 1e-6;
+    return rep;
+}
+
+double
+diagPeakPowerW(const core::DiagConfig &cfg)
+{
+    // Table 3 reports power at the 1 GHz synthesis clock with every
+    // PE powered: clusters plus cache leakage-class consumers.
+    const double cluster_w =
+        kClusterPjCycle * 1e-3;  // pJ/cycle at 1 GHz == mW -> W
+    const double cache_kb =
+        (cfg.mem.l1i.size_bytes + cfg.mem.l1d.size_bytes +
+         cfg.mem.l2.size_bytes) /
+        1024.0;
+    // SRAM dynamic+leak estimate ~0.9 mW per KB at full tilt.
+    const double cache_w = cache_kb * 0.9e-3;
+    return cfg.total_clusters * cluster_w + cache_w;
+}
+
+} // namespace diag::energy

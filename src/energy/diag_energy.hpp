@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Activity-based energy model of a DiAG processor (paper §6.1.3,
+ * §7.3.1, §7.4). Dynamic energy is component activations times the
+ * Table-3-derived per-cycle energies; register lanes (with their
+ * integer ALUs), the memory subsystem, and control logic are always
+ * powered in clusters that have been brought up, while PE compute
+ * logic and FPUs are clock-gated and pay only for active cycles.
+ */
+#ifndef DIAG_ENERGY_DIAG_ENERGY_HPP
+#define DIAG_ENERGY_DIAG_ENERGY_HPP
+
+#include "diag/config.hpp"
+#include "energy/report.hpp"
+#include "sim/run_stats.hpp"
+
+namespace diag::energy
+{
+
+/** Energy of one DiAG run. Categories match Figure 11's legend:
+ *  "fp_units", "lanes_alu", "memory", "control". */
+EnergyReport diagEnergy(const core::DiagConfig &cfg,
+                        const sim::RunStats &rs);
+
+/** Area roll-up of a DiAG configuration (Table 3 reproduction). */
+AreaReport diagArea(const core::DiagConfig &cfg);
+
+/** Peak (all-components-on) power in watts at the synthesis clock,
+ *  reproducing Table 3's power column. */
+double diagPeakPowerW(const core::DiagConfig &cfg);
+
+} // namespace diag::energy
+
+#endif // DIAG_ENERGY_DIAG_ENERGY_HPP

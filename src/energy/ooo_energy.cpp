@@ -1,0 +1,65 @@
+#include "energy/ooo_energy.hpp"
+
+#include <algorithm>
+
+#include "energy/components.hpp"
+
+namespace diag::energy
+{
+
+EnergyReport
+oooEnergy(const ooo::OooConfig &cfg, const sim::RunStats &rs)
+{
+    EnergyReport rep;
+    const auto &c = rs.counters;
+    const double cycles = static_cast<double>(rs.cycles);
+
+    // ---- frontend: fetch, decode, prediction ----
+    rep.breakdown_pj["frontend"] =
+        c.get("fetches") * kOooFetchPj +
+        c.get("decodes") * kOooDecodePj +
+        (c.get("bp_lookups") + c.get("btb_lookups") +
+         c.get("ras_lookups")) *
+            kOooBpLookupPj;
+
+    // ---- scheduling: rename, dispatch, issue, ROB ----
+    rep.breakdown_pj["scheduling"] =
+        c.get("renames") * kOooRenamePj +
+        c.get("dispatches") * kOooDispatchPj +
+        c.get("issues") * kOooIssuePj + c.get("commits") * kOooRobPj;
+
+    // ---- register file and bypass network ----
+    rep.breakdown_pj["regfile_bypass"] =
+        c.get("regfile_reads") * kOooRegReadPj +
+        c.get("regfile_writes") * (kOooRegWritePj + kOooBypassPj);
+
+    // ---- functional units ----
+    rep.breakdown_pj["fu"] = c.get("fu_int") * kOooIntOpPj +
+                             c.get("fu_mul") * kOooMulOpPj +
+                             c.get("fu_div") * kOooDivOpPj +
+                             c.get("fu_fpu") * kOooFpOpPj;
+
+    // ---- memory ----
+    double memory = 0.0;
+    memory += (c.get("l1d.reads") + c.get("l1d.writes")) * kL1AccessPj;
+    memory += c.get("l1i.reads") * kL1AccessPj;
+    memory += (c.get("l2.reads") + c.get("l2.writes")) * kL2AccessPj;
+    memory += c.get("dram.accesses") * kDramAccessPj;
+    memory += c.get("lsq_searches") * kOooLsqSearchPj;
+    const double sram_kb =
+        (cfg.mem.l1i.size_bytes + cfg.mem.l1d.size_bytes) / 1024.0 *
+            std::min<double>(cfg.cores, std::max(1.0, c.get("threads"))) +
+        cfg.mem.l2.size_bytes / 1024.0;
+    memory += cycles * sram_kb * kSramLeakPjCycleKb;
+    rep.breakdown_pj["memory"] = memory;
+
+    // ---- core static (active cores only; idle cores power-gate) ----
+    const double active_cores =
+        std::min<double>(cfg.cores, std::max(1.0, c.get("threads")));
+    rep.breakdown_pj["static"] =
+        cycles * active_cores * kOooCoreLeakPjCycle;
+
+    return rep;
+}
+
+} // namespace diag::energy

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * McPAT-style per-event energy model of the out-of-order baseline
+ * (the paper estimates baseline power with McPAT, §7.1). Frontend and
+ * scheduling structures pay per instruction; caches pay per access;
+ * each active core pays leakage per cycle.
+ */
+#ifndef DIAG_ENERGY_OOO_ENERGY_HPP
+#define DIAG_ENERGY_OOO_ENERGY_HPP
+
+#include "energy/report.hpp"
+#include "ooo/config.hpp"
+#include "sim/run_stats.hpp"
+
+namespace diag::energy
+{
+
+/** Energy of one baseline run. Categories: "frontend", "scheduling",
+ *  "regfile_bypass", "fu", "memory", "static". */
+EnergyReport oooEnergy(const ooo::OooConfig &cfg,
+                       const sim::RunStats &rs);
+
+} // namespace diag::energy
+
+#endif // DIAG_ENERGY_OOO_ENERGY_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Energy and area report structures shared by both energy models.
+ */
+#ifndef DIAG_ENERGY_REPORT_HPP
+#define DIAG_ENERGY_REPORT_HPP
+
+#include <map>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace diag::energy
+{
+
+/** Energy of one run, broken down by hardware category. */
+struct EnergyReport
+{
+    /** Category name -> energy in picojoules. */
+    std::map<std::string, double> breakdown_pj;
+
+    double
+    totalPj() const
+    {
+        double total = 0.0;
+        for (const auto &kv : breakdown_pj)
+            total += kv.second;
+        return total;
+    }
+
+    double totalJoules() const { return totalPj() * 1e-12; }
+
+    /** Fraction of total for one category (0 when total is zero). */
+    double
+    fraction(const std::string &category) const
+    {
+        const double total = totalPj();
+        if (total <= 0.0)
+            return 0.0;
+        auto it = breakdown_pj.find(category);
+        return it == breakdown_pj.end() ? 0.0 : it->second / total;
+    }
+};
+
+/** Area of one configuration, broken down by component. */
+struct AreaReport
+{
+    /** Component name -> area in mm². */
+    std::map<std::string, double> breakdown_mm2;
+
+    double
+    totalMm2() const
+    {
+        double total = 0.0;
+        for (const auto &kv : breakdown_mm2)
+            total += kv.second;
+        return total;
+    }
+};
+
+} // namespace diag::energy
+
+#endif // DIAG_ENERGY_REPORT_HPP

@@ -1,0 +1,113 @@
+#include "harness/runner.hpp"
+
+#include "asm/assembler.hpp"
+#include "common/log.hpp"
+#include "diag/processor.hpp"
+#include "energy/diag_energy.hpp"
+#include "energy/ooo_energy.hpp"
+#include "ooo/processor.hpp"
+
+namespace diag::harness
+{
+
+using workloads::Workload;
+
+namespace
+{
+
+const std::string &
+variantSource(const Workload &w, const RunSpec &spec)
+{
+    if (spec.use_simt) {
+        fatal_if(w.asm_simt.empty(), "%s has no simt variant",
+                 w.name.c_str());
+        return w.asm_simt;
+    }
+    return w.asm_serial;
+}
+
+unsigned
+effectiveThreads(const Workload &w, const RunSpec &spec)
+{
+    return w.partitionable ? spec.threads : 1;
+}
+
+} // namespace
+
+EngineRun
+runOnDiag(const core::DiagConfig &cfg, const Workload &w,
+          const RunSpec &spec)
+{
+    const Program prog =
+        assembler::assemble(variantSource(w, spec));
+    core::DiagProcessor proc(cfg);
+    proc.loadProgram(prog);
+    w.init(proc.memory());
+    proc.warmCaches();  // steady-state methodology (paper §7.1)
+    const unsigned threads = effectiveThreads(w, spec);
+    std::vector<core::ThreadSpec> specs;
+    for (unsigned t = 0; t < threads; ++t)
+        specs.push_back({prog.entry,
+                         {{isa::RegId{10}, t},
+                          {isa::RegId{11}, threads}}});
+    EngineRun run;
+    run.stats = proc.runThreads(prog, specs, w.max_insts);
+    fatal_if(!run.stats.halted, "diag run of %s did not halt",
+             w.name.c_str());
+    run.checked = w.check(proc.memory());
+    fatal_if(!run.checked, "diag run of %s failed its output check",
+             w.name.c_str());
+    run.energy = energy::diagEnergy(cfg, run.stats);
+    return run;
+}
+
+EngineRun
+runOnOoo(const ooo::OooConfig &cfg, const Workload &w,
+         const RunSpec &spec)
+{
+    fatal_if(spec.use_simt, "the OoO baseline has no simt hardware");
+    const Program prog = assembler::assemble(w.asm_serial);
+    ooo::OooProcessor proc(cfg);
+    proc.loadProgram(prog);
+    w.init(proc.memory());
+    proc.warmCaches();  // steady-state methodology (paper §7.1)
+    const unsigned threads = effectiveThreads(w, spec);
+    std::vector<ooo::ThreadSpec> specs;
+    for (unsigned t = 0; t < threads; ++t)
+        specs.push_back({prog.entry,
+                         {{isa::RegId{10}, t},
+                          {isa::RegId{11}, threads}}});
+    EngineRun run;
+    run.stats = proc.runThreads(prog, specs, w.max_insts);
+    fatal_if(!run.stats.halted, "ooo run of %s did not halt",
+             w.name.c_str());
+    run.checked = w.check(proc.memory());
+    fatal_if(!run.checked, "ooo run of %s failed its output check",
+             w.name.c_str());
+    run.energy = energy::oooEnergy(cfg, run.stats);
+    return run;
+}
+
+std::vector<core::DiagConfig>
+diagSingleThreadConfigs()
+{
+    return {core::DiagConfig::f4c2(), core::DiagConfig::f4c16(),
+            core::DiagConfig::f4c32()};
+}
+
+core::DiagConfig
+diagMultiThreadConfig()
+{
+    return core::DiagConfig::f4c32MultiRing();
+}
+
+core::DiagConfig
+diagMtSimtConfig()
+{
+    core::DiagConfig cfg = core::DiagConfig::f4c32();
+    cfg.name = "F4C32-8x4-simt";
+    cfg.num_rings = 8;
+    return cfg;
+}
+
+} // namespace diag::harness

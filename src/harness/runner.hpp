@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Experiment runner: executes workloads on the DiAG model and the OoO
+ * baseline under the paper's configurations, validates outputs, and
+ * returns cycles + energy for the table/figure benches.
+ */
+#ifndef DIAG_HARNESS_RUNNER_HPP
+#define DIAG_HARNESS_RUNNER_HPP
+
+#include <string>
+#include <vector>
+
+#include "diag/config.hpp"
+#include "energy/report.hpp"
+#include "ooo/config.hpp"
+#include "sim/run_stats.hpp"
+#include "workloads/workload.hpp"
+
+namespace diag::harness
+{
+
+/** How to execute a workload. */
+struct RunSpec
+{
+    unsigned threads = 1;   //!< software threads (a1 value)
+    bool use_simt = false;  //!< run the simt-annotated variant
+};
+
+/** One engine execution result. */
+struct EngineRun
+{
+    sim::RunStats stats;
+    energy::EnergyReport energy;
+    bool checked = false;  //!< output check passed
+};
+
+/** Run @p w on a DiAG configuration. */
+EngineRun runOnDiag(const core::DiagConfig &cfg,
+                    const workloads::Workload &w, const RunSpec &spec);
+
+/** Run @p w on the OoO baseline. */
+EngineRun runOnOoo(const ooo::OooConfig &cfg,
+                   const workloads::Workload &w, const RunSpec &spec);
+
+// ---- configuration presets used by the figures ----
+
+/** DiAG single-thread configs for Fig. 9a/10a: F4C2/F4C16/F4C32. */
+std::vector<core::DiagConfig> diagSingleThreadConfigs();
+
+/** The paper's multithread arrangement: 16 rings x 2 clusters. */
+core::DiagConfig diagMultiThreadConfig();
+
+/**
+ * The MT+SIMT arrangement: rings are chained pairwise (§5.1: "multiple
+ * rings can be chained together to form a larger ring") giving 8 rings
+ * of 4 clusters so pipelined regions up to 64 instructions fit.
+ */
+core::DiagConfig diagMtSimtConfig();
+
+/** Thread counts used for the MT figures. */
+inline constexpr unsigned kDiagMtThreads = 16;
+inline constexpr unsigned kDiagMtSimtThreads = 8;
+inline constexpr unsigned kOooMtThreads = 12;  // 12-core baseline
+
+} // namespace diag::harness
+
+#endif // DIAG_HARNESS_RUNNER_HPP

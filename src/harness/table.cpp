@@ -1,0 +1,74 @@
+#include "harness/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace diag::harness
+{
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], cells[c].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    std::printf("\n== %s ==\n", title_.c_str());
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell =
+                c < cells.size() ? cells[c] : std::string();
+            std::printf("%-*s  ", static_cast<int>(widths[c]),
+                        cell.c_str());
+        }
+        std::printf("\n");
+    };
+    print_row(header_);
+    size_t total = header_.size() * 2;
+    for (size_t wdt : widths)
+        total += wdt;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &r : rows_)
+        print_row(r);
+}
+
+std::string
+Table::num(double value, int digits)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    fatal_if(values.empty(), "geomean of empty vector");
+    double log_sum = 0.0;
+    for (double v : values) {
+        fatal_if(v <= 0.0, "geomean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace diag::harness

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fixed-width table rendering and small statistics helpers for the
+ * bench binaries that regenerate the paper's tables and figures.
+ */
+#ifndef DIAG_HARNESS_TABLE_HPP
+#define DIAG_HARNESS_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace diag::harness
+{
+
+/** A column-aligned text table with a title and header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Format a double with @p digits decimals. */
+    static std::string num(double value, int digits = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Geometric mean of @p values (which must be positive). */
+double geomean(const std::vector<double> &values);
+
+} // namespace diag::harness
+
+#endif // DIAG_HARNESS_TABLE_HPP

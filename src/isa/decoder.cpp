@@ -1,0 +1,418 @@
+#include "isa/decoder.hpp"
+
+#include "common/bits.hpp"
+
+namespace diag::isa
+{
+
+namespace
+{
+
+/** RISC-V major opcode field (bits [6:0]). */
+enum MajorOpcode : u32
+{
+    OPC_LOAD = 0x03,
+    OPC_LOAD_FP = 0x07,
+    OPC_CUSTOM0 = 0x0b,  // DiAG simt_s
+    OPC_MISC_MEM = 0x0f,
+    OPC_OP_IMM = 0x13,
+    OPC_AUIPC = 0x17,
+    OPC_STORE = 0x23,
+    OPC_STORE_FP = 0x27,
+    OPC_CUSTOM1 = 0x2b,  // DiAG simt_e
+    OPC_OP = 0x33,
+    OPC_LUI = 0x37,
+    OPC_MADD = 0x43,
+    OPC_MSUB = 0x47,
+    OPC_NMSUB = 0x4b,
+    OPC_NMADD = 0x4f,
+    OPC_OP_FP = 0x53,
+    OPC_BRANCH = 0x63,
+    OPC_JALR = 0x67,
+    OPC_JAL = 0x6f,
+    OPC_SYSTEM = 0x73,
+};
+
+i32 immI(u32 raw) { return static_cast<i32>(sext(bits(raw, 31, 20), 12)); }
+
+i32
+immS(u32 raw)
+{
+    const u32 v = (bits(raw, 31, 25) << 5) | bits(raw, 11, 7);
+    return static_cast<i32>(sext(v, 12));
+}
+
+i32
+immB(u32 raw)
+{
+    const u32 v = (bit(raw, 31) << 12) | (bit(raw, 7) << 11) |
+                  (bits(raw, 30, 25) << 5) | (bits(raw, 11, 8) << 1);
+    return static_cast<i32>(sext(v, 13));
+}
+
+i32 immU(u32 raw) { return static_cast<i32>(raw & 0xfffff000u); }
+
+i32
+immJ(u32 raw)
+{
+    const u32 v = (bit(raw, 31) << 20) | (bits(raw, 19, 12) << 12) |
+                  (bit(raw, 20) << 11) | (bits(raw, 30, 21) << 1);
+    return static_cast<i32>(sext(v, 21));
+}
+
+RegId rdOf(u32 raw) { return static_cast<RegId>(bits(raw, 11, 7)); }
+RegId rs1Of(u32 raw) { return static_cast<RegId>(bits(raw, 19, 15)); }
+RegId rs2Of(u32 raw) { return static_cast<RegId>(bits(raw, 24, 20)); }
+RegId rs3Of(u32 raw) { return static_cast<RegId>(bits(raw, 31, 27)); }
+
+/** Writes to x0 are architectural no-ops; drop the destination. */
+RegId
+intDest(u32 raw)
+{
+    const RegId rd = rdOf(raw);
+    return rd == 0 ? kNoReg : rd;
+}
+
+DecodedInst
+makeInvalid(u32 raw)
+{
+    DecodedInst di;
+    di.raw = raw;
+    di.op = Op::INVALID;
+    return di;
+}
+
+DecodedInst
+decodeOpImm(u32 raw)
+{
+    DecodedInst di;
+    di.raw = raw;
+    di.rd = intDest(raw);
+    di.rs1 = rs1Of(raw);
+    di.imm = immI(raw);
+    const u32 f3 = bits(raw, 14, 12);
+    const u32 f7 = bits(raw, 31, 25);
+    switch (f3) {
+      case 0: di.op = Op::ADDI; break;
+      case 1:
+        if (f7 != 0)
+            return makeInvalid(raw);
+        di.op = Op::SLLI;
+        di.imm = static_cast<i32>(bits(raw, 24, 20));
+        break;
+      case 2: di.op = Op::SLTI; break;
+      case 3: di.op = Op::SLTIU; break;
+      case 4: di.op = Op::XORI; break;
+      case 5:
+        di.imm = static_cast<i32>(bits(raw, 24, 20));
+        if (f7 == 0x00) {
+            di.op = Op::SRLI;
+        } else if (f7 == 0x20) {
+            di.op = Op::SRAI;
+        } else {
+            return makeInvalid(raw);
+        }
+        break;
+      case 6: di.op = Op::ORI; break;
+      case 7: di.op = Op::ANDI; break;
+      default: return makeInvalid(raw);
+    }
+    return di;
+}
+
+DecodedInst
+decodeOp(u32 raw)
+{
+    DecodedInst di;
+    di.raw = raw;
+    di.rd = intDest(raw);
+    di.rs1 = rs1Of(raw);
+    di.rs2 = rs2Of(raw);
+    const u32 f3 = bits(raw, 14, 12);
+    const u32 f7 = bits(raw, 31, 25);
+    if (f7 == 0x01) {  // RV32M
+        static constexpr Op kMulOps[8] = {Op::MUL, Op::MULH, Op::MULHSU,
+                                          Op::MULHU, Op::DIV, Op::DIVU,
+                                          Op::REM, Op::REMU};
+        di.op = kMulOps[f3];
+        return di;
+    }
+    switch (f3) {
+      case 0:
+        if (f7 == 0x00) {
+            di.op = Op::ADD;
+        } else if (f7 == 0x20) {
+            di.op = Op::SUB;
+        } else {
+            return makeInvalid(raw);
+        }
+        break;
+      case 1: di.op = Op::SLL; break;
+      case 2: di.op = Op::SLT; break;
+      case 3: di.op = Op::SLTU; break;
+      case 4: di.op = Op::XOR; break;
+      case 5:
+        if (f7 == 0x00) {
+            di.op = Op::SRL;
+        } else if (f7 == 0x20) {
+            di.op = Op::SRA;
+        } else {
+            return makeInvalid(raw);
+        }
+        break;
+      case 6: di.op = Op::OR; break;
+      case 7: di.op = Op::AND; break;
+      default: return makeInvalid(raw);
+    }
+    if (f3 != 0 && f3 != 5 && f7 != 0)
+        return makeInvalid(raw);
+    return di;
+}
+
+DecodedInst
+decodeOpFp(u32 raw)
+{
+    DecodedInst di;
+    di.raw = raw;
+    const u32 f7 = bits(raw, 31, 25);
+    const u32 f3 = bits(raw, 14, 12);
+    const u32 rs2n = bits(raw, 24, 20);
+    // Defaults for the common fp-in / fp-out shape.
+    di.rd = fpReg(rdOf(raw));
+    di.rs1 = fpReg(rs1Of(raw));
+    di.rs2 = fpReg(rs2Of(raw));
+    switch (f7) {
+      case 0x00: di.op = Op::FADD_S; break;
+      case 0x04: di.op = Op::FSUB_S; break;
+      case 0x08: di.op = Op::FMUL_S; break;
+      case 0x0c: di.op = Op::FDIV_S; break;
+      case 0x2c:
+        if (rs2n != 0)
+            return makeInvalid(raw);
+        di.op = Op::FSQRT_S;
+        di.rs2 = kNoReg;
+        break;
+      case 0x10:
+        switch (f3) {
+          case 0: di.op = Op::FSGNJ_S; break;
+          case 1: di.op = Op::FSGNJN_S; break;
+          case 2: di.op = Op::FSGNJX_S; break;
+          default: return makeInvalid(raw);
+        }
+        break;
+      case 0x14:
+        switch (f3) {
+          case 0: di.op = Op::FMIN_S; break;
+          case 1: di.op = Op::FMAX_S; break;
+          default: return makeInvalid(raw);
+        }
+        break;
+      case 0x60:
+        di.rd = intDest(raw);
+        di.rs2 = kNoReg;
+        if (rs2n == 0) {
+            di.op = Op::FCVT_W_S;
+        } else if (rs2n == 1) {
+            di.op = Op::FCVT_WU_S;
+        } else {
+            return makeInvalid(raw);
+        }
+        break;
+      case 0x68:
+        di.rs1 = rs1Of(raw);
+        di.rs2 = kNoReg;
+        if (rs2n == 0) {
+            di.op = Op::FCVT_S_W;
+        } else if (rs2n == 1) {
+            di.op = Op::FCVT_S_WU;
+        } else {
+            return makeInvalid(raw);
+        }
+        break;
+      case 0x70:
+        di.rd = intDest(raw);
+        di.rs2 = kNoReg;
+        if (f3 == 0) {
+            di.op = Op::FMV_X_W;
+        } else if (f3 == 1) {
+            di.op = Op::FCLASS_S;
+        } else {
+            return makeInvalid(raw);
+        }
+        break;
+      case 0x78:
+        if (f3 != 0)
+            return makeInvalid(raw);
+        di.op = Op::FMV_W_X;
+        di.rs1 = rs1Of(raw);
+        di.rs2 = kNoReg;
+        break;
+      case 0x50:
+        di.rd = intDest(raw);
+        switch (f3) {
+          case 0: di.op = Op::FLE_S; break;
+          case 1: di.op = Op::FLT_S; break;
+          case 2: di.op = Op::FEQ_S; break;
+          default: return makeInvalid(raw);
+        }
+        break;
+      default:
+        return makeInvalid(raw);
+    }
+    return di;
+}
+
+DecodedInst
+decodeFma(u32 raw, Op op)
+{
+    DecodedInst di;
+    di.raw = raw;
+    di.op = op;
+    di.rd = fpReg(rdOf(raw));
+    di.rs1 = fpReg(rs1Of(raw));
+    di.rs2 = fpReg(rs2Of(raw));
+    di.rs3 = fpReg(rs3Of(raw));
+    if (bits(raw, 26, 25) != 0)  // fmt must be single precision
+        return makeInvalid(raw);
+    return di;
+}
+
+} // namespace
+
+DecodedInst
+decode(u32 raw)
+{
+    DecodedInst di;
+    di.raw = raw;
+    switch (raw & 0x7f) {
+      case OPC_LUI:
+        di.op = Op::LUI;
+        di.rd = intDest(raw);
+        di.imm = immU(raw);
+        return di;
+      case OPC_AUIPC:
+        di.op = Op::AUIPC;
+        di.rd = intDest(raw);
+        di.imm = immU(raw);
+        return di;
+      case OPC_JAL:
+        di.op = Op::JAL;
+        di.rd = intDest(raw);
+        di.imm = immJ(raw);
+        return di;
+      case OPC_JALR:
+        if (bits(raw, 14, 12) != 0)
+            return makeInvalid(raw);
+        di.op = Op::JALR;
+        di.rd = intDest(raw);
+        di.rs1 = rs1Of(raw);
+        di.imm = immI(raw);
+        return di;
+      case OPC_BRANCH: {
+        static constexpr Op kBrOps[8] = {Op::BEQ, Op::BNE, Op::INVALID,
+                                         Op::INVALID, Op::BLT, Op::BGE,
+                                         Op::BLTU, Op::BGEU};
+        di.op = kBrOps[bits(raw, 14, 12)];
+        if (di.op == Op::INVALID)
+            return makeInvalid(raw);
+        di.rs1 = rs1Of(raw);
+        di.rs2 = rs2Of(raw);
+        di.imm = immB(raw);
+        return di;
+      }
+      case OPC_LOAD: {
+        static constexpr Op kLdOps[8] = {Op::LB, Op::LH, Op::LW,
+                                         Op::INVALID, Op::LBU, Op::LHU,
+                                         Op::INVALID, Op::INVALID};
+        di.op = kLdOps[bits(raw, 14, 12)];
+        if (di.op == Op::INVALID)
+            return makeInvalid(raw);
+        di.rd = intDest(raw);
+        di.rs1 = rs1Of(raw);
+        di.imm = immI(raw);
+        return di;
+      }
+      case OPC_STORE: {
+        static constexpr Op kStOps[8] = {Op::SB, Op::SH, Op::SW,
+                                         Op::INVALID, Op::INVALID,
+                                         Op::INVALID, Op::INVALID,
+                                         Op::INVALID};
+        di.op = kStOps[bits(raw, 14, 12)];
+        if (di.op == Op::INVALID)
+            return makeInvalid(raw);
+        di.rs1 = rs1Of(raw);
+        di.rs2 = rs2Of(raw);
+        di.imm = immS(raw);
+        return di;
+      }
+      case OPC_LOAD_FP:
+        if (bits(raw, 14, 12) != 2)
+            return makeInvalid(raw);
+        di.op = Op::FLW;
+        di.rd = fpReg(rdOf(raw));
+        di.rs1 = rs1Of(raw);
+        di.imm = immI(raw);
+        return di;
+      case OPC_STORE_FP:
+        if (bits(raw, 14, 12) != 2)
+            return makeInvalid(raw);
+        di.op = Op::FSW;
+        di.rs1 = rs1Of(raw);
+        di.rs2 = fpReg(rs2Of(raw));
+        di.imm = immS(raw);
+        return di;
+      case OPC_OP_IMM:
+        return decodeOpImm(raw);
+      case OPC_OP:
+        return decodeOp(raw);
+      case OPC_OP_FP:
+        return decodeOpFp(raw);
+      case OPC_MADD:
+        return decodeFma(raw, Op::FMADD_S);
+      case OPC_MSUB:
+        return decodeFma(raw, Op::FMSUB_S);
+      case OPC_NMSUB:
+        return decodeFma(raw, Op::FNMSUB_S);
+      case OPC_NMADD:
+        return decodeFma(raw, Op::FNMADD_S);
+      case OPC_MISC_MEM:
+        di.op = Op::FENCE;
+        return di;
+      case OPC_SYSTEM:
+        if (raw == 0x00000073) {
+            di.op = Op::ECALL;
+        } else if (raw == 0x00100073) {
+            di.op = Op::EBREAK;
+        } else {
+            return makeInvalid(raw);
+        }
+        return di;
+      case OPC_CUSTOM0:
+        // simt_s rc(rd), r_step(rs1), r_end(rs2), interval(funct7).
+        // simt_s does not write any architectural register; its operand
+        // fields are recovered from `raw` via simtStartFields().
+        if (bits(raw, 14, 12) != 0)
+            return makeInvalid(raw);
+        di.op = Op::SIMT_S;
+        di.rs1 = rs1Of(raw);
+        di.rs2 = rs2Of(raw);
+        return di;
+      case OPC_CUSTOM1:
+        // simt_e rc(rd), r_end(rs1), l_offset(imm12). Reads and writes
+        // rc and redirects the PC, so rc also appears as rs2.
+        if (bits(raw, 14, 12) != 0)
+            return makeInvalid(raw);
+        di.op = Op::SIMT_E;
+        di.rd = intDest(raw);
+        di.rs1 = rs1Of(raw);
+        di.rs2 = rdOf(raw) == 0 ? kNoReg : rdOf(raw);
+        // l_offset is an unsigned backward byte distance, not a signed
+        // I-type immediate.
+        di.imm = static_cast<i32>(bits(raw, 31, 20));
+        return di;
+      default:
+        return makeInvalid(raw);
+    }
+}
+
+} // namespace diag::isa

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Binary decoder for RV32IMF plus the DiAG simt_s/simt_e extensions.
+ */
+#ifndef DIAG_ISA_DECODER_HPP
+#define DIAG_ISA_DECODER_HPP
+
+#include "isa/inst.hpp"
+
+namespace diag::isa
+{
+
+/**
+ * Decode one 32-bit instruction word. Undecodable words yield a
+ * DecodedInst with op == Op::INVALID rather than an error, so execution
+ * engines can fault precisely when (and only when) the word is reached.
+ */
+DecodedInst decode(u32 raw);
+
+} // namespace diag::isa
+
+#endif // DIAG_ISA_DECODER_HPP

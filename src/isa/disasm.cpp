@@ -1,0 +1,93 @@
+#include "isa/disasm.hpp"
+
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace diag::isa
+{
+
+namespace
+{
+
+std::string
+hex(u32 v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%x", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+regName(RegId reg)
+{
+    if (reg == kNoReg)
+        return "-";
+    char buf[8];
+    if (reg < kNumIntRegs)
+        std::snprintf(buf, sizeof(buf), "x%u", reg);
+    else
+        std::snprintf(buf, sizeof(buf), "f%u", reg - kNumIntRegs);
+    return buf;
+}
+
+std::string
+disassemble(const DecodedInst &di, u32 pc)
+{
+    const std::string name = opName(di.op);
+    switch (di.cls()) {
+      case ExecClass::Load:
+        return name + ' ' + regName(di.rd) + ", " +
+               std::to_string(di.imm) + '(' + regName(di.rs1) + ')';
+      case ExecClass::Store:
+        return name + ' ' + regName(di.rs2) + ", " +
+               std::to_string(di.imm) + '(' + regName(di.rs1) + ')';
+      case ExecClass::Branch:
+        return name + ' ' + regName(di.rs1) + ", " + regName(di.rs2) +
+               ", " + hex(pc + static_cast<u32>(di.imm));
+      case ExecClass::Jump:
+        if (di.op == Op::JAL) {
+            return name + ' ' + regName(di.rd) + ", " +
+                   hex(pc + static_cast<u32>(di.imm));
+        }
+        return name + ' ' + regName(di.rd) + ", " +
+               std::to_string(di.imm) + '(' + regName(di.rs1) + ')';
+      case ExecClass::System:
+      case ExecClass::Invalid:
+        return name;
+      case ExecClass::Simt:
+        if (di.op == Op::SIMT_S) {
+            const auto f = simtStartFields(di);
+            return name + " x" + std::to_string(f.rc) + ", x" +
+                   std::to_string(f.rStep) + ", x" +
+                   std::to_string(f.rEnd) + ", " +
+                   std::to_string(f.interval);
+        } else {
+            const auto f = simtEndFields(di);
+            return name + " x" + std::to_string(f.rc) + ", x" +
+                   std::to_string(f.rEnd) + ", " +
+                   hex(pc - f.lOffset);
+        }
+      default:
+        break;
+    }
+    // Register-register and register-immediate ALU/FP forms.
+    std::string out = name + ' ' + regName(di.rd);
+    if (di.rs1 != kNoReg)
+        out += ", " + regName(di.rs1);
+    if (di.rs2 != kNoReg)
+        out += ", " + regName(di.rs2);
+    if (di.rs3 != kNoReg)
+        out += ", " + regName(di.rs3);
+    if (di.op == Op::LUI || di.op == Op::AUIPC) {
+        out += ", " + hex(static_cast<u32>(di.imm) >> 12);
+    } else if (di.cls() == ExecClass::IntAlu && di.rs2 == kNoReg &&
+               di.rs1 != kNoReg) {
+        out += ", " + std::to_string(di.imm);
+    }
+    return out;
+}
+
+} // namespace diag::isa

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Instruction disassembler for traces, error messages, and tests.
+ */
+#ifndef DIAG_ISA_DISASM_HPP
+#define DIAG_ISA_DISASM_HPP
+
+#include <string>
+
+#include "isa/inst.hpp"
+
+namespace diag::isa
+{
+
+/** Name of a unified-space register ("x5", "f12", or "-"). */
+std::string regName(RegId reg);
+
+/** Render @p di as assembler text; @p pc resolves branch/jump targets. */
+std::string disassemble(const DecodedInst &di, u32 pc = 0);
+
+} // namespace diag::isa
+
+#endif // DIAG_ISA_DISASM_HPP

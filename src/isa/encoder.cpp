@@ -1,0 +1,85 @@
+#include "isa/encoder.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace diag::isa::enc
+{
+
+u32
+rType(u32 opc, u32 rd, u32 f3, u32 rs1, u32 rs2, u32 f7)
+{
+    return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) |
+           (rd << 7) | opc;
+}
+
+u32
+iType(u32 opc, u32 rd, u32 f3, u32 rs1, i32 imm)
+{
+    panic_if(imm < -2048 || imm > 2047, "I-type immediate %d out of range",
+             imm);
+    return (static_cast<u32>(imm & 0xfff) << 20) | (rs1 << 15) |
+           (f3 << 12) | (rd << 7) | opc;
+}
+
+u32
+sType(u32 opc, u32 f3, u32 rs1, u32 rs2, i32 imm)
+{
+    panic_if(imm < -2048 || imm > 2047, "S-type immediate %d out of range",
+             imm);
+    const u32 u = static_cast<u32>(imm) & 0xfff;
+    return (bits(u, 11, 5) << 25) | (rs2 << 20) | (rs1 << 15) |
+           (f3 << 12) | (bits(u, 4, 0) << 7) | opc;
+}
+
+u32
+bType(u32 opc, u32 f3, u32 rs1, u32 rs2, i32 imm)
+{
+    panic_if(imm < -4096 || imm > 4095 || (imm & 1),
+             "B-type offset %d out of range or misaligned", imm);
+    const u32 u = static_cast<u32>(imm) & 0x1fff;
+    return (bit(u, 12) << 31) | (bits(u, 10, 5) << 25) | (rs2 << 20) |
+           (rs1 << 15) | (f3 << 12) | (bits(u, 4, 1) << 8) |
+           (bit(u, 11) << 7) | opc;
+}
+
+u32
+uType(u32 opc, u32 rd, i32 imm)
+{
+    return (static_cast<u32>(imm) & 0xfffff000u) | (rd << 7) | opc;
+}
+
+u32
+jType(u32 opc, u32 rd, i32 imm)
+{
+    panic_if(imm < -(1 << 20) || imm >= (1 << 20) || (imm & 1),
+             "J-type offset %d out of range or misaligned", imm);
+    const u32 u = static_cast<u32>(imm) & 0x1fffff;
+    return (bit(u, 20) << 31) | (bits(u, 10, 1) << 21) |
+           (bit(u, 11) << 20) | (bits(u, 19, 12) << 12) | (rd << 7) | opc;
+}
+
+u32
+r4Type(u32 opc, u32 rd, u32 f3, u32 rs1, u32 rs2, u32 fmt, u32 rs3)
+{
+    return (rs3 << 27) | (fmt << 25) | (rs2 << 20) | (rs1 << 15) |
+           (f3 << 12) | (rd << 7) | opc;
+}
+
+u32
+simtS(u32 rc, u32 r_step, u32 r_end, u32 interval)
+{
+    panic_if(interval > 127, "simt_s interval %u exceeds 7 bits", interval);
+    return rType(0x0b, rc, 0, r_step, r_end, interval);
+}
+
+u32
+simtE(u32 rc, u32 r_end, u32 l_offset)
+{
+    panic_if(l_offset > 4095, "simt_e l_offset %u exceeds 12 bits",
+             l_offset);
+    return (l_offset << 20) | (r_end << 15) | (0u << 12) | (rc << 7) |
+           0x2b;
+}
+
+} // namespace diag::isa::enc

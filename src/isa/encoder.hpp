@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Raw-format instruction encoders. Used by the assembler back-end and by
+ * tests that need known-good encodings (decoder round-trip checks).
+ */
+#ifndef DIAG_ISA_ENCODER_HPP
+#define DIAG_ISA_ENCODER_HPP
+
+#include "common/types.hpp"
+
+namespace diag::isa::enc
+{
+
+/** Encode an R-type instruction. */
+u32 rType(u32 opc, u32 rd, u32 f3, u32 rs1, u32 rs2, u32 f7);
+/** Encode an I-type instruction (12-bit signed immediate). */
+u32 iType(u32 opc, u32 rd, u32 f3, u32 rs1, i32 imm);
+/** Encode an S-type (store) instruction. */
+u32 sType(u32 opc, u32 f3, u32 rs1, u32 rs2, i32 imm);
+/** Encode a B-type (branch) instruction; @p imm is a byte offset. */
+u32 bType(u32 opc, u32 f3, u32 rs1, u32 rs2, i32 imm);
+/** Encode a U-type instruction; @p imm supplies bits [31:12]. */
+u32 uType(u32 opc, u32 rd, i32 imm);
+/** Encode a J-type (JAL) instruction; @p imm is a byte offset. */
+u32 jType(u32 opc, u32 rd, i32 imm);
+/** Encode an R4-type (FMA) instruction. */
+u32 r4Type(u32 opc, u32 rd, u32 f3, u32 rs1, u32 rs2, u32 fmt, u32 rs3);
+
+/** Encode simt_s rc, r_step, r_end, interval (DiAG custom-0). */
+u32 simtS(u32 rc, u32 r_step, u32 r_end, u32 interval);
+/** Encode simt_e rc, r_end, l_offset (DiAG custom-1). */
+u32 simtE(u32 rc, u32 r_end, u32 l_offset);
+
+} // namespace diag::isa::enc
+
+#endif // DIAG_ISA_ENCODER_HPP

@@ -1,0 +1,298 @@
+#include "isa/exec.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace diag::isa
+{
+
+namespace
+{
+
+float asF(u32 bits) { return std::bit_cast<float>(bits); }
+
+/** Box a float result, canonicalizing NaNs per the RISC-V F spec. */
+u32
+asU(float f)
+{
+    const u32 b = std::bit_cast<u32>(f);
+    if (std::isnan(f))
+        return kCanonicalNan;
+    return b;
+}
+
+bool isSNan(u32 b) { return (b & 0x7fc00000u) == 0x7f800000u &&
+                            (b & 0x003fffffu) != 0; }
+
+u32
+fpMinMax(u32 a, u32 b, bool take_max)
+{
+    const bool a_nan = std::isnan(asF(a));
+    const bool b_nan = std::isnan(asF(b));
+    if (a_nan && b_nan)
+        return kCanonicalNan;
+    if (a_nan)
+        return b;
+    if (b_nan)
+        return a;
+    const float fa = asF(a);
+    const float fb = asF(b);
+    // RISC-V orders -0.0 below +0.0.
+    if (fa == 0.0f && fb == 0.0f) {
+        const bool a_neg = bit(a, 31);
+        if (take_max)
+            return a_neg ? b : a;
+        return a_neg ? a : b;
+    }
+    if (take_max)
+        return fa > fb ? a : b;
+    return fa < fb ? a : b;
+}
+
+u32
+fcvtWS(u32 a, bool is_unsigned)
+{
+    const float f = asF(a);
+    if (std::isnan(f))
+        return is_unsigned ? 0xffffffffu : 0x7fffffffu;
+    if (is_unsigned) {
+        if (f <= -1.0f)
+            return 0;
+        if (f >= 4294967296.0f)
+            return 0xffffffffu;
+        return static_cast<u32>(f);
+    }
+    if (f <= -2147483904.0f)
+        return 0x80000000u;
+    if (f >= 2147483648.0f)
+        return 0x7fffffffu;
+    return static_cast<u32>(static_cast<i32>(f));
+}
+
+u32
+fclass(u32 a)
+{
+    const bool neg = bit(a, 31);
+    const u32 exp = bits(a, 30, 23);
+    const u32 frac = bits(a, 22, 0);
+    if (exp == 0xff) {
+        if (frac == 0)
+            return neg ? (1u << 0) : (1u << 7);       // +/- inf
+        return isSNan(a) ? (1u << 8) : (1u << 9);      // sNaN / qNaN
+    }
+    if (exp == 0) {
+        if (frac == 0)
+            return neg ? (1u << 3) : (1u << 4);        // +/- zero
+        return neg ? (1u << 2) : (1u << 5);            // +/- subnormal
+    }
+    return neg ? (1u << 1) : (1u << 6);                // +/- normal
+}
+
+u32
+fma4(Op op, u32 a, u32 b, u32 c)
+{
+    const float fa = asF(a);
+    const float fb = asF(b);
+    const float fc = asF(c);
+    switch (op) {
+      case Op::FMADD_S:  return asU(std::fmaf(fa, fb, fc));
+      case Op::FMSUB_S:  return asU(std::fmaf(fa, fb, -fc));
+      case Op::FNMSUB_S: return asU(std::fmaf(-fa, fb, fc));
+      case Op::FNMADD_S: return asU(std::fmaf(-fa, fb, -fc));
+      default: panic("fma4: bad op");
+    }
+}
+
+} // namespace
+
+ExecOut
+execute(const DecodedInst &di, u32 pc, u32 a, u32 b, u32 c)
+{
+    ExecOut out;
+    const i32 sa = static_cast<i32>(a);
+    const i32 sb = static_cast<i32>(b);
+    const u32 uimm = static_cast<u32>(di.imm);
+    switch (di.op) {
+      case Op::LUI:    out.value = uimm; break;
+      case Op::AUIPC:  out.value = pc + uimm; break;
+      case Op::JAL:
+        out.value = pc + 4;
+        out.redirect = true;
+        out.target = pc + uimm;
+        break;
+      case Op::JALR:
+        out.value = pc + 4;
+        out.redirect = true;
+        out.target = (a + uimm) & ~1u;
+        break;
+      case Op::BEQ:  out.redirect = (a == b); break;
+      case Op::BNE:  out.redirect = (a != b); break;
+      case Op::BLT:  out.redirect = (sa < sb); break;
+      case Op::BGE:  out.redirect = (sa >= sb); break;
+      case Op::BLTU: out.redirect = (a < b); break;
+      case Op::BGEU: out.redirect = (a >= b); break;
+      case Op::ADDI:  out.value = a + uimm; break;
+      case Op::SLTI:  out.value = sa < di.imm ? 1 : 0; break;
+      case Op::SLTIU: out.value = a < uimm ? 1 : 0; break;
+      case Op::XORI:  out.value = a ^ uimm; break;
+      case Op::ORI:   out.value = a | uimm; break;
+      case Op::ANDI:  out.value = a & uimm; break;
+      case Op::SLLI:  out.value = a << (uimm & 31); break;
+      case Op::SRLI:  out.value = a >> (uimm & 31); break;
+      case Op::SRAI:  out.value = static_cast<u32>(sa >> (uimm & 31));
+        break;
+      case Op::ADD:  out.value = a + b; break;
+      case Op::SUB:  out.value = a - b; break;
+      case Op::SLL:  out.value = a << (b & 31); break;
+      case Op::SLT:  out.value = sa < sb ? 1 : 0; break;
+      case Op::SLTU: out.value = a < b ? 1 : 0; break;
+      case Op::XOR:  out.value = a ^ b; break;
+      case Op::SRL:  out.value = a >> (b & 31); break;
+      case Op::SRA:  out.value = static_cast<u32>(sa >> (b & 31)); break;
+      case Op::OR:   out.value = a | b; break;
+      case Op::AND:  out.value = a & b; break;
+      case Op::FENCE:
+        break;  // single memory system: fence is a timing-only no-op
+      case Op::ECALL:
+      case Op::EBREAK:
+        out.halt = true;
+        break;
+      case Op::MUL:
+        out.value = a * b;
+        break;
+      case Op::MULH:
+        out.value = static_cast<u32>(
+            (static_cast<i64>(sa) * static_cast<i64>(sb)) >> 32);
+        break;
+      case Op::MULHSU:
+        out.value = static_cast<u32>(
+            (static_cast<i64>(sa) * static_cast<i64>(static_cast<u64>(b)))
+            >> 32);
+        break;
+      case Op::MULHU:
+        out.value = static_cast<u32>(
+            (static_cast<u64>(a) * static_cast<u64>(b)) >> 32);
+        break;
+      case Op::DIV:
+        if (b == 0) {
+            out.value = 0xffffffffu;
+        } else if (a == 0x80000000u && b == 0xffffffffu) {
+            out.value = 0x80000000u;
+        } else {
+            out.value = static_cast<u32>(sa / sb);
+        }
+        break;
+      case Op::DIVU:
+        out.value = b == 0 ? 0xffffffffu : a / b;
+        break;
+      case Op::REM:
+        if (b == 0) {
+            out.value = a;
+        } else if (a == 0x80000000u && b == 0xffffffffu) {
+            out.value = 0;
+        } else {
+            out.value = static_cast<u32>(sa % sb);
+        }
+        break;
+      case Op::REMU:
+        out.value = b == 0 ? a : a % b;
+        break;
+      case Op::FADD_S: out.value = asU(asF(a) + asF(b)); break;
+      case Op::FSUB_S: out.value = asU(asF(a) - asF(b)); break;
+      case Op::FMUL_S: out.value = asU(asF(a) * asF(b)); break;
+      case Op::FDIV_S: out.value = asU(asF(a) / asF(b)); break;
+      case Op::FSQRT_S:
+        out.value = asF(a) < 0.0f ? kCanonicalNan
+                                  : asU(std::sqrt(asF(a)));
+        break;
+      case Op::FMADD_S:
+      case Op::FMSUB_S:
+      case Op::FNMSUB_S:
+      case Op::FNMADD_S:
+        out.value = fma4(di.op, a, b, c);
+        break;
+      case Op::FSGNJ_S:  out.value = (a & 0x7fffffffu) | (b & 0x80000000u);
+        break;
+      case Op::FSGNJN_S: out.value = (a & 0x7fffffffu) |
+                                     (~b & 0x80000000u);
+        break;
+      case Op::FSGNJX_S: out.value = a ^ (b & 0x80000000u); break;
+      case Op::FMIN_S:   out.value = fpMinMax(a, b, false); break;
+      case Op::FMAX_S:   out.value = fpMinMax(a, b, true); break;
+      case Op::FCVT_W_S:  out.value = fcvtWS(a, false); break;
+      case Op::FCVT_WU_S: out.value = fcvtWS(a, true); break;
+      case Op::FMV_X_W:   out.value = a; break;
+      case Op::FEQ_S:
+        out.value = (!std::isnan(asF(a)) && !std::isnan(asF(b)) &&
+                     asF(a) == asF(b)) ? 1 : 0;
+        break;
+      case Op::FLT_S:
+        out.value = (!std::isnan(asF(a)) && !std::isnan(asF(b)) &&
+                     asF(a) < asF(b)) ? 1 : 0;
+        break;
+      case Op::FLE_S:
+        out.value = (!std::isnan(asF(a)) && !std::isnan(asF(b)) &&
+                     asF(a) <= asF(b)) ? 1 : 0;
+        break;
+      case Op::FCLASS_S: out.value = fclass(a); break;
+      case Op::FCVT_S_W:
+        out.value = asU(static_cast<float>(static_cast<i32>(a)));
+        break;
+      case Op::FCVT_S_WU:
+        out.value = asU(static_cast<float>(a));
+        break;
+      case Op::FMV_W_X: out.value = a; break;
+      case Op::SIMT_S:
+        break;  // pure marker; the control unit interprets its fields
+      case Op::SIMT_E: {
+        // a = r_end value, b = current rc, c = step (from simt_s).
+        // The step's sign selects the ending condition (§5.4: "the
+        // value and type of r_step determines how the control register
+        // changes and r_end determines the ending condition").
+        const auto f = simtEndFields(di);
+        out.value = b + c;  // new rc
+        const bool more =
+            static_cast<i32>(c) >= 0
+                ? static_cast<i32>(out.value) < static_cast<i32>(a)
+                : static_cast<i32>(out.value) > static_cast<i32>(a);
+        if (more) {
+            out.redirect = true;
+            out.target = pc - f.lOffset + 4;  // first body instruction
+        }
+        break;
+      }
+      case Op::LB: case Op::LH: case Op::LW: case Op::LBU: case Op::LHU:
+      case Op::FLW: case Op::SB: case Op::SH: case Op::SW: case Op::FSW:
+        panic("execute() called on memory op %s", opName(di.op));
+      case Op::INVALID:
+        out.halt = true;
+        break;
+      default:
+        panic("execute: unhandled op %s", opName(di.op));
+    }
+    if (di.isBranch() && out.redirect)
+        out.target = pc + uimm;
+    return out;
+}
+
+u32
+effectiveAddr(const DecodedInst &di, u32 rs1_val)
+{
+    return rs1_val + static_cast<u32>(di.imm);
+}
+
+u32
+loadExtend(const DecodedInst &di, u32 raw)
+{
+    const auto &info = di.info();
+    if (info.memBytes == 4)
+        return raw;
+    const unsigned w = info.memBytes * 8;
+    return info.memSigned ? sext(raw, w) : (raw & ((1u << w) - 1));
+}
+
+} // namespace diag::isa

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Pure (memory-free) instruction semantics shared by the golden
+ * simulator, the DiAG model, and the out-of-order baseline. Keeping one
+ * implementation guarantees all engines agree bit-for-bit, which the
+ * differential tests rely on.
+ */
+#ifndef DIAG_ISA_EXEC_HPP
+#define DIAG_ISA_EXEC_HPP
+
+#include "isa/inst.hpp"
+
+namespace diag::isa
+{
+
+/** Result of executing one non-memory instruction. */
+struct ExecOut
+{
+    u32 value = 0;         //!< destination register value (if any)
+    bool redirect = false; //!< PC redirected (taken branch/jump/simt_e)
+    u32 target = 0;        //!< redirect target, valid iff redirect
+    bool halt = false;     //!< EBREAK/ECALL: stop execution
+};
+
+/**
+ * Execute @p di at @p pc with already-read operand values. FP operands
+ * and results are raw IEEE-754 single bit patterns.
+ *
+ * @param a value of rs1 (or 0 if absent)
+ * @param b value of rs2 (or 0 if absent)
+ * @param c value of rs3; for SIMT_E this carries the step value read
+ *          from the matching simt_s's r_step register
+ *
+ * Loads/stores must not be passed here: address generation uses
+ * effectiveAddr() and data handling is the engine's responsibility.
+ */
+ExecOut execute(const DecodedInst &di, u32 pc, u32 a, u32 b, u32 c = 0);
+
+/** Effective address of a load/store given the rs1 value. */
+u32 effectiveAddr(const DecodedInst &di, u32 rs1_val);
+
+/**
+ * Apply sub-word extraction semantics to a load: @p raw holds the
+ * memBytes() bytes at the effective address, zero-extended to 32 bits;
+ * returns the architectural destination value.
+ */
+u32 loadExtend(const DecodedInst &di, u32 raw);
+
+/** Canonical RISC-V quiet NaN, produced by all FP ops that make NaNs. */
+inline constexpr u32 kCanonicalNan = 0x7fc00000u;
+
+} // namespace diag::isa
+
+#endif // DIAG_ISA_EXEC_HPP

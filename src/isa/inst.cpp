@@ -1,0 +1,32 @@
+#include "isa/inst.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace diag::isa
+{
+
+SimtStartFields
+simtStartFields(const DecodedInst &di)
+{
+    panic_if(di.op != Op::SIMT_S, "simtStartFields on %s", opName(di.op));
+    SimtStartFields f;
+    f.rc = static_cast<RegId>(bits(di.raw, 11, 7));
+    f.rStep = static_cast<RegId>(bits(di.raw, 19, 15));
+    f.rEnd = static_cast<RegId>(bits(di.raw, 24, 20));
+    f.interval = bits(di.raw, 31, 25);
+    return f;
+}
+
+SimtEndFields
+simtEndFields(const DecodedInst &di)
+{
+    panic_if(di.op != Op::SIMT_E, "simtEndFields on %s", opName(di.op));
+    SimtEndFields f;
+    f.rc = static_cast<RegId>(bits(di.raw, 11, 7));
+    f.rEnd = static_cast<RegId>(bits(di.raw, 19, 15));
+    f.lOffset = bits(di.raw, 31, 20);
+    return f;
+}
+
+} // namespace diag::isa

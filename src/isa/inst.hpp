@@ -1,0 +1,95 @@
+/**
+ * @file
+ * DecodedInst: the common decoded-instruction record consumed by the
+ * golden simulator, the DiAG model, and the out-of-order baseline.
+ */
+#ifndef DIAG_ISA_INST_HPP
+#define DIAG_ISA_INST_HPP
+
+#include "isa/opcodes.hpp"
+
+namespace diag::isa
+{
+
+/**
+ * One decoded instruction. Register operands use the unified register
+ * space (integer x0..x31 at 0..31, FP f0..f31 at 32..63); absent
+ * operands are kNoReg. Writes to x0 are represented with rd == kNoReg so
+ * downstream models never have to special-case the zero register.
+ */
+struct DecodedInst
+{
+    u32 raw = 0;          //!< original 32-bit encoding
+    Op op = Op::INVALID;  //!< decoded opcode
+    RegId rd = kNoReg;    //!< destination (unified space), kNoReg if none
+    RegId rs1 = kNoReg;   //!< first source, kNoReg if unused
+    RegId rs2 = kNoReg;   //!< second source, kNoReg if unused
+    RegId rs3 = kNoReg;   //!< third source (FMA family only)
+    i32 imm = 0;          //!< sign-extended immediate, 0 if none
+
+    /** Static metadata for the opcode. */
+    const OpInfo &info() const { return opInfo(op); }
+    /** Execution class (latency / functional unit). */
+    ExecClass cls() const { return info().cls; }
+
+    bool isLoad() const { return cls() == ExecClass::Load; }
+    bool isStore() const { return cls() == ExecClass::Store; }
+    bool isMem() const { return isLoad() || isStore(); }
+    /** Conditional branch. */
+    bool isBranch() const { return cls() == ExecClass::Branch; }
+    /** Unconditional jump (JAL/JALR). */
+    bool isJump() const { return cls() == ExecClass::Jump; }
+    /** Any instruction that can redirect the PC. */
+    bool
+    isControl() const
+    {
+        return isBranch() || isJump() || op == Op::SIMT_E ||
+               op == Op::EBREAK || op == Op::ECALL;
+    }
+    /** Control transfer whose target depends on a register (JALR). */
+    bool isIndirect() const { return op == Op::JALR; }
+    bool isSimt() const { return cls() == ExecClass::Simt; }
+    /** Uses the floating-point unit. */
+    bool isFp() const { return isFpClass(cls()); }
+    bool writesReg() const { return rd != kNoReg; }
+
+    bool valid() const { return op != Op::INVALID; }
+};
+
+/**
+ * Operand fields of the DiAG simt_s instruction (ASPLOS'21 §5.4),
+ * recovered from a DecodedInst whose op is SIMT_S:
+ *   rd  = rc (loop control register)
+ *   rs1 = r_step (step value register)
+ *   rs2 = r_end (loop bound register)
+ *   imm = thread launch interval in cycles
+ */
+struct SimtStartFields
+{
+    RegId rc;
+    RegId rStep;
+    RegId rEnd;
+    u32 interval;
+};
+
+/** Decode the simt_s operand fields. Only valid for Op::SIMT_S. */
+SimtStartFields simtStartFields(const DecodedInst &di);
+
+/**
+ * Operand fields of simt_e:
+ *   rd  = rc, rs1 = r_end,
+ *   imm = l_offset: positive byte distance back to the matching simt_s.
+ */
+struct SimtEndFields
+{
+    RegId rc;
+    RegId rEnd;
+    u32 lOffset;
+};
+
+/** Decode the simt_e operand fields. Only valid for Op::SIMT_E. */
+SimtEndFields simtEndFields(const DecodedInst &di);
+
+} // namespace diag::isa
+
+#endif // DIAG_ISA_INST_HPP

@@ -1,0 +1,34 @@
+#include "isa/latency.hpp"
+
+#include "common/log.hpp"
+
+namespace diag::isa
+{
+
+Cycle
+execLatency(ExecClass cls)
+{
+    switch (cls) {
+      case ExecClass::IntAlu: return 1;
+      case ExecClass::IntMul: return 3;
+      case ExecClass::IntDiv: return 12;
+      case ExecClass::FpAdd:  return 4;
+      case ExecClass::FpMul:  return 4;
+      case ExecClass::FpDiv:  return 12;
+      case ExecClass::FpSqrt: return 16;
+      case ExecClass::FpFma:  return 5;
+      case ExecClass::FpMisc: return 1;
+      case ExecClass::FpCmp:  return 2;
+      case ExecClass::FpCvt:  return 2;
+      case ExecClass::Load:   return 1;  // address generation only
+      case ExecClass::Store:  return 1;
+      case ExecClass::Branch: return 1;
+      case ExecClass::Jump:   return 1;
+      case ExecClass::System: return 1;
+      case ExecClass::Simt:   return 1;
+      case ExecClass::Invalid: return 1;
+    }
+    panic("execLatency: bad class");
+}
+
+} // namespace diag::isa

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Execution latencies per functional-unit class. Both microarchitectural
+ * models use the same table so performance differences come from the
+ * architectures, never from inconsistent operation costs (the paper's
+ * RTL models FP operations as fixed delays the same way, §7.1).
+ */
+#ifndef DIAG_ISA_LATENCY_HPP
+#define DIAG_ISA_LATENCY_HPP
+
+#include "isa/inst.hpp"
+
+namespace diag::isa
+{
+
+/**
+ * Execute-stage latency in cycles for @p cls. Loads return the
+ * address-generation latency only; memory time is added by the memory
+ * subsystem of each model.
+ */
+Cycle execLatency(ExecClass cls);
+
+/** Convenience overload. */
+inline Cycle execLatency(const DecodedInst &di)
+{
+    return execLatency(di.cls());
+}
+
+} // namespace diag::isa
+
+#endif // DIAG_ISA_LATENCY_HPP

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * RV32IMF opcode enumeration plus the two DiAG ISA extensions
+ * (simt_s / simt_e, ASPLOS'21 §5.4) and static per-opcode metadata.
+ */
+#ifndef DIAG_ISA_OPCODES_HPP
+#define DIAG_ISA_OPCODES_HPP
+
+#include "common/types.hpp"
+
+namespace diag::isa
+{
+
+/** Architectural register file sizes. */
+inline constexpr unsigned kNumIntRegs = 32;
+inline constexpr unsigned kNumFpRegs = 32;
+/** Unified register-space size: x0..x31 then f0..f31. */
+inline constexpr unsigned kNumRegs = kNumIntRegs + kNumFpRegs;
+
+/** Unified register index (FP registers live at 32..63). */
+using RegId = u8;
+/** Sentinel meaning "operand not present". */
+inline constexpr RegId kNoReg = 0xff;
+/** The hardwired-zero integer register. */
+inline constexpr RegId kRegZero = 0;
+/** Convert an FP register number (0..31) to its unified index. */
+constexpr RegId fpReg(unsigned n) { return static_cast<RegId>(32 + n); }
+
+/**
+ * Execution resource class of an instruction; keys the latency table and
+ * the functional-unit selection in both microarchitectural models.
+ */
+enum class ExecClass : u8
+{
+    IntAlu,   //!< integer add/logic/shift/compare, LUI/AUIPC
+    IntMul,   //!< M-extension multiply
+    IntDiv,   //!< M-extension divide/remainder
+    FpAdd,    //!< FP add/sub
+    FpMul,    //!< FP multiply
+    FpDiv,    //!< FP divide
+    FpSqrt,   //!< FP square root
+    FpFma,    //!< fused multiply-add family
+    FpMisc,   //!< sign injection, moves, min/max, classify
+    FpCmp,    //!< FP compares (write integer rd)
+    FpCvt,    //!< int<->float conversions
+    Load,     //!< memory read (int or FP destination)
+    Store,    //!< memory write
+    Branch,   //!< conditional branch
+    Jump,     //!< JAL / JALR
+    System,   //!< FENCE / ECALL / EBREAK
+    Simt,     //!< DiAG simt_s / simt_e extension markers
+    Invalid,  //!< undecodable encoding
+};
+
+/** Every opcode the toolchain and the three execution engines support. */
+enum class Op : u8
+{
+    // RV32I
+    LUI, AUIPC, JAL, JALR,
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    LB, LH, LW, LBU, LHU,
+    SB, SH, SW,
+    ADDI, SLTI, SLTIU, XORI, ORI, ANDI, SLLI, SRLI, SRAI,
+    ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+    FENCE, ECALL, EBREAK,
+    // RV32M
+    MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU,
+    // RV32F
+    FLW, FSW,
+    FMADD_S, FMSUB_S, FNMSUB_S, FNMADD_S,
+    FADD_S, FSUB_S, FMUL_S, FDIV_S, FSQRT_S,
+    FSGNJ_S, FSGNJN_S, FSGNJX_S, FMIN_S, FMAX_S,
+    FCVT_W_S, FCVT_WU_S, FMV_X_W, FEQ_S, FLT_S, FLE_S, FCLASS_S,
+    FCVT_S_W, FCVT_S_WU, FMV_W_X,
+    // DiAG extensions (custom-0 / custom-1 opcode space)
+    SIMT_S, SIMT_E,
+    INVALID,
+    NUM_OPS = INVALID,
+};
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    const char *name;     //!< assembler mnemonic
+    ExecClass cls;        //!< functional-unit / latency class
+    u8 memBytes;          //!< access size for loads/stores, else 0
+    bool memSigned;       //!< sign-extend sub-word loads
+    bool fpDest;          //!< destination is an FP register
+};
+
+/** Look up static properties for @p op. */
+const OpInfo &opInfo(Op op);
+
+/** Mnemonic for @p op ("invalid" for Op::INVALID). */
+const char *opName(Op op);
+
+/** True iff @p cls executes on the floating-point unit. */
+constexpr bool
+isFpClass(ExecClass cls)
+{
+    switch (cls) {
+      case ExecClass::FpAdd:
+      case ExecClass::FpMul:
+      case ExecClass::FpDiv:
+      case ExecClass::FpSqrt:
+      case ExecClass::FpFma:
+      case ExecClass::FpMisc:
+      case ExecClass::FpCmp:
+      case ExecClass::FpCvt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace diag::isa
+
+#endif // DIAG_ISA_OPCODES_HPP

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Occupancy model of a shared on-chip bus. DiAG uses one 512-bit bus per
+ * processor for both I-cache line delivery and partial-register-file
+ * transfers between non-adjacent clusters (paper §5.1.3); contention on
+ * it is one source of the "other stalls" in §7.3.2.
+ */
+#ifndef DIAG_MEM_BUS_HPP
+#define DIAG_MEM_BUS_HPP
+
+#include <string>
+
+#include "common/calendar.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace diag::mem
+{
+
+/** Single-requester-at-a-time bus with FCFS arbitration. */
+class Bus
+{
+  public:
+    explicit Bus(std::string name) : stats_(std::move(name)) {}
+
+    /**
+     * Request the bus at @p now for @p occupancy cycles. Returns the
+     * grant cycle; the transfer completes at grant + occupancy.
+     */
+    Cycle
+    request(Cycle now, Cycle occupancy)
+    {
+        const Cycle grant = calendar_.reserve(now, occupancy);
+        stats_.inc("transfers");
+        stats_.inc("busy_cycles", static_cast<double>(occupancy));
+        if (grant > now)
+            stats_.inc("wait_cycles", static_cast<double>(grant - now));
+        return grant;
+    }
+
+    /** True iff a request granted at @p now would have to wait. */
+    bool busyAt(Cycle now) const { return calendar_.busyAt(now); }
+
+    void reset() { calendar_.clear(); stats_.clear(); }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    BusyCalendar calendar_;
+    StatGroup stats_;
+};
+
+} // namespace diag::mem
+
+#endif // DIAG_MEM_BUS_HPP

@@ -1,0 +1,28 @@
+#include "ooo/config.hpp"
+
+namespace diag::ooo
+{
+
+OooConfig
+OooConfig::baseline8()
+{
+    OooConfig c;
+    c.name = "OoO-8w-1c";
+    c.cores = 1;
+    c.mem.l1i = {64 * 1024, 2, 64, 1, 2, 1};
+    c.mem.l1d = {64 * 1024, 4, 64, 4, 4, 1};
+    c.mem.l2 = {4 * 1024 * 1024, 8, 64, 8, 20, 2};
+    c.mem.dram = {120, 8};
+    return c;
+}
+
+OooConfig
+OooConfig::multicore12()
+{
+    OooConfig c = baseline8();
+    c.name = "OoO-8w-12c";
+    c.cores = 12;
+    return c;
+}
+
+} // namespace diag::ooo

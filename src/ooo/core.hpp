@@ -1,0 +1,98 @@
+/**
+ * @file
+ * One out-of-order core. The model is a one-pass timestamp simulator:
+ * instructions are processed in program order (functional oracle) and
+ * each dynamic instruction receives fetch / dispatch / issue /
+ * complete / commit timestamps subject to frontend width and latency,
+ * branch prediction, ROB/IQ/LSQ windows, functional-unit pools, and
+ * the shared memory hierarchy. This style models the same constraints
+ * a cycle-driven OoO model enforces, at much higher simulation speed.
+ */
+#ifndef DIAG_OOO_CORE_HPP
+#define DIAG_OOO_CORE_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/calendar.hpp"
+#include "common/stats.hpp"
+#include "isa/inst.hpp"
+#include "mem/hierarchy.hpp"
+#include "ooo/config.hpp"
+#include "ooo/predictor.hpp"
+#include "sim/mem_order.hpp"
+
+namespace diag::ooo
+{
+
+/** Outcome of running one software thread on a core. */
+struct CoreResult
+{
+    Cycle finish = 0;
+    u64 retired = 0;
+    bool halted = false;
+    bool faulted = false;
+    Addr stop_pc = 0;
+    u32 regs[isa::kNumRegs] = {};
+};
+
+/** One 8-issue out-of-order core. */
+class OooCore
+{
+  public:
+    OooCore(const OooConfig &cfg, unsigned core_id,
+            mem::MemHierarchy &mh, StatGroup &stats);
+
+    /** Run a thread to EBREAK (or the instruction budget). */
+    CoreResult runThread(Addr entry,
+                         const std::vector<std::pair<isa::RegId, u32>>
+                             &init_regs,
+                         SparseMemory &mem, Cycle start_cycle,
+                         u64 max_insts);
+
+  private:
+    /**
+     * Functional-unit pool. Each unit keeps an occupancy calendar so
+     * that instructions whose operands become ready early can slot
+     * into gaps before later reservations (the timestamp model
+     * processes instructions in program order, but issue is not
+     * monotonic in time).
+     */
+    struct FuPool
+    {
+        std::vector<BusyCalendar> units;
+
+        explicit FuPool(unsigned n) : units(n) {}
+
+        /** Acquire the unit giving the earliest grant >= @p when. */
+        Cycle
+        acquire(Cycle when, Cycle occupancy)
+        {
+            size_t best = 0;
+            Cycle best_grant = units[0].probe(when, occupancy);
+            for (size_t i = 1; i < units.size(); ++i) {
+                const Cycle g = units[i].probe(when, occupancy);
+                if (g < best_grant) {
+                    best_grant = g;
+                    best = i;
+                }
+            }
+            return units[best].reserve(when, occupancy);
+        }
+    };
+
+    const isa::DecodedInst &decodeAt(Addr pc, SparseMemory &mem);
+
+    FuPool &poolFor(isa::ExecClass cls);
+
+    const OooConfig &cfg_;
+    unsigned core_id_;
+    mem::MemHierarchy &mh_;
+    StatGroup &stats_;
+    std::unordered_map<Addr, isa::DecodedInst> icache_;
+    FuPool alu_, mul_, div_, fpu_, fpdiv_, memport_;
+};
+
+} // namespace diag::ooo
+
+#endif // DIAG_OOO_CORE_HPP

@@ -1,0 +1,62 @@
+#include "ooo/predictor.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace diag::ooo
+{
+
+GsharePredictor::GsharePredictor(unsigned entries, unsigned history_bits)
+    : table_(entries, 1),  // weakly not-taken
+      mask_(entries - 1),
+      history_mask_((1u << history_bits) - 1)
+{
+    fatal_if(!isPow2(entries), "gshare entries must be a power of two");
+}
+
+u32
+GsharePredictor::indexOf(Addr pc) const
+{
+    return ((pc >> 2) ^ history_) & mask_;
+}
+
+bool
+GsharePredictor::predict(Addr pc) const
+{
+    return table_[indexOf(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(Addr pc, bool taken)
+{
+    u8 &ctr = table_[indexOf(pc)];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+}
+
+Btb::Btb(unsigned entries) : entries_(entries), mask_(entries - 1)
+{
+    fatal_if(!isPow2(entries), "BTB entries must be a power of two");
+}
+
+bool
+Btb::lookup(Addr pc, Addr &target) const
+{
+    const Entry &e = entries_[(pc >> 2) & mask_];
+    if (e.valid && e.tag == pc) {
+        target = e.target;
+        return true;
+    }
+    return false;
+}
+
+void
+Btb::insert(Addr pc, Addr target)
+{
+    entries_[(pc >> 2) & mask_] = {pc, target, true};
+}
+
+} // namespace diag::ooo

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Branch prediction for the OoO baseline: gshare direction predictor,
+ * branch target buffer, and return-address stack.
+ */
+#ifndef DIAG_OOO_PREDICTOR_HPP
+#define DIAG_OOO_PREDICTOR_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace diag::ooo
+{
+
+/** Gshare 2-bit direction predictor. */
+class GsharePredictor
+{
+  public:
+    GsharePredictor(unsigned entries, unsigned history_bits);
+
+    /** Predicted direction for the branch at @p pc. */
+    bool predict(Addr pc) const;
+
+    /** Train with the actual outcome and update global history. */
+    void update(Addr pc, bool taken);
+
+  private:
+    u32 indexOf(Addr pc) const;
+
+    std::vector<u8> table_;  //!< 2-bit saturating counters
+    u32 mask_;
+    u32 history_ = 0;
+    u32 history_mask_;
+};
+
+/** Direct-mapped branch target buffer. */
+class Btb
+{
+  public:
+    explicit Btb(unsigned entries);
+
+    /** True and sets @p target iff the BTB has a mapping for @p pc. */
+    bool lookup(Addr pc, Addr &target) const;
+
+    void insert(Addr pc, Addr target);
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+    std::vector<Entry> entries_;
+    u32 mask_;
+};
+
+/** Return-address stack. */
+class Ras
+{
+  public:
+    explicit Ras(unsigned entries) : stack_(entries) {}
+
+    void
+    push(Addr ret)
+    {
+        stack_[top_] = ret;
+        top_ = (top_ + 1) % stack_.size();
+        if (depth_ < stack_.size())
+            ++depth_;
+    }
+
+    /** Pop a predicted return address; 0 if empty. */
+    Addr
+    pop()
+    {
+        if (depth_ == 0)
+            return 0;
+        top_ = (top_ + stack_.size() - 1) % stack_.size();
+        --depth_;
+        return stack_[top_];
+    }
+
+  private:
+    std::vector<Addr> stack_;
+    size_t top_ = 0;
+    size_t depth_ = 0;
+};
+
+} // namespace diag::ooo
+
+#endif // DIAG_OOO_PREDICTOR_HPP

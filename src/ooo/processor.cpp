@@ -1,0 +1,68 @@
+#include "ooo/processor.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace diag::ooo
+{
+
+OooProcessor::OooProcessor(OooConfig cfg)
+    : cfg_(std::move(cfg)), mh_(cfg_.mem, cfg_.cores), stats_("ooo")
+{
+    for (unsigned c = 0; c < cfg_.cores; ++c)
+        cores_.push_back(
+            std::make_unique<OooCore>(cfg_, c, mh_, stats_));
+}
+
+sim::RunStats
+OooProcessor::run(const Program &prog, u64 max_insts)
+{
+    return runThreads(prog, {ThreadSpec{prog.entry, {}}}, max_insts);
+}
+
+sim::RunStats
+OooProcessor::runThreads(const Program &prog,
+                         const std::vector<ThreadSpec> &threads,
+                         u64 max_insts)
+{
+    if (!program_loaded_)
+        loadProgram(prog);
+    results_.clear();
+    sim::RunStats rs;
+    rs.halted = true;
+    Cycle finish = 0;
+    // Later waves start on a core after its previous thread finished.
+    std::vector<Cycle> core_free(cores_.size(), 0);
+    for (unsigned t = 0; t < threads.size(); ++t) {
+        const ThreadSpec &spec = threads[t];
+        const unsigned c = t % cores_.size();
+        OooCore &core = *cores_[c];
+        const CoreResult cr = core.runThread(
+            spec.entry, spec.init_regs, mem_, core_free[c], max_insts);
+        core_free[c] = cr.finish;
+        if (cr.faulted)
+            warn("ooo thread %u faulted at pc 0x%x", t, cr.stop_pc);
+        rs.halted = rs.halted && cr.halted;
+        rs.instructions += cr.retired;
+        finish = std::max(finish, cr.finish);
+        results_.push_back(cr);
+    }
+    rs.cycles = finish;
+    rs.counters = stats_;
+    rs.counters.set("threads", static_cast<double>(threads.size()));
+    mh_.mergeStats(rs.counters);
+    return rs;
+}
+
+u32
+OooProcessor::finalReg(unsigned thread, isa::RegId reg) const
+{
+    panic_if(thread >= results_.size(), "no result for thread %u",
+             thread);
+    if (reg == isa::kRegZero)
+        return 0;
+    return results_[thread].regs[reg];
+}
+
+} // namespace diag::ooo

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * OooProcessor: the multicore out-of-order baseline (paper §7.1's
+ * 12-core, 8-issue configuration). API mirrors DiagProcessor so the
+ * harness can drive both engines uniformly.
+ */
+#ifndef DIAG_OOO_PROCESSOR_HPP
+#define DIAG_OOO_PROCESSOR_HPP
+
+#include <memory>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "ooo/core.hpp"
+#include "sim/run_stats.hpp"
+
+namespace diag::ooo
+{
+
+/** Initial state for one software thread (same shape as DiAG's). */
+struct ThreadSpec
+{
+    Addr entry = 0;
+    std::vector<std::pair<isa::RegId, u32>> init_regs;
+};
+
+/** The full baseline chip: N cores over private L1s and a shared L2. */
+class OooProcessor
+{
+  public:
+    explicit OooProcessor(OooConfig cfg);
+
+    SparseMemory &memory() { return mem_; }
+    const OooConfig &config() const { return cfg_; }
+
+    /** Load the image now so inputs can be initialized before run(). */
+    void
+    loadProgram(const Program &prog)
+    {
+        prog.loadInto(mem_);
+        program_loaded_ = true;
+    }
+
+    /** Pre-install the memory image into the shared L2 (steady-state
+     *  warmup; identical methodology to DiagProcessor::warmCaches). */
+    void
+    warmCaches()
+    {
+        mem_.forEachPage([&](Addr base) {
+            for (Addr off = 0; off < SparseMemory::kPageSize; off += 64)
+                mh_.warmLine(base + off);
+        });
+    }
+
+    /** Run single-threaded on core 0. */
+    sim::RunStats run(const Program &prog, u64 max_insts = 500'000'000);
+
+    /** Run one thread per spec; thread t executes on core t % cores. */
+    sim::RunStats runThreads(const Program &prog,
+                             const std::vector<ThreadSpec> &threads,
+                             u64 max_insts = 500'000'000);
+
+    /** Architectural register of thread @p t after a run. */
+    u32 finalReg(unsigned thread, isa::RegId reg) const;
+
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    OooConfig cfg_;
+    SparseMemory mem_;
+    mem::MemHierarchy mh_;
+    StatGroup stats_;
+    std::vector<std::unique_ptr<OooCore>> cores_;
+    std::vector<CoreResult> results_;
+    bool program_loaded_ = false;
+};
+
+} // namespace diag::ooo
+
+#endif // DIAG_OOO_PROCESSOR_HPP

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Random RISC-V program generator for differential testing. Generated
+ * programs are control-flow-closed (every loop is counted, every branch
+ * target exists), touch memory only inside a scratch buffer, and end in
+ * EBREAK — so they terminate on any correct execution engine and can be
+ * compared architecturally against the golden simulator.
+ */
+#ifndef DIAG_SIM_FUZZ_HPP
+#define DIAG_SIM_FUZZ_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace diag::sim
+{
+
+/** Knobs for the random program generator. */
+struct FuzzOptions
+{
+    u64 seed = 1;
+    unsigned segments = 12;     //!< top-level code segments
+    bool use_mem = true;        //!< loads/stores to the scratch buffer
+    bool use_fp = false;        //!< RV32F operations
+    bool use_muldiv = true;     //!< RV32M operations
+    bool use_calls = true;      //!< jal/jalr function calls
+    unsigned buffer_words = 256; //!< scratch buffer size in words
+};
+
+/** Generate an assembly source string per @p opt. */
+std::string generateFuzzProgram(const FuzzOptions &opt);
+
+} // namespace diag::sim
+
+#endif // DIAG_SIM_FUZZ_HPP

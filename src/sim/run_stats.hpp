@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Engine-agnostic run statistics returned by both the DiAG model and
+ * the out-of-order baseline; consumed by the harness and energy model.
+ */
+#ifndef DIAG_SIM_RUN_STATS_HPP
+#define DIAG_SIM_RUN_STATS_HPP
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace diag::sim
+{
+
+/** Result of running a workload on a timing model. */
+struct RunStats
+{
+    Cycle cycles = 0;        //!< total execution time in core cycles
+    u64 instructions = 0;    //!< retired (committed) instructions
+    bool halted = false;     //!< reached EBREAK normally
+    StatGroup counters{"run"}; //!< model-specific activity counters
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+} // namespace diag::sim
+
+#endif // DIAG_SIM_RUN_STATS_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for workload construction: thread partition prologue,
+ * float<->memory conversions, and tolerant float comparison for output
+ * checks.
+ */
+#ifndef DIAG_WORKLOADS_COMMON_HPP
+#define DIAG_WORKLOADS_COMMON_HPP
+
+#include <bit>
+#include <cmath>
+#include <string>
+
+#include "common/sparse_mem.hpp"
+#include "common/types.hpp"
+
+namespace diag::workloads::detail
+{
+
+/**
+ * Assembly prologue computing this thread's contiguous block of an
+ * N-iteration outer loop: start in s2, end in s3. Uses t0/t1.
+ * Expects a0 = tid, a1 = nthreads. Balanced split:
+ * [tid*N/n, (tid+1)*N/n), so block sizes differ by at most one.
+ */
+inline std::string
+partitionBounds(u32 n)
+{
+    return "    li t0, " + std::to_string(n) +
+           "\n"
+           "    mul t1, a0, t0\n"
+           "    divu s2, t1, a1\n"
+           "    addi t1, a0, 1\n"
+           "    mul t1, t1, t0\n"
+           "    divu s3, t1, a1\n";
+}
+
+inline void
+writeF32(SparseMemory &mem, Addr addr, float value)
+{
+    mem.write32(addr, std::bit_cast<u32>(value));
+}
+
+inline float
+readF32(const SparseMemory &mem, Addr addr)
+{
+    return std::bit_cast<float>(mem.read32(addr));
+}
+
+/** Relative/absolute tolerance float comparison for output checks. */
+inline bool
+closeF32(float got, float want, float tol = 1e-4f)
+{
+    if (std::isnan(got) || std::isnan(want))
+        return false;
+    const float diff = std::fabs(got - want);
+    return diff <= tol * (1.0f + std::fabs(want));
+}
+
+} // namespace diag::workloads::detail
+
+#endif // DIAG_WORKLOADS_COMMON_HPP

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Workload suite registry.
+ */
+#include "workloads/workload.hpp"
+
+#include "common/log.hpp"
+
+namespace diag::workloads
+{
+
+// Factories defined in rodinia_*.cpp / spec_*.cpp.
+Workload workloadBackprop();
+Workload workloadBfs();
+Workload workloadHeartwall();
+Workload workloadHotspot();
+Workload workloadKmeans();
+Workload workloadLavamd();
+Workload workloadLud();
+Workload workloadNn();
+Workload workloadNw();
+Workload workloadParticlefilter();
+Workload workloadPathfinder();
+Workload workloadSrad();
+Workload workloadMcf();
+Workload workloadLbm();
+Workload workloadX264();
+Workload workloadDeepsjeng();
+Workload workloadLeela();
+Workload workloadNab();
+Workload workloadXz();
+Workload workloadImagick();
+
+std::vector<Workload>
+rodiniaSuite()
+{
+    std::vector<Workload> suite;
+    suite.push_back(workloadBackprop());
+    suite.push_back(workloadBfs());
+    suite.push_back(workloadHeartwall());
+    suite.push_back(workloadHotspot());
+    suite.push_back(workloadKmeans());
+    suite.push_back(workloadLavamd());
+    suite.push_back(workloadLud());
+    suite.push_back(workloadNn());
+    suite.push_back(workloadNw());
+    suite.push_back(workloadParticlefilter());
+    suite.push_back(workloadPathfinder());
+    suite.push_back(workloadSrad());
+    return suite;
+}
+
+std::vector<Workload>
+specSuite()
+{
+    std::vector<Workload> suite;
+    suite.push_back(workloadMcf());
+    suite.push_back(workloadLbm());
+    suite.push_back(workloadX264());
+    suite.push_back(workloadDeepsjeng());
+    suite.push_back(workloadLeela());
+    suite.push_back(workloadNab());
+    suite.push_back(workloadXz());
+    suite.push_back(workloadImagick());
+    return suite;
+}
+
+Workload
+findWorkload(const std::string &name)
+{
+    for (auto &w : rodiniaSuite())
+        if (w.name == name)
+            return w;
+    for (auto &w : specSuite())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace diag::workloads

@@ -1,0 +1,341 @@
+/** Assembler tests: encodings, labels, pseudo-ops, directives, errors. */
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+
+using namespace diag;
+using namespace diag::assembler;
+using namespace diag::isa;
+
+namespace
+{
+
+/** Assemble one instruction at the text base and decode it. */
+DecodedInst
+one(const std::string &line)
+{
+    const Program p = assemble(line + "\n");
+    return decode(p.word(kTextBase));
+}
+
+} // namespace
+
+TEST(Assembler, BasicRType)
+{
+    const DecodedInst di = one("add x1, x2, x3");
+    EXPECT_EQ(di.op, Op::ADD);
+    EXPECT_EQ(di.rd, 1);
+    EXPECT_EQ(di.rs1, 2);
+    EXPECT_EQ(di.rs2, 3);
+}
+
+TEST(Assembler, AbiNames)
+{
+    const DecodedInst di = one("add a0, sp, t3");
+    EXPECT_EQ(di.rd, 10);
+    EXPECT_EQ(di.rs1, 2);
+    EXPECT_EQ(di.rs2, 28);
+}
+
+TEST(Assembler, ImmediateFormats)
+{
+    EXPECT_EQ(one("addi x1, x2, -2048").imm, -2048);
+    EXPECT_EQ(one("addi x1, x2, 2047").imm, 2047);
+    EXPECT_EQ(one("addi x1, x2, 0x7f").imm, 0x7f);
+    EXPECT_EQ(one("slli x1, x2, 31").imm, 31);
+    EXPECT_THROW(assemble("addi x1, x2, 2048\n"), AsmError);
+    EXPECT_THROW(assemble("slli x1, x2, 32\n"), AsmError);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    DecodedInst di = one("lw x5, 16(x6)");
+    EXPECT_EQ(di.op, Op::LW);
+    EXPECT_EQ(di.imm, 16);
+    EXPECT_EQ(di.rs1, 6);
+    di = one("sw x5, -4(x6)");
+    EXPECT_EQ(di.op, Op::SW);
+    EXPECT_EQ(di.imm, -4);
+    di = one("lw x5, (x6)");
+    EXPECT_EQ(di.imm, 0);
+    di = one("flw f2, 8(x6)");
+    EXPECT_EQ(di.op, Op::FLW);
+    EXPECT_EQ(di.rd, fpReg(2));
+    di = one("fsw fa0, 12(sp)");
+    EXPECT_EQ(di.op, Op::FSW);
+    EXPECT_EQ(di.rs2, fpReg(10));
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    const Program p = assemble(R"(
+        _start:
+            addi x1, x0, 0
+        loop:
+            addi x1, x1, 1
+            bne x1, x2, loop
+            beq x1, x2, done
+            addi x3, x0, 7
+        done:
+            ebreak
+    )");
+    const Addr loop = p.symbol("loop");
+    EXPECT_EQ(loop, kTextBase + 4);
+    const DecodedInst bne = decode(p.word(loop + 4));
+    EXPECT_EQ(bne.op, Op::BNE);
+    EXPECT_EQ(bne.imm, -4);
+    const DecodedInst beq = decode(p.word(loop + 8));
+    EXPECT_EQ(beq.imm, 8);
+}
+
+TEST(Assembler, ForwardAndBackwardJumps)
+{
+    const Program p = assemble(R"(
+        start: j end
+               nop
+        end:   j start
+    )");
+    const DecodedInst fwd = decode(p.word(kTextBase));
+    EXPECT_EQ(fwd.op, Op::JAL);
+    EXPECT_EQ(fwd.rd, kNoReg);  // jal x0
+    EXPECT_EQ(fwd.imm, 8);
+    const DecodedInst back = decode(p.word(kTextBase + 8));
+    EXPECT_EQ(back.imm, -8);
+}
+
+TEST(Assembler, LiSmallAndLarge)
+{
+    // Small immediate: one instruction.
+    Program p = assemble("li x5, 100\n ebreak\n");
+    EXPECT_EQ(decode(p.word(kTextBase)).op, Op::ADDI);
+    EXPECT_EQ(decode(p.word(kTextBase)).imm, 100);
+    EXPECT_EQ(decode(p.word(kTextBase + 4)).op, Op::EBREAK);
+    // Large immediate: lui + addi.
+    p = assemble("li x5, 0x12345678\n");
+    const DecodedInst lui = decode(p.word(kTextBase));
+    const DecodedInst addi = decode(p.word(kTextBase + 4));
+    EXPECT_EQ(lui.op, Op::LUI);
+    EXPECT_EQ(addi.op, Op::ADDI);
+    EXPECT_EQ(static_cast<u32>(lui.imm) + static_cast<u32>(addi.imm),
+              0x12345678u);
+    // Negative large immediate.
+    p = assemble("li x5, -100000\n");
+    const u32 total = static_cast<u32>(decode(p.word(kTextBase)).imm) +
+                      static_cast<u32>(decode(p.word(kTextBase + 4)).imm);
+    EXPECT_EQ(total, static_cast<u32>(-100000));
+}
+
+TEST(Assembler, LaAndHiLo)
+{
+    const Program p = assemble(R"(
+        .data
+        buf: .space 64
+        .text
+        _start:
+            la a0, buf
+            lui a1, %hi(buf)
+            addi a1, a1, %lo(buf)
+            lw a2, %lo(buf)(a1)
+    )");
+    const Addr buf = p.symbol("buf");
+    const DecodedInst lui = decode(p.word(kTextBase));
+    const DecodedInst addi = decode(p.word(kTextBase + 4));
+    EXPECT_EQ(static_cast<u32>(lui.imm) + static_cast<u32>(addi.imm),
+              buf);
+    const DecodedInst lui2 = decode(p.word(kTextBase + 8));
+    const DecodedInst addi2 = decode(p.word(kTextBase + 12));
+    EXPECT_EQ(static_cast<u32>(lui2.imm) + static_cast<u32>(addi2.imm),
+              buf);
+    const DecodedInst lw = decode(p.word(kTextBase + 16));
+    EXPECT_EQ(lw.op, Op::LW);
+}
+
+TEST(Assembler, PseudoOps)
+{
+    EXPECT_EQ(one("nop").op, Op::ADDI);
+    DecodedInst di = one("mv x3, x4");
+    EXPECT_EQ(di.op, Op::ADDI);
+    EXPECT_EQ(di.rs1, 4);
+    di = one("not x3, x4");
+    EXPECT_EQ(di.op, Op::XORI);
+    EXPECT_EQ(di.imm, -1);
+    di = one("neg x3, x4");
+    EXPECT_EQ(di.op, Op::SUB);
+    EXPECT_EQ(di.rs1, 0);  // sub x3, x0, x4
+    EXPECT_EQ(di.rs2, 4);
+    di = one("seqz x3, x4");
+    EXPECT_EQ(di.op, Op::SLTIU);
+    EXPECT_EQ(di.imm, 1);
+    di = one("snez x3, x4");
+    EXPECT_EQ(di.op, Op::SLTU);
+    di = one("ret");
+    EXPECT_EQ(di.op, Op::JALR);
+    EXPECT_EQ(di.rs1, 1);
+    di = one("fmv.s f1, f2");
+    EXPECT_EQ(di.op, Op::FSGNJ_S);
+    di = one("fneg.s f1, f2");
+    EXPECT_EQ(di.op, Op::FSGNJN_S);
+    di = one("fabs.s f1, f2");
+    EXPECT_EQ(di.op, Op::FSGNJX_S);
+}
+
+TEST(Assembler, BranchAliases)
+{
+    const Program p = assemble(R"(
+        _start:
+        t:  bgt x1, x2, t
+            ble x1, x2, t
+            beqz x3, t
+            bnez x3, t
+            bltz x3, t
+            bgtz x3, t
+    )");
+    DecodedInst di = decode(p.word(kTextBase));
+    EXPECT_EQ(di.op, Op::BLT);   // bgt a,b -> blt b,a
+    EXPECT_EQ(di.rs1, 2);
+    EXPECT_EQ(di.rs2, 1);
+    di = decode(p.word(kTextBase + 4));
+    EXPECT_EQ(di.op, Op::BGE);
+    di = decode(p.word(kTextBase + 8));
+    EXPECT_EQ(di.op, Op::BEQ);
+    EXPECT_EQ(di.rs2, 0);
+    di = decode(p.word(kTextBase + 16));
+    EXPECT_EQ(di.op, Op::BLT);
+    di = decode(p.word(kTextBase + 20));
+    EXPECT_EQ(di.op, Op::BLT);  // bgtz x3 -> blt x0, x3
+    EXPECT_EQ(di.rs1, 0);
+    EXPECT_EQ(di.rs2, 3);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    const Program p = assemble(R"(
+        .data
+        words:  .word 1, 2, 0xdeadbeef
+        halves: .half 0x1234, 0x5678
+        bytes:  .byte 1, 2, 3
+        .align 2
+        aligned: .word 42
+        str:    .asciz "hi\n"
+        flt:    .float 1.5
+    )");
+    const Addr w = p.symbol("words");
+    EXPECT_EQ(p.image.read32(w), 1u);
+    EXPECT_EQ(p.image.read32(w + 4), 2u);
+    EXPECT_EQ(p.image.read32(w + 8), 0xdeadbeefu);
+    const Addr h = p.symbol("halves");
+    EXPECT_EQ(p.image.read16(h), 0x1234u);
+    EXPECT_EQ(p.image.read16(h + 2), 0x5678u);
+    const Addr b = p.symbol("bytes");
+    EXPECT_EQ(p.image.read8(b + 2), 3u);
+    EXPECT_EQ(p.symbol("aligned") % 4, 0u);
+    const Addr s = p.symbol("str");
+    EXPECT_EQ(p.image.read8(s), 'h');
+    EXPECT_EQ(p.image.read8(s + 1), 'i');
+    EXPECT_EQ(p.image.read8(s + 2), '\n');
+    EXPECT_EQ(p.image.read8(s + 3), 0u);
+    const Addr f = p.symbol("flt");
+    EXPECT_EQ(p.image.read32(f), 0x3fc00000u);  // 1.5f
+}
+
+TEST(Assembler, EquAndExpressions)
+{
+    const Program p = assemble(R"(
+        .equ BASE, 0x2000
+        .equ COUNT, 16
+        _start:
+            li a0, BASE + COUNT
+            addi a1, x0, COUNT - 1
+    )");
+    // li BASE+COUNT exceeds 12 bits -> lui+addi pair.
+    const DecodedInst lui = decode(p.word(kTextBase));
+    const DecodedInst addi = decode(p.word(kTextBase + 4));
+    EXPECT_EQ(static_cast<u32>(lui.imm) + static_cast<u32>(addi.imm),
+              0x2010u);
+    const DecodedInst a1 = decode(p.word(kTextBase + 8));
+    EXPECT_EQ(a1.imm, 15);
+}
+
+TEST(Assembler, OrgDirective)
+{
+    const Program p = assemble(R"(
+        .org 0x4000
+        _start: nop
+        .org 0x5000
+        far: ebreak
+    )");
+    EXPECT_EQ(p.entry, 0x4000u);
+    EXPECT_EQ(p.symbol("far"), 0x5000u);
+    EXPECT_EQ(decode(p.word(0x5000)).op, Op::EBREAK);
+}
+
+TEST(Assembler, EntryResolution)
+{
+    // _start wins.
+    Program p = assemble("nop\n_start: nop\n");
+    EXPECT_EQ(p.entry, kTextBase + 4);
+    // Default: text base.
+    p = assemble("nop\n");
+    EXPECT_EQ(p.entry, kTextBase);
+}
+
+TEST(Assembler, SimtInstructions)
+{
+    const Program p = assemble(R"(
+        _start:
+        head: simt_s a0, a1, a2, 4
+            add a3, a3, a0
+        tail: simt_e a0, a2, head
+    )");
+    const DecodedInst ss = decode(p.word(p.symbol("head")));
+    EXPECT_EQ(ss.op, Op::SIMT_S);
+    const auto sf = simtStartFields(ss);
+    EXPECT_EQ(sf.rc, 10);
+    EXPECT_EQ(sf.rStep, 11);
+    EXPECT_EQ(sf.rEnd, 12);
+    EXPECT_EQ(sf.interval, 4u);
+    const DecodedInst se = decode(p.word(p.symbol("tail")));
+    const auto ef = simtEndFields(se);
+    EXPECT_EQ(ef.lOffset, 8u);
+}
+
+TEST(Assembler, Comments)
+{
+    const Program p = assemble(R"(
+        # full-line comment
+        _start:
+            nop        # trailing comment
+            nop        // c++ style
+            nop        ; asm style
+            ebreak
+    )");
+    EXPECT_EQ(decode(p.word(kTextBase + 12)).op, Op::EBREAK);
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_THROW(assemble("bogus x1, x2\n"), AsmError);
+    EXPECT_THROW(assemble("add x1, x2\n"), AsmError);       // arity
+    EXPECT_THROW(assemble("add x1, x2, f3\n"), AsmError);   // reg file
+    EXPECT_THROW(assemble("lw x1, 5000(x2)\n"), AsmError);  // offset
+    EXPECT_THROW(assemble("j nowhere\n"), AsmError);        // undef sym
+    EXPECT_THROW(assemble("dup: nop\ndup: nop\n"), AsmError);
+    EXPECT_THROW(assemble(".align 99\n"), AsmError);
+    const char *far_branch = R"(
+        _start: beq x1, x2, far
+        .org 0x10000
+        far: nop
+    )";
+    EXPECT_THROW(assemble(far_branch), AsmError);
+}
+
+TEST(Assembler, ChunksMergeAdjacent)
+{
+    const Program p = assemble("nop\nnop\nnop\n");
+    ASSERT_EQ(p.chunks.size(), 1u);
+    EXPECT_EQ(p.chunks[0].base, kTextBase);
+    EXPECT_EQ(p.chunks[0].size, 12u);
+    EXPECT_EQ(p.totalBytes(), 12u);
+}

@@ -1,0 +1,64 @@
+/** ABI register-name mapping tests. */
+#include <gtest/gtest.h>
+
+#include "asm/regnames.hpp"
+
+using namespace diag::assembler;
+
+TEST(RegNames, Architectural)
+{
+    EXPECT_EQ(parseIntReg("x0"), 0);
+    EXPECT_EQ(parseIntReg("x31"), 31);
+    EXPECT_EQ(parseIntReg("x32"), -1);
+    EXPECT_EQ(parseIntReg("x"), -1);
+    EXPECT_EQ(parseFpReg("f0"), 0);
+    EXPECT_EQ(parseFpReg("f31"), 31);
+    EXPECT_EQ(parseFpReg("f32"), -1);
+}
+
+TEST(RegNames, IntegerAbi)
+{
+    EXPECT_EQ(parseIntReg("zero"), 0);
+    EXPECT_EQ(parseIntReg("ra"), 1);
+    EXPECT_EQ(parseIntReg("sp"), 2);
+    EXPECT_EQ(parseIntReg("gp"), 3);
+    EXPECT_EQ(parseIntReg("tp"), 4);
+    EXPECT_EQ(parseIntReg("t0"), 5);
+    EXPECT_EQ(parseIntReg("t2"), 7);
+    EXPECT_EQ(parseIntReg("t3"), 28);
+    EXPECT_EQ(parseIntReg("t6"), 31);
+    EXPECT_EQ(parseIntReg("s0"), 8);
+    EXPECT_EQ(parseIntReg("fp"), 8);
+    EXPECT_EQ(parseIntReg("s1"), 9);
+    EXPECT_EQ(parseIntReg("s2"), 18);
+    EXPECT_EQ(parseIntReg("s11"), 27);
+    EXPECT_EQ(parseIntReg("a0"), 10);
+    EXPECT_EQ(parseIntReg("a7"), 17);
+    EXPECT_EQ(parseIntReg("a8"), -1);
+    EXPECT_EQ(parseIntReg("t7"), -1);
+    EXPECT_EQ(parseIntReg("s12"), -1);
+}
+
+TEST(RegNames, FpAbi)
+{
+    EXPECT_EQ(parseFpReg("ft0"), 0);
+    EXPECT_EQ(parseFpReg("ft7"), 7);
+    EXPECT_EQ(parseFpReg("ft8"), 28);
+    EXPECT_EQ(parseFpReg("ft11"), 31);
+    EXPECT_EQ(parseFpReg("fs0"), 8);
+    EXPECT_EQ(parseFpReg("fs1"), 9);
+    EXPECT_EQ(parseFpReg("fs2"), 18);
+    EXPECT_EQ(parseFpReg("fs11"), 27);
+    EXPECT_EQ(parseFpReg("fa0"), 10);
+    EXPECT_EQ(parseFpReg("fa7"), 17);
+    EXPECT_EQ(parseFpReg("fa8"), -1);
+    EXPECT_EQ(parseFpReg("ft12"), -1);
+}
+
+TEST(RegNames, CrossFileRejection)
+{
+    EXPECT_EQ(parseIntReg("f1"), -1);
+    EXPECT_EQ(parseIntReg("ft0"), -1);
+    EXPECT_EQ(parseFpReg("x1"), -1);
+    EXPECT_EQ(parseFpReg("a0"), -1);
+}

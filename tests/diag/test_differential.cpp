@@ -1,0 +1,104 @@
+/** Property-based differential tests: random control-flow-closed
+ *  programs must leave identical architectural state on the golden
+ *  interpreter and the DiAG timing model (every configuration). */
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "diag/processor.hpp"
+#include "isa/disasm.hpp"
+#include "sim/fuzz.hpp"
+#include "sim/golden.hpp"
+
+using namespace diag;
+using namespace diag::core;
+using namespace diag::isa;
+using namespace diag::sim;
+
+namespace
+{
+
+/** Compare all architectural registers and the scratch buffer. */
+void
+expectStateMatch(const Program &p, GoldenSim &gold, DiagProcessor &proc,
+                 u64 seed)
+{
+    for (unsigned r = 1; r < kNumRegs; ++r) {
+        ASSERT_EQ(proc.finalReg(0, static_cast<RegId>(r)), gold.reg(r))
+            << "seed " << seed << ": register " << regName(r);
+    }
+    const Addr buf = p.symbol("buf");
+    for (Addr off = 0; off < 1024; off += 4) {
+        ASSERT_EQ(proc.memory().read32(buf + off),
+                  gold.memory().read32(buf + off))
+            << "seed " << seed << ": buf+" << off;
+    }
+}
+
+void
+diffOne(u64 seed, const DiagConfig &cfg, bool use_fp)
+{
+    FuzzOptions opt;
+    opt.seed = seed;
+    opt.use_fp = use_fp;
+    const std::string src = generateFuzzProgram(opt);
+    const Program p = assembler::assemble(src);
+
+    GoldenSim gold(p);
+    const RunResult gr = gold.run(2'000'000);
+    ASSERT_TRUE(gr.halted) << "seed " << seed << " did not halt (golden)";
+
+    DiagProcessor proc(cfg);
+    const sim::RunStats rs = proc.run(p);
+    ASSERT_TRUE(rs.halted) << "seed " << seed << " did not halt (diag)";
+    ASSERT_EQ(rs.instructions, gr.inst_count) << "seed " << seed;
+    expectStateMatch(p, gold, proc, seed);
+}
+
+} // namespace
+
+class DiagDiffSmall : public ::testing::TestWithParam<u64>
+{};
+
+TEST_P(DiagDiffSmall, IntegerProgramsMatchOnF4C2)
+{
+    diffOne(GetParam(), DiagConfig::f4c2(), false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiagDiffSmall,
+                         ::testing::Range<u64>(1, 21));
+
+class DiagDiffLarge : public ::testing::TestWithParam<u64>
+{};
+
+TEST_P(DiagDiffLarge, IntegerProgramsMatchOnF4C32)
+{
+    diffOne(GetParam(), DiagConfig::f4c32(), false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiagDiffLarge,
+                         ::testing::Range<u64>(100, 115));
+
+class DiagDiffFp : public ::testing::TestWithParam<u64>
+{};
+
+TEST_P(DiagDiffFp, FloatingPointProgramsMatchOnF4C16)
+{
+    diffOne(GetParam(), DiagConfig::f4c16(), true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiagDiffFp,
+                         ::testing::Range<u64>(200, 215));
+
+TEST(DiagDiff, TimingIsDeterministic)
+{
+    FuzzOptions opt;
+    opt.seed = 7;
+    const std::string src = generateFuzzProgram(opt);
+    const Program p = assembler::assemble(src);
+    DiagProcessor a(DiagConfig::f4c16());
+    DiagProcessor b(DiagConfig::f4c16());
+    const sim::RunStats ra = a.run(p);
+    const sim::RunStats rb = b.run(p);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.instructions, rb.instructions);
+}

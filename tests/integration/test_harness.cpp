@@ -1,0 +1,85 @@
+/** Harness utility tests: table rendering, geomean, config presets,
+ *  and the verbose trace facility. */
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "common/log.hpp"
+#include "diag/processor.hpp"
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+
+using namespace diag;
+using namespace diag::harness;
+
+TEST(Harness, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({1.0, 4.0}), 2.0);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({0.5, 2.0}), 1.0, 1e-12);
+}
+
+TEST(Harness, TableNumFormatting)
+{
+    EXPECT_EQ(Table::num(1.234, 2), "1.23");
+    EXPECT_EQ(Table::num(1.0, 0), "1");
+    EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Harness, SingleThreadConfigsMatchTable2)
+{
+    const auto cfgs = diagSingleThreadConfigs();
+    ASSERT_EQ(cfgs.size(), 3u);
+    EXPECT_EQ(cfgs[0].totalPes(), 32u);
+    EXPECT_EQ(cfgs[1].totalPes(), 256u);
+    EXPECT_EQ(cfgs[2].totalPes(), 512u);
+    for (const auto &cfg : cfgs) {
+        EXPECT_EQ(cfg.pes_per_cluster, 16u);
+        EXPECT_TRUE(cfg.fp_supported);
+        EXPECT_DOUBLE_EQ(cfg.freq_ghz, 2.0);
+    }
+}
+
+TEST(Harness, MtConfigsShapeThePaper)
+{
+    const core::DiagConfig mt = diagMultiThreadConfig();
+    EXPECT_EQ(mt.num_rings, 16u);          // 16x2 (paper §7.2.1)
+    EXPECT_EQ(mt.clustersPerRing(), 2u);
+    const core::DiagConfig simt = diagMtSimtConfig();
+    EXPECT_EQ(simt.num_rings, 8u);         // 8x4 chained rings
+    EXPECT_EQ(simt.clustersPerRing(), 4u);
+    EXPECT_TRUE(simt.simt_enabled);
+}
+
+TEST(Harness, NonPartitionableWorkloadRunsOneThread)
+{
+    const workloads::Workload lud = workloads::findWorkload("lud");
+    ASSERT_FALSE(lud.partitionable);
+    // Requesting 16 threads silently runs 1 (disjointness guarantee).
+    const EngineRun run =
+        runOnDiag(diagMultiThreadConfig(), lud, {16, false});
+    EXPECT_TRUE(run.checked);
+    EXPECT_EQ(run.stats.counters.get("threads"), 1.0);
+}
+
+TEST(Harness, VerboseTraceEmitsActivations)
+{
+    // The trace facility must not perturb results.
+    const Program p = assembler::assemble(R"(
+        _start:
+            li a0, 0
+            li a1, 10
+        loop:
+            addi a0, a0, 1
+            bne a0, a1, loop
+            ebreak
+    )");
+    core::DiagProcessor quiet(core::DiagConfig::f4c2());
+    const sim::RunStats a = quiet.run(p);
+    setVerbose(true);
+    core::DiagProcessor loud(core::DiagConfig::f4c2());
+    const sim::RunStats b = loud.run(p);
+    setVerbose(false);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+}

@@ -1,0 +1,184 @@
+/** Lockstep differential tests on the real benchmark kernels: after a
+ *  serial run, the DiAG model and the OoO baseline must leave exactly
+ *  the same architectural memory state as the golden interpreter —
+ *  over the entire touched address space, not just the checked
+ *  outputs. */
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "diag/processor.hpp"
+#include "harness/runner.hpp"
+#include "ooo/processor.hpp"
+#include "sim/golden.hpp"
+#include "workloads/workload.hpp"
+
+using namespace diag;
+using namespace diag::workloads;
+
+namespace
+{
+
+/** Full-state comparison of two memory images over resident pages. */
+void
+expectSameMemory(const SparseMemory &got, const SparseMemory &want,
+                 const std::string &label)
+{
+    u64 mismatches = 0;
+    want.forEachPage([&](Addr base) {
+        for (Addr off = 0; off < SparseMemory::kPageSize && mismatches < 4;
+             off += 4) {
+            const u32 g = got.read32(base + off);
+            const u32 w = want.read32(base + off);
+            if (g != w) {
+                ++mismatches;
+                ADD_FAILURE() << label << ": mismatch at 0x" << std::hex
+                              << base + off << " got " << g << " want "
+                              << w;
+            }
+        }
+    });
+    EXPECT_EQ(mismatches, 0u) << label;
+}
+
+class Lockstep : public ::testing::TestWithParam<std::string>
+{};
+
+std::vector<std::string>
+lockstepNames()
+{
+    // A representative cross-section (running all 20 on three engines
+    // here would duplicate the engine-integration suite).
+    return {"backprop", "bfs",  "nw",  "kmeans",
+            "mcf",      "lbm",  "xz",  "deepsjeng"};
+}
+
+} // namespace
+
+TEST_P(Lockstep, DiagAndOooMatchGoldenMemory)
+{
+    const Workload w = findWorkload(GetParam());
+    const Program prog = assembler::assemble(w.asm_serial);
+
+    // All kernels expect a0 = tid, a1 = nthreads.
+    sim::GoldenSim gold(prog);
+    w.init(gold.memory());
+    gold.setReg(10, 0);
+    gold.setReg(11, 1);
+    const sim::RunResult gr = gold.run(w.max_insts);
+    ASSERT_TRUE(gr.halted);
+
+    const std::vector<std::pair<isa::RegId, u32>> init_regs = {
+        {isa::RegId{10}, 0}, {isa::RegId{11}, 1}};
+
+    core::DiagProcessor dproc(core::DiagConfig::f4c16());
+    dproc.loadProgram(prog);
+    w.init(dproc.memory());
+    const sim::RunStats drs = dproc.runThreads(
+        prog, {core::ThreadSpec{prog.entry, init_regs}}, w.max_insts);
+    ASSERT_TRUE(drs.halted);
+    ASSERT_EQ(drs.instructions, gr.inst_count) << "diag count";
+    expectSameMemory(dproc.memory(), gold.memory(), "diag");
+
+    ooo::OooProcessor oproc(ooo::OooConfig::baseline8());
+    oproc.loadProgram(prog);
+    w.init(oproc.memory());
+    const sim::RunStats ors = oproc.runThreads(
+        prog, {ooo::ThreadSpec{prog.entry, init_regs}}, w.max_insts);
+    ASSERT_TRUE(ors.halted);
+    ASSERT_EQ(ors.instructions, gr.inst_count) << "ooo count";
+    expectSameMemory(oproc.memory(), gold.memory(), "ooo");
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, Lockstep,
+                         ::testing::ValuesIn(lockstepNames()),
+                         [](const auto &info) { return info.param; });
+
+// ---------------------------------------------------------------------
+// Paper-shape regression guards: the aggregate relationships the
+// reproduction stands on (EXPERIMENTS.md) must not silently regress.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+double
+relPerf(const core::DiagConfig &cfg, const Workload &w,
+        const harness::RunSpec &dspec, const ooo::OooConfig &ocfg,
+        const harness::RunSpec &ospec)
+{
+    const auto d = harness::runOnDiag(cfg, w, dspec);
+    const auto o = harness::runOnOoo(ocfg, w, ospec);
+    return static_cast<double>(o.stats.cycles) /
+           static_cast<double>(d.stats.cycles);
+}
+
+} // namespace
+
+TEST(PaperShape, MorePesHelpSerialPrograms)
+{
+    // Fig 9a/10a shape: the 256-PE config beats the 32-PE config on
+    // kernels whose loops exceed two clusters.
+    for (const char *name : {"backprop", "srad", "lbm"}) {
+        const Workload w = findWorkload(name);
+        const double small =
+            relPerf(core::DiagConfig::f4c2(), w, {1, false},
+                    ooo::OooConfig::baseline8(), {1, false});
+        const double large =
+            relPerf(core::DiagConfig::f4c16(), w, {1, false},
+                    ooo::OooConfig::baseline8(), {1, false});
+        EXPECT_GT(large, 1.2 * small) << name;
+    }
+}
+
+TEST(PaperShape, ComputeBeatsMemoryBoundRelatively)
+{
+    // DiAG's relative performance on a compute-regular kernel exceeds
+    // its relative performance on a control/memory-bound one.
+    const double compute =
+        relPerf(core::DiagConfig::f4c32(), findWorkload("kmeans"),
+                {1, false}, ooo::OooConfig::baseline8(), {1, false});
+    const double memory =
+        relPerf(core::DiagConfig::f4c32(), findWorkload("bfs"),
+                {1, false}, ooo::OooConfig::baseline8(), {1, false});
+    EXPECT_GT(compute, memory);
+}
+
+TEST(PaperShape, SimtPipeliningBeatsPlainMtOnStencils)
+{
+    // Fig 9b purple-over-blue shape on a pipelineable benchmark.
+    const Workload w = findWorkload("srad");
+    const double mt = relPerf(
+        harness::diagMultiThreadConfig(), w,
+        {harness::kDiagMtThreads, false},
+        ooo::OooConfig::multicore12(), {harness::kOooMtThreads, false});
+    const double simt = relPerf(
+        harness::diagMtSimtConfig(), w,
+        {harness::kDiagMtSimtThreads, true},
+        ooo::OooConfig::multicore12(), {harness::kOooMtThreads, false});
+    EXPECT_GT(simt, 1.5 * mt);
+}
+
+TEST(PaperShape, EnergyEfficiencyFavorsDiagOnReusedCompute)
+{
+    // Fig 12 shape: on a reuse-friendly compute kernel DiAG spends
+    // less energy than the baseline.
+    const Workload w = findWorkload("kmeans");
+    const auto d = harness::runOnDiag(core::DiagConfig::f4c32(), w,
+                                      {1, false});
+    const auto o = harness::runOnOoo(ooo::OooConfig::baseline8(), w,
+                                     {1, false});
+    EXPECT_LT(d.energy.totalPj(), o.energy.totalPj());
+}
+
+TEST(PaperShape, MemoryStallsDominateDiagStalls)
+{
+    // §7.3.2 shape on a memory-heavy benchmark.
+    const Workload w = findWorkload("mcf");
+    const auto d = harness::runOnDiag(core::DiagConfig::f4c32(), w,
+                                      {1, false});
+    const auto &c = d.stats.counters;
+    const double mem = c.get("mem_stall_cycles") +
+                       c.get("mem_queue_stall_cycles");
+    const double ctrl = c.get("ctrl_stall_cycles");
+    EXPECT_GT(mem, ctrl);
+}

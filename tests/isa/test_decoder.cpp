@@ -1,0 +1,216 @@
+/** Decoder unit tests: encode with the raw-format helpers, decode, and
+ *  check every field round-trips. */
+#include <gtest/gtest.h>
+
+#include "isa/decoder.hpp"
+#include "isa/encoder.hpp"
+
+using namespace diag;
+using namespace diag::isa;
+
+TEST(Decoder, AddiFields)
+{
+    const DecodedInst di = decode(enc::iType(0x13, 5, 0, 6, -42));
+    EXPECT_EQ(di.op, Op::ADDI);
+    EXPECT_EQ(di.rd, 5);
+    EXPECT_EQ(di.rs1, 6);
+    EXPECT_EQ(di.rs2, kNoReg);
+    EXPECT_EQ(di.imm, -42);
+    EXPECT_EQ(di.cls(), ExecClass::IntAlu);
+}
+
+TEST(Decoder, WritesToX0AreDropped)
+{
+    const DecodedInst di = decode(enc::iType(0x13, 0, 0, 6, 1));
+    EXPECT_EQ(di.op, Op::ADDI);
+    EXPECT_EQ(di.rd, kNoReg);
+    EXPECT_FALSE(di.writesReg());
+}
+
+TEST(Decoder, RTypeIntOps)
+{
+    struct Case { u32 f3, f7; Op op; };
+    const Case cases[] = {
+        {0, 0x00, Op::ADD},  {0, 0x20, Op::SUB},  {1, 0x00, Op::SLL},
+        {2, 0x00, Op::SLT},  {3, 0x00, Op::SLTU}, {4, 0x00, Op::XOR},
+        {5, 0x00, Op::SRL},  {5, 0x20, Op::SRA},  {6, 0x00, Op::OR},
+        {7, 0x00, Op::AND},
+    };
+    for (const auto &c : cases) {
+        const DecodedInst di = decode(enc::rType(0x33, 1, c.f3, 2, 3,
+                                                 c.f7));
+        EXPECT_EQ(di.op, c.op) << "f3=" << c.f3 << " f7=" << c.f7;
+        EXPECT_EQ(di.rd, 1);
+        EXPECT_EQ(di.rs1, 2);
+        EXPECT_EQ(di.rs2, 3);
+    }
+}
+
+TEST(Decoder, MExtension)
+{
+    const Op ops[8] = {Op::MUL, Op::MULH, Op::MULHSU, Op::MULHU,
+                       Op::DIV, Op::DIVU, Op::REM, Op::REMU};
+    for (u32 f3 = 0; f3 < 8; ++f3) {
+        const DecodedInst di = decode(enc::rType(0x33, 4, f3, 5, 6,
+                                                 0x01));
+        EXPECT_EQ(di.op, ops[f3]);
+    }
+    EXPECT_EQ(decode(enc::rType(0x33, 1, 0, 2, 3, 0x01)).cls(),
+              ExecClass::IntMul);
+    EXPECT_EQ(decode(enc::rType(0x33, 1, 4, 2, 3, 0x01)).cls(),
+              ExecClass::IntDiv);
+}
+
+TEST(Decoder, Shifts)
+{
+    DecodedInst di = decode(enc::rType(0x13, 1, 1, 2, 7, 0x00));
+    EXPECT_EQ(di.op, Op::SLLI);
+    EXPECT_EQ(di.imm, 7);
+    di = decode(enc::rType(0x13, 1, 5, 2, 31, 0x20));
+    EXPECT_EQ(di.op, Op::SRAI);
+    EXPECT_EQ(di.imm, 31);
+}
+
+TEST(Decoder, BranchOffsets)
+{
+    for (const i32 off : {-4096, -2048, -2, 2, 64, 4094}) {
+        const DecodedInst di = decode(enc::bType(0x63, 1, 3, 4, off));
+        EXPECT_EQ(di.op, Op::BNE);
+        EXPECT_EQ(di.imm, off) << "offset " << off;
+        EXPECT_EQ(di.rs1, 3);
+        EXPECT_EQ(di.rs2, 4);
+    }
+}
+
+TEST(Decoder, JalOffsets)
+{
+    for (const i32 off : {-(1 << 20), -2, 2, 1024, (1 << 20) - 2}) {
+        const DecodedInst di = decode(enc::jType(0x6f, 1, off));
+        EXPECT_EQ(di.op, Op::JAL);
+        EXPECT_EQ(di.imm, off) << "offset " << off;
+    }
+}
+
+TEST(Decoder, LoadsAndStores)
+{
+    DecodedInst di = decode(enc::iType(0x03, 8, 2, 9, 100));
+    EXPECT_EQ(di.op, Op::LW);
+    EXPECT_TRUE(di.isLoad());
+    EXPECT_EQ(di.info().memBytes, 4);
+    di = decode(enc::iType(0x03, 8, 0, 9, -1));
+    EXPECT_EQ(di.op, Op::LB);
+    EXPECT_TRUE(di.info().memSigned);
+    di = decode(enc::iType(0x03, 8, 4, 9, -1));
+    EXPECT_EQ(di.op, Op::LBU);
+    EXPECT_FALSE(di.info().memSigned);
+    di = decode(enc::sType(0x23, 2, 9, 8, -4));
+    EXPECT_EQ(di.op, Op::SW);
+    EXPECT_TRUE(di.isStore());
+    EXPECT_EQ(di.rs1, 9);
+    EXPECT_EQ(di.rs2, 8);
+    EXPECT_EQ(di.imm, -4);
+}
+
+TEST(Decoder, FpLoadsUseFpDest)
+{
+    const DecodedInst di = decode(enc::iType(0x07, 3, 2, 9, 8));
+    EXPECT_EQ(di.op, Op::FLW);
+    EXPECT_EQ(di.rd, fpReg(3));
+    EXPECT_EQ(di.rs1, 9);  // base is an integer register
+    EXPECT_TRUE(di.info().fpDest);
+}
+
+TEST(Decoder, FpArithmetic)
+{
+    DecodedInst di = decode(enc::rType(0x53, 1, 7, 2, 3, 0x00));
+    EXPECT_EQ(di.op, Op::FADD_S);
+    EXPECT_EQ(di.rd, fpReg(1));
+    EXPECT_EQ(di.rs1, fpReg(2));
+    EXPECT_EQ(di.rs2, fpReg(3));
+    di = decode(enc::rType(0x53, 1, 7, 2, 0, 0x2c));
+    EXPECT_EQ(di.op, Op::FSQRT_S);
+    EXPECT_EQ(di.rs2, kNoReg);
+}
+
+TEST(Decoder, FpCompareWritesIntReg)
+{
+    const DecodedInst di = decode(enc::rType(0x53, 7, 1, 2, 3, 0x50));
+    EXPECT_EQ(di.op, Op::FLT_S);
+    EXPECT_EQ(di.rd, 7);
+    EXPECT_EQ(di.rs1, fpReg(2));
+    EXPECT_EQ(di.rs2, fpReg(3));
+}
+
+TEST(Decoder, FpConversions)
+{
+    DecodedInst di = decode(enc::rType(0x53, 7, 1, 2, 0, 0x60));
+    EXPECT_EQ(di.op, Op::FCVT_W_S);
+    EXPECT_EQ(di.rd, 7);
+    EXPECT_EQ(di.rs1, fpReg(2));
+    di = decode(enc::rType(0x53, 7, 7, 2, 1, 0x68));
+    EXPECT_EQ(di.op, Op::FCVT_S_WU);
+    EXPECT_EQ(di.rd, fpReg(7));
+    EXPECT_EQ(di.rs1, 2);
+}
+
+TEST(Decoder, FmaFamily)
+{
+    const DecodedInst di = decode(enc::r4Type(0x43, 1, 0, 2, 3, 0, 4));
+    EXPECT_EQ(di.op, Op::FMADD_S);
+    EXPECT_EQ(di.rd, fpReg(1));
+    EXPECT_EQ(di.rs1, fpReg(2));
+    EXPECT_EQ(di.rs2, fpReg(3));
+    EXPECT_EQ(di.rs3, fpReg(4));
+    EXPECT_EQ(di.cls(), ExecClass::FpFma);
+}
+
+TEST(Decoder, System)
+{
+    EXPECT_EQ(decode(0x00000073).op, Op::ECALL);
+    EXPECT_EQ(decode(0x00100073).op, Op::EBREAK);
+    EXPECT_EQ(decode(0x0000000f).op, Op::FENCE);
+}
+
+TEST(Decoder, SimtStart)
+{
+    const DecodedInst di = decode(enc::simtS(10, 11, 12, 3));
+    EXPECT_EQ(di.op, Op::SIMT_S);
+    const auto f = simtStartFields(di);
+    EXPECT_EQ(f.rc, 10);
+    EXPECT_EQ(f.rStep, 11);
+    EXPECT_EQ(f.rEnd, 12);
+    EXPECT_EQ(f.interval, 3u);
+    EXPECT_FALSE(di.writesReg());
+}
+
+TEST(Decoder, SimtEnd)
+{
+    const DecodedInst di = decode(enc::simtE(10, 12, 64));
+    EXPECT_EQ(di.op, Op::SIMT_E);
+    const auto f = simtEndFields(di);
+    EXPECT_EQ(f.rc, 10);
+    EXPECT_EQ(f.rEnd, 12);
+    EXPECT_EQ(f.lOffset, 64u);
+    EXPECT_EQ(di.rd, 10);
+    EXPECT_EQ(di.rs1, 12);
+    EXPECT_EQ(di.rs2, 10);
+    EXPECT_TRUE(di.isControl());
+}
+
+TEST(Decoder, InvalidEncodings)
+{
+    EXPECT_EQ(decode(0x00000000).op, Op::INVALID);
+    EXPECT_EQ(decode(0xffffffff).op, Op::INVALID);
+    // OP with a bogus funct7
+    EXPECT_EQ(decode(enc::rType(0x33, 1, 0, 2, 3, 0x11)).op, Op::INVALID);
+}
+
+TEST(Decoder, LuiAuipc)
+{
+    DecodedInst di = decode(enc::uType(0x37, 5, 0x12345000));
+    EXPECT_EQ(di.op, Op::LUI);
+    EXPECT_EQ(di.imm, 0x12345000);
+    di = decode(enc::uType(0x17, 5, static_cast<i32>(0xfffff000)));
+    EXPECT_EQ(di.op, Op::AUIPC);
+    EXPECT_EQ(static_cast<u32>(di.imm), 0xfffff000u);
+}

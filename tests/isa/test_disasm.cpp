@@ -1,0 +1,54 @@
+/** Disassembler smoke tests. */
+#include <gtest/gtest.h>
+
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoder.hpp"
+
+using namespace diag;
+using namespace diag::isa;
+
+TEST(Disasm, RegNames)
+{
+    EXPECT_EQ(regName(0), "x0");
+    EXPECT_EQ(regName(31), "x31");
+    EXPECT_EQ(regName(fpReg(0)), "f0");
+    EXPECT_EQ(regName(fpReg(31)), "f31");
+    EXPECT_EQ(regName(kNoReg), "-");
+}
+
+TEST(Disasm, CommonForms)
+{
+    EXPECT_EQ(disassemble(decode(enc::rType(0x33, 1, 0, 2, 3, 0))),
+              "add x1, x2, x3");
+    EXPECT_EQ(disassemble(decode(enc::iType(0x13, 1, 0, 2, -5))),
+              "addi x1, x2, -5");
+    EXPECT_EQ(disassemble(decode(enc::iType(0x03, 1, 2, 2, 16))),
+              "lw x1, 16(x2)");
+    EXPECT_EQ(disassemble(decode(enc::sType(0x23, 2, 2, 1, -8))),
+              "sw x1, -8(x2)");
+}
+
+TEST(Disasm, ControlFlowResolvesTargets)
+{
+    EXPECT_EQ(disassemble(decode(enc::bType(0x63, 1, 1, 2, 16)), 0x100),
+              "bne x1, x2, 0x110");
+    EXPECT_EQ(disassemble(decode(enc::jType(0x6f, 1, -16)), 0x100),
+              "jal x1, 0xf0");
+}
+
+TEST(Disasm, FpAndSimtForms)
+{
+    EXPECT_EQ(disassemble(decode(enc::rType(0x53, 1, 7, 2, 3, 0))),
+              "fadd.s f1, f2, f3");
+    EXPECT_EQ(disassemble(decode(enc::simtS(10, 11, 12, 2))),
+              "simt_s x10, x11, x12, 2");
+    EXPECT_EQ(disassemble(decode(enc::simtE(10, 12, 0x40)), 0x1040),
+              "simt_e x10, x12, 0x1000");
+}
+
+TEST(Disasm, InvalidAndSystem)
+{
+    EXPECT_EQ(disassemble(decode(0)), "invalid");
+    EXPECT_EQ(disassemble(decode(0x00100073)), "ebreak");
+}

@@ -1,0 +1,270 @@
+/** Unit tests for the shared execution semantics, including the RISC-V
+ *  M-extension corner cases and F-extension NaN/rounding rules. */
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "isa/decoder.hpp"
+#include "isa/encoder.hpp"
+#include "isa/exec.hpp"
+
+using namespace diag;
+using namespace diag::isa;
+
+namespace
+{
+
+/** Decode a freshly encoded word (all tests build insts this way). */
+DecodedInst
+inst(u32 raw)
+{
+    return decode(raw);
+}
+
+u32 f2u(float f) { return std::bit_cast<u32>(f); }
+float u2f(u32 u) { return std::bit_cast<float>(u); }
+
+} // namespace
+
+TEST(Exec, IntegerAluBasics)
+{
+    const DecodedInst add = inst(enc::rType(0x33, 1, 0, 2, 3, 0));
+    EXPECT_EQ(execute(add, 0, 7, 8).value, 15u);
+    EXPECT_EQ(execute(add, 0, 0xffffffffu, 1).value, 0u);  // wraparound
+
+    const DecodedInst sub = inst(enc::rType(0x33, 1, 0, 2, 3, 0x20));
+    EXPECT_EQ(execute(sub, 0, 3, 5).value, 0xfffffffeu);
+
+    const DecodedInst slt = inst(enc::rType(0x33, 1, 2, 2, 3, 0));
+    EXPECT_EQ(execute(slt, 0, 0xffffffffu, 0).value, 1u);  // -1 < 0
+    const DecodedInst sltu = inst(enc::rType(0x33, 1, 3, 2, 3, 0));
+    EXPECT_EQ(execute(sltu, 0, 0xffffffffu, 0).value, 0u);
+}
+
+TEST(Exec, ShiftsUseLowFiveBits)
+{
+    const DecodedInst sll = inst(enc::rType(0x33, 1, 1, 2, 3, 0));
+    EXPECT_EQ(execute(sll, 0, 1, 33).value, 2u);
+    const DecodedInst sra = inst(enc::rType(0x33, 1, 5, 2, 3, 0x20));
+    EXPECT_EQ(execute(sra, 0, 0x80000000u, 31).value, 0xffffffffu);
+    const DecodedInst srl = inst(enc::rType(0x33, 1, 5, 2, 3, 0));
+    EXPECT_EQ(execute(srl, 0, 0x80000000u, 31).value, 1u);
+}
+
+TEST(Exec, BranchesCompareCorrectly)
+{
+    const DecodedInst blt = inst(enc::bType(0x63, 4, 1, 2, 8));
+    EXPECT_TRUE(execute(blt, 0x100, 0xffffffffu, 0).redirect);
+    EXPECT_EQ(execute(blt, 0x100, 0xffffffffu, 0).target, 0x108u);
+    const DecodedInst bgeu = inst(enc::bType(0x63, 7, 1, 2, -8));
+    EXPECT_TRUE(execute(bgeu, 0x100, 0xffffffffu, 0).redirect);
+    EXPECT_EQ(execute(bgeu, 0x100, 0xffffffffu, 0).target, 0xf8u);
+    const DecodedInst beq = inst(enc::bType(0x63, 0, 1, 2, 16));
+    EXPECT_FALSE(execute(beq, 0, 1, 2).redirect);
+}
+
+TEST(Exec, JumpLinksPcPlus4)
+{
+    const DecodedInst jal = inst(enc::jType(0x6f, 1, 0x800));
+    const ExecOut out = execute(jal, 0x1000, 0, 0);
+    EXPECT_EQ(out.value, 0x1004u);
+    EXPECT_TRUE(out.redirect);
+    EXPECT_EQ(out.target, 0x1800u);
+
+    const DecodedInst jalr = inst(enc::iType(0x67, 1, 0, 2, 3));
+    const ExecOut jout = execute(jalr, 0x1000, 0x2001, 0);
+    EXPECT_EQ(jout.target, 0x2004u);  // low bit cleared
+}
+
+TEST(Exec, MulHighVariants)
+{
+    const DecodedInst mulh = inst(enc::rType(0x33, 1, 1, 2, 3, 1));
+    EXPECT_EQ(execute(mulh, 0, 0x80000000u, 0x80000000u).value,
+              0x40000000u);
+    const DecodedInst mulhu = inst(enc::rType(0x33, 1, 3, 2, 3, 1));
+    EXPECT_EQ(execute(mulhu, 0, 0xffffffffu, 0xffffffffu).value,
+              0xfffffffeu);
+    const DecodedInst mulhsu = inst(enc::rType(0x33, 1, 2, 2, 3, 1));
+    // -1 * 0xffffffff (unsigned) = -0xffffffff; high word 0xffffffff.
+    EXPECT_EQ(execute(mulhsu, 0, 0xffffffffu, 0xffffffffu).value,
+              0xffffffffu);
+}
+
+TEST(Exec, DivisionCornerCases)
+{
+    const DecodedInst div = inst(enc::rType(0x33, 1, 4, 2, 3, 1));
+    const DecodedInst divu = inst(enc::rType(0x33, 1, 5, 2, 3, 1));
+    const DecodedInst rem = inst(enc::rType(0x33, 1, 6, 2, 3, 1));
+    const DecodedInst remu = inst(enc::rType(0x33, 1, 7, 2, 3, 1));
+    // Division by zero (RISC-V defined results, no trap).
+    EXPECT_EQ(execute(div, 0, 42, 0).value, 0xffffffffu);
+    EXPECT_EQ(execute(divu, 0, 42, 0).value, 0xffffffffu);
+    EXPECT_EQ(execute(rem, 0, 42, 0).value, 42u);
+    EXPECT_EQ(execute(remu, 0, 42, 0).value, 42u);
+    // Signed overflow INT_MIN / -1.
+    EXPECT_EQ(execute(div, 0, 0x80000000u, 0xffffffffu).value,
+              0x80000000u);
+    EXPECT_EQ(execute(rem, 0, 0x80000000u, 0xffffffffu).value, 0u);
+    // Ordinary signed division truncates toward zero.
+    EXPECT_EQ(execute(div, 0, static_cast<u32>(-7), 2).value,
+              static_cast<u32>(-3));
+    EXPECT_EQ(execute(rem, 0, static_cast<u32>(-7), 2).value,
+              static_cast<u32>(-1));
+}
+
+TEST(Exec, FpArithmeticAndNanCanonicalization)
+{
+    const DecodedInst fadd = inst(enc::rType(0x53, 1, 7, 2, 3, 0x00));
+    EXPECT_EQ(u2f(execute(fadd, 0, f2u(1.5f), f2u(2.25f)).value), 3.75f);
+    // inf + -inf = canonical NaN
+    const u32 inf = 0x7f800000u;
+    const u32 ninf = 0xff800000u;
+    EXPECT_EQ(execute(fadd, 0, inf, ninf).value, kCanonicalNan);
+
+    const DecodedInst fdiv = inst(enc::rType(0x53, 1, 7, 2, 3, 0x0c));
+    EXPECT_EQ(execute(fdiv, 0, f2u(1.0f), f2u(0.0f)).value, inf);
+    EXPECT_EQ(execute(fdiv, 0, f2u(0.0f), f2u(0.0f)).value,
+              kCanonicalNan);
+
+    const DecodedInst fsqrt = inst(enc::rType(0x53, 1, 7, 2, 0, 0x2c));
+    EXPECT_EQ(u2f(execute(fsqrt, 0, f2u(9.0f), 0).value), 3.0f);
+    EXPECT_EQ(execute(fsqrt, 0, f2u(-1.0f), 0).value, kCanonicalNan);
+}
+
+TEST(Exec, FpMinMaxZeroAndNanRules)
+{
+    const DecodedInst fmin = inst(enc::rType(0x53, 1, 0, 2, 3, 0x14));
+    const DecodedInst fmax = inst(enc::rType(0x53, 1, 1, 2, 3, 0x14));
+    const u32 pz = f2u(0.0f);
+    const u32 nz = f2u(-0.0f);
+    EXPECT_EQ(execute(fmin, 0, pz, nz).value, nz);   // -0 < +0
+    EXPECT_EQ(execute(fmax, 0, pz, nz).value, pz);
+    // One NaN: return the other operand.
+    EXPECT_EQ(execute(fmin, 0, kCanonicalNan, f2u(5.0f)).value,
+              f2u(5.0f));
+    EXPECT_EQ(execute(fmax, 0, f2u(5.0f), kCanonicalNan).value,
+              f2u(5.0f));
+    // Both NaN: canonical NaN.
+    EXPECT_EQ(execute(fmin, 0, kCanonicalNan, kCanonicalNan).value,
+              kCanonicalNan);
+}
+
+TEST(Exec, FpConvertSaturates)
+{
+    const DecodedInst w = inst(enc::rType(0x53, 1, 1, 2, 0, 0x60));
+    const DecodedInst wu = inst(enc::rType(0x53, 1, 1, 2, 1, 0x60));
+    EXPECT_EQ(execute(w, 0, f2u(3.7f), 0).value, 3u);      // truncate
+    EXPECT_EQ(execute(w, 0, f2u(-3.7f), 0).value,
+              static_cast<u32>(-3));
+    EXPECT_EQ(execute(w, 0, f2u(3e9f), 0).value, 0x7fffffffu);
+    EXPECT_EQ(execute(w, 0, f2u(-3e9f), 0).value, 0x80000000u);
+    EXPECT_EQ(execute(w, 0, kCanonicalNan, 0).value, 0x7fffffffu);
+    EXPECT_EQ(execute(wu, 0, f2u(-1.0f), 0).value, 0u);
+    EXPECT_EQ(execute(wu, 0, f2u(5e9f), 0).value, 0xffffffffu);
+    EXPECT_EQ(execute(wu, 0, kCanonicalNan, 0).value, 0xffffffffu);
+
+    const DecodedInst sw = inst(enc::rType(0x53, 1, 7, 2, 0, 0x68));
+    EXPECT_EQ(u2f(execute(sw, 0, static_cast<u32>(-2), 0).value), -2.0f);
+    const DecodedInst swu = inst(enc::rType(0x53, 1, 7, 2, 1, 0x68));
+    EXPECT_EQ(u2f(execute(swu, 0, 0xffffffffu, 0).value),
+              4294967296.0f);
+}
+
+TEST(Exec, FpCompares)
+{
+    const DecodedInst feq = inst(enc::rType(0x53, 1, 2, 2, 3, 0x50));
+    const DecodedInst flt = inst(enc::rType(0x53, 1, 1, 2, 3, 0x50));
+    const DecodedInst fle = inst(enc::rType(0x53, 1, 0, 2, 3, 0x50));
+    EXPECT_EQ(execute(feq, 0, f2u(1.0f), f2u(1.0f)).value, 1u);
+    EXPECT_EQ(execute(feq, 0, kCanonicalNan, kCanonicalNan).value, 0u);
+    EXPECT_EQ(execute(flt, 0, f2u(-1.0f), f2u(1.0f)).value, 1u);
+    EXPECT_EQ(execute(fle, 0, f2u(1.0f), f2u(1.0f)).value, 1u);
+    EXPECT_EQ(execute(fle, 0, kCanonicalNan, f2u(1.0f)).value, 0u);
+    // +0 == -0 per IEEE.
+    EXPECT_EQ(execute(feq, 0, f2u(0.0f), f2u(-0.0f)).value, 1u);
+}
+
+TEST(Exec, FpSignInjection)
+{
+    const DecodedInst fsgnj = inst(enc::rType(0x53, 1, 0, 2, 3, 0x10));
+    const DecodedInst fsgnjn = inst(enc::rType(0x53, 1, 1, 2, 3, 0x10));
+    const DecodedInst fsgnjx = inst(enc::rType(0x53, 1, 2, 2, 3, 0x10));
+    EXPECT_EQ(u2f(execute(fsgnj, 0, f2u(2.0f), f2u(-1.0f)).value),
+              -2.0f);
+    EXPECT_EQ(u2f(execute(fsgnjn, 0, f2u(2.0f), f2u(-1.0f)).value),
+              2.0f);
+    EXPECT_EQ(u2f(execute(fsgnjx, 0, f2u(-2.0f), f2u(-1.0f)).value),
+              2.0f);
+}
+
+TEST(Exec, FpClassify)
+{
+    const DecodedInst fc = inst(enc::rType(0x53, 1, 1, 2, 0, 0x70));
+    EXPECT_EQ(execute(fc, 0, 0xff800000u, 0).value, 1u << 0);  // -inf
+    EXPECT_EQ(execute(fc, 0, f2u(-1.0f), 0).value, 1u << 1);
+    EXPECT_EQ(execute(fc, 0, 0x80000001u, 0).value, 1u << 2);  // -subn
+    EXPECT_EQ(execute(fc, 0, f2u(-0.0f), 0).value, 1u << 3);
+    EXPECT_EQ(execute(fc, 0, f2u(0.0f), 0).value, 1u << 4);
+    EXPECT_EQ(execute(fc, 0, 0x00000001u, 0).value, 1u << 5);  // +subn
+    EXPECT_EQ(execute(fc, 0, f2u(1.0f), 0).value, 1u << 6);
+    EXPECT_EQ(execute(fc, 0, 0x7f800000u, 0).value, 1u << 7);  // +inf
+    EXPECT_EQ(execute(fc, 0, 0x7f800001u, 0).value, 1u << 8);  // sNaN
+    EXPECT_EQ(execute(fc, 0, kCanonicalNan, 0).value, 1u << 9);
+}
+
+TEST(Exec, FmaFamily)
+{
+    const DecodedInst fmadd = inst(enc::r4Type(0x43, 1, 0, 2, 3, 0, 4));
+    const DecodedInst fmsub = inst(enc::r4Type(0x47, 1, 0, 2, 3, 0, 4));
+    const DecodedInst fnmsub = inst(enc::r4Type(0x4b, 1, 0, 2, 3, 0, 4));
+    const DecodedInst fnmadd = inst(enc::r4Type(0x4f, 1, 0, 2, 3, 0, 4));
+    const u32 a = f2u(2.0f);
+    const u32 b = f2u(3.0f);
+    const u32 c = f2u(1.0f);
+    EXPECT_EQ(u2f(execute(fmadd, 0, a, b, c).value), 7.0f);
+    EXPECT_EQ(u2f(execute(fmsub, 0, a, b, c).value), 5.0f);
+    EXPECT_EQ(u2f(execute(fnmsub, 0, a, b, c).value), -5.0f);
+    EXPECT_EQ(u2f(execute(fnmadd, 0, a, b, c).value), -7.0f);
+}
+
+TEST(Exec, LoadExtendVariants)
+{
+    const DecodedInst lb = inst(enc::iType(0x03, 1, 0, 2, 0));
+    const DecodedInst lbu = inst(enc::iType(0x03, 1, 4, 2, 0));
+    const DecodedInst lh = inst(enc::iType(0x03, 1, 1, 2, 0));
+    const DecodedInst lhu = inst(enc::iType(0x03, 1, 5, 2, 0));
+    const DecodedInst lw = inst(enc::iType(0x03, 1, 2, 2, 0));
+    EXPECT_EQ(loadExtend(lb, 0x80), 0xffffff80u);
+    EXPECT_EQ(loadExtend(lbu, 0x80), 0x80u);
+    EXPECT_EQ(loadExtend(lh, 0x8000), 0xffff8000u);
+    EXPECT_EQ(loadExtend(lhu, 0x8000), 0x8000u);
+    EXPECT_EQ(loadExtend(lw, 0xdeadbeefu), 0xdeadbeefu);
+}
+
+TEST(Exec, EffectiveAddress)
+{
+    const DecodedInst lw = inst(enc::iType(0x03, 1, 2, 2, -4));
+    EXPECT_EQ(effectiveAddr(lw, 0x1000), 0xffcu);
+}
+
+TEST(Exec, HaltingInstructions)
+{
+    EXPECT_TRUE(execute(decode(0x00100073), 0, 0, 0).halt);  // ebreak
+    EXPECT_TRUE(execute(decode(0x00000073), 0, 0, 0).halt);  // ecall
+    EXPECT_FALSE(execute(decode(0x0000000f), 0, 0, 0).halt); // fence
+}
+
+TEST(Exec, SimtEndLoopsUntilBound)
+{
+    // simt_e with rc=x10, r_end=x12, l_offset=64; step passed as c.
+    const DecodedInst se = decode(enc::simtE(10, 12, 64));
+    // a = end value, b = rc, c = step
+    ExecOut out = execute(se, 0x1040, /*end*/ 10, /*rc*/ 5, /*step*/ 1);
+    EXPECT_EQ(out.value, 6u);
+    EXPECT_TRUE(out.redirect);
+    EXPECT_EQ(out.target, 0x1040u - 64u + 4u);
+    out = execute(se, 0x1040, 10, 9, 1);
+    EXPECT_EQ(out.value, 10u);
+    EXPECT_FALSE(out.redirect);  // rc reached the bound
+}

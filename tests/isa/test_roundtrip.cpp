@@ -1,0 +1,169 @@
+/** Property test: for random valid instructions, the pipeline
+ *  encode -> decode -> disassemble -> re-assemble -> re-encode must be
+ *  the identity. This cross-validates the encoder, decoder,
+ *  disassembler, and assembler against each other. */
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "common/rng.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoder.hpp"
+
+using namespace diag;
+using namespace diag::isa;
+
+namespace
+{
+
+/** Assemble a single instruction line at @p pc and return its word. */
+u32
+reassemble(const std::string &text, Addr pc)
+{
+    char org[32];
+    std::snprintf(org, sizeof(org), ".org 0x%x\n", pc);
+    const Program p = assembler::assemble(org + text + "\n");
+    return p.word(pc);
+}
+
+void
+expectRoundTrip(u32 word, Addr pc = 0x1000)
+{
+    const DecodedInst di = decode(word);
+    ASSERT_TRUE(di.valid()) << "word " << std::hex << word;
+    const std::string text = disassemble(di, pc);
+    const u32 again = reassemble(text, pc);
+    EXPECT_EQ(again, word)
+        << "disassembly '" << text << "' did not round-trip";
+}
+
+} // namespace
+
+TEST(RoundTrip, RandomRTypeIntOps)
+{
+    Rng rng(0x11);
+    const u32 f3f7[][2] = {{0, 0x00}, {0, 0x20}, {1, 0}, {2, 0},
+                           {3, 0},    {4, 0},    {5, 0}, {5, 0x20},
+                           {6, 0},    {7, 0},    {0, 1}, {1, 1},
+                           {2, 1},    {3, 1},    {4, 1}, {5, 1},
+                           {6, 1},    {7, 1}};
+    for (int i = 0; i < 200; ++i) {
+        const auto &sel = f3f7[rng.below(18)];
+        expectRoundTrip(enc::rType(
+            0x33, 1 + static_cast<u32>(rng.below(31)),
+            sel[0], static_cast<u32>(rng.below(32)),
+            static_cast<u32>(rng.below(32)), sel[1]));
+    }
+}
+
+TEST(RoundTrip, RandomImmediateOps)
+{
+    Rng rng(0x22);
+    const u32 f3s[] = {0, 2, 3, 4, 6, 7};
+    for (int i = 0; i < 200; ++i) {
+        expectRoundTrip(enc::iType(
+            0x13, 1 + static_cast<u32>(rng.below(31)),
+            f3s[rng.below(6)], static_cast<u32>(rng.below(32)),
+            static_cast<i32>(rng.range(-2048, 2047))));
+    }
+}
+
+TEST(RoundTrip, RandomLoadsStores)
+{
+    Rng rng(0x33);
+    const u32 ld_f3[] = {0, 1, 2, 4, 5};
+    const u32 st_f3[] = {0, 1, 2};
+    for (int i = 0; i < 100; ++i) {
+        expectRoundTrip(enc::iType(
+            0x03, 1 + static_cast<u32>(rng.below(31)),
+            ld_f3[rng.below(5)], static_cast<u32>(rng.below(32)),
+            static_cast<i32>(rng.range(-2048, 2047))));
+        expectRoundTrip(enc::sType(
+            0x23, st_f3[rng.below(3)],
+            static_cast<u32>(rng.below(32)),
+            static_cast<u32>(rng.below(32)),
+            static_cast<i32>(rng.range(-2048, 2047))));
+    }
+}
+
+TEST(RoundTrip, RandomBranchesAndJumps)
+{
+    Rng rng(0x44);
+    const u32 br_f3[] = {0, 1, 4, 5, 6, 7};
+    for (int i = 0; i < 100; ++i) {
+        const Addr pc = 0x10000;
+        expectRoundTrip(
+            enc::bType(0x63, br_f3[rng.below(6)],
+                       static_cast<u32>(rng.below(32)),
+                       static_cast<u32>(rng.below(32)),
+                       static_cast<i32>(rng.range(-2048, 2047)) * 2),
+            pc);
+        expectRoundTrip(
+            enc::jType(0x6f, 1 + static_cast<u32>(rng.below(31)),
+                       static_cast<i32>(rng.range(-30000, 30000)) * 2),
+            pc + 0x40000);
+    }
+}
+
+TEST(RoundTrip, FpOps)
+{
+    Rng rng(0x55);
+    const u32 rr_f3f7[][2] = {{7, 0x00}, {7, 0x04}, {7, 0x08},
+                              {7, 0x0c}, {0, 0x10}, {1, 0x10},
+                              {2, 0x10}, {0, 0x14}, {1, 0x14}};
+    for (int i = 0; i < 100; ++i) {
+        const auto &sel = rr_f3f7[rng.below(9)];
+        expectRoundTrip(enc::rType(
+            0x53, static_cast<u32>(rng.below(32)), sel[0],
+            static_cast<u32>(rng.below(32)),
+            static_cast<u32>(rng.below(32)), sel[1]));
+    }
+    // Compares, conversions, moves, classify.
+    expectRoundTrip(enc::rType(0x53, 5, 0, 2, 3, 0x50));
+    expectRoundTrip(enc::rType(0x53, 5, 1, 2, 3, 0x50));
+    expectRoundTrip(enc::rType(0x53, 5, 2, 2, 3, 0x50));
+    expectRoundTrip(enc::rType(0x53, 5, 1, 2, 0, 0x60));
+    expectRoundTrip(enc::rType(0x53, 5, 1, 2, 1, 0x60));
+    expectRoundTrip(enc::rType(0x53, 5, 7, 2, 0, 0x68));
+    expectRoundTrip(enc::rType(0x53, 5, 7, 2, 1, 0x68));
+    expectRoundTrip(enc::rType(0x53, 5, 0, 2, 0, 0x70));
+    expectRoundTrip(enc::rType(0x53, 5, 1, 2, 0, 0x70));
+    expectRoundTrip(enc::rType(0x53, 5, 0, 2, 0, 0x78));
+    expectRoundTrip(enc::rType(0x53, 5, 7, 2, 0, 0x2c));
+}
+
+TEST(RoundTrip, FmaFamily)
+{
+    Rng rng(0x66);
+    const u32 opcs[] = {0x43, 0x47, 0x4b, 0x4f};
+    for (int i = 0; i < 50; ++i) {
+        expectRoundTrip(enc::r4Type(
+            opcs[rng.below(4)], static_cast<u32>(rng.below(32)), 0,
+            static_cast<u32>(rng.below(32)),
+            static_cast<u32>(rng.below(32)), 0,
+            static_cast<u32>(rng.below(32))));
+    }
+}
+
+TEST(RoundTrip, SimtExtensions)
+{
+    expectRoundTrip(enc::simtS(10, 11, 12, 3));
+    // simt_e needs its simt_s in front for the assembler's
+    // label-distance computation; build a two-instruction program.
+    const Program p = assembler::assemble(R"(
+        .org 0x1000
+        head: simt_s a0, a1, a2, 1
+        simt_e a0, a2, head
+    )");
+    const u32 word = p.word(0x1004);
+    const DecodedInst di = decode(word);
+    const std::string text = disassemble(di, 0x1004);
+    EXPECT_EQ(text, "simt_e x10, x12, 0x1000");
+}
+
+TEST(RoundTrip, SystemOps)
+{
+    expectRoundTrip(0x00000073);  // ecall
+    expectRoundTrip(0x00100073);  // ebreak
+    expectRoundTrip(0x0000000f);  // fence
+}

@@ -1,0 +1,85 @@
+/** BusyCalendar tests: order-tolerant reservations, gap filling,
+ *  probe/reserve agreement, capacity bounding. */
+#include <gtest/gtest.h>
+
+#include "common/calendar.hpp"
+
+using namespace diag;
+
+TEST(Calendar, MonotonicRequestsBehaveLikeBusyUntil)
+{
+    BusyCalendar cal;
+    EXPECT_EQ(cal.reserve(10, 2), 10u);
+    EXPECT_EQ(cal.reserve(10, 2), 12u);
+    EXPECT_EQ(cal.reserve(11, 2), 14u);
+    EXPECT_EQ(cal.reserve(100, 1), 100u);
+}
+
+TEST(Calendar, EarlyRequestSlotsIntoGap)
+{
+    BusyCalendar cal;
+    // A far-future reservation must not block an earlier request.
+    EXPECT_EQ(cal.reserve(1000, 5), 1000u);
+    EXPECT_EQ(cal.reserve(10, 2), 10u);
+    // The gap between 12 and 1000 is still usable.
+    EXPECT_EQ(cal.reserve(12, 988), 12u);
+    // Now 10..1005 is fully booked.
+    EXPECT_EQ(cal.reserve(10, 1), 1005u);
+}
+
+TEST(Calendar, ExactFitGap)
+{
+    BusyCalendar cal;
+    cal.reserve(10, 2);   // [10,12)
+    cal.reserve(14, 2);   // [14,16)
+    EXPECT_EQ(cal.reserve(10, 2), 12u);  // exactly fills [12,14)
+    EXPECT_EQ(cal.reserve(10, 2), 16u);  // everything before is full
+}
+
+TEST(Calendar, TooSmallGapIsSkipped)
+{
+    BusyCalendar cal;
+    cal.reserve(10, 2);   // [10,12)
+    cal.reserve(13, 2);   // [13,15)
+    // A 2-cycle request does not fit the 1-cycle gap [12,13).
+    EXPECT_EQ(cal.reserve(11, 2), 15u);
+}
+
+TEST(Calendar, ProbeMatchesReserveWithoutMutation)
+{
+    BusyCalendar cal;
+    cal.reserve(10, 4);
+    const Cycle p1 = cal.probe(10, 2);
+    const Cycle p2 = cal.probe(10, 2);
+    EXPECT_EQ(p1, p2);  // probe does not reserve
+    EXPECT_EQ(cal.reserve(10, 2), p1);
+}
+
+TEST(Calendar, BusyAt)
+{
+    BusyCalendar cal;
+    cal.reserve(10, 3);
+    EXPECT_FALSE(cal.busyAt(9));
+    EXPECT_TRUE(cal.busyAt(10));
+    EXPECT_TRUE(cal.busyAt(12));
+    EXPECT_FALSE(cal.busyAt(13));
+}
+
+TEST(Calendar, CapacityDropsOldest)
+{
+    BusyCalendar cal(4);
+    for (Cycle t = 0; t < 50; t += 10)
+        cal.reserve(t, 1);  // five reservations, capacity four
+    EXPECT_EQ(cal.size(), 4u);
+    // The oldest interval [0,1) was forgotten: reserving there is free.
+    EXPECT_EQ(cal.reserve(0, 1), 0u);
+}
+
+TEST(Calendar, ClearEmpties)
+{
+    BusyCalendar cal;
+    cal.reserve(5, 5);
+    cal.clear();
+    EXPECT_EQ(cal.size(), 0u);
+    EXPECT_EQ(cal.reserve(5, 5), 5u);
+}

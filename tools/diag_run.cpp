@@ -1,0 +1,228 @@
+/**
+ * @file
+ * diag-run: command-line driver for the simulators.
+ *
+ *   diag-run [options] [program.s]
+ *     --engine diag|ooo|golden    execution engine (default: diag)
+ *     --config I4C2|F4C2|F4C16|F4C32   DiAG preset (default: F4C32)
+ *     --threads N                 software threads (default: 1)
+ *     --workload NAME             run a built-in benchmark kernel
+ *     --simt                      use the workload's simt variant
+ *     --list-workloads            print the benchmark inventory
+ *     --stats                     dump every model counter
+ *     --regs                      dump final integer registers
+ *     --max-insts N               instruction budget
+ *
+ * With a .s file, the program is assembled and run; with --workload,
+ * the named kernel (inputs + output check included) is run instead.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "common/log.hpp"
+#include "diag/processor.hpp"
+#include "harness/runner.hpp"
+#include "isa/disasm.hpp"
+#include "ooo/processor.hpp"
+#include "sim/golden.hpp"
+
+using namespace diag;
+
+namespace
+{
+
+struct Options
+{
+    std::string engine = "diag";
+    std::string config = "F4C32";
+    std::string workload;
+    std::string file;
+    unsigned threads = 1;
+    bool simt = false;
+    bool stats = false;
+    bool regs = false;
+    u64 max_insts = 500'000'000;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: diag-run [options] [program.s]\n"
+        "  --engine diag|ooo|golden   execution engine (default diag)\n"
+        "  --config I4C2|F4C2|F4C16|F4C32   DiAG preset\n"
+        "  --threads N                software threads\n"
+        "  --workload NAME            run a built-in benchmark kernel\n"
+        "  --simt                     use the simt-annotated variant\n"
+        "  --list-workloads           list the benchmark inventory\n"
+        "  --stats                    dump all model counters\n"
+        "  --regs                     dump final integer registers\n"
+        "  --max-insts N              instruction budget\n");
+}
+
+core::DiagConfig
+configByName(const std::string &name)
+{
+    if (name == "I4C2")
+        return core::DiagConfig::i4c2();
+    if (name == "F4C2")
+        return core::DiagConfig::f4c2();
+    if (name == "F4C16")
+        return core::DiagConfig::f4c16();
+    if (name == "F4C32")
+        return core::DiagConfig::f4c32();
+    fatal("unknown DiAG configuration '%s'", name.c_str());
+}
+
+void
+listWorkloads()
+{
+    auto show = [](const workloads::Workload &w) {
+        std::printf("  %-16s %-8s %s%s\n", w.name.c_str(),
+                    w.suite.c_str(), w.description.c_str(),
+                    w.asm_simt.empty() ? "" : " [simt]");
+    };
+    std::printf("Rodinia-class:\n");
+    for (const auto &w : workloads::rodiniaSuite())
+        show(w);
+    std::printf("SPEC-class:\n");
+    for (const auto &w : workloads::specSuite())
+        show(w);
+}
+
+void
+printStats(const sim::RunStats &rs, const Options &opt)
+{
+    std::printf("cycles        %llu\n",
+                static_cast<unsigned long long>(rs.cycles));
+    std::printf("instructions  %llu\n",
+                static_cast<unsigned long long>(rs.instructions));
+    std::printf("ipc           %.3f\n", rs.ipc());
+    std::printf("halted        %s\n", rs.halted ? "yes" : "NO");
+    if (opt.stats) {
+        std::printf("-- counters --\n");
+        for (const auto &kv : rs.counters.all())
+            std::printf("%-28s %.0f\n", kv.first.c_str(), kv.second);
+    }
+}
+
+int
+runWorkload(const Options &opt)
+{
+    const workloads::Workload w = workloads::findWorkload(opt.workload);
+    harness::RunSpec spec{opt.threads, opt.simt};
+    harness::EngineRun run;
+    if (opt.engine == "diag") {
+        run = harness::runOnDiag(configByName(opt.config), w, spec);
+    } else if (opt.engine == "ooo") {
+        run = harness::runOnOoo(ooo::OooConfig::baseline8(), w, spec);
+    } else {
+        fatal("--workload requires --engine diag or ooo");
+    }
+    std::printf("workload %s on %s: output check %s\n",
+                w.name.c_str(), opt.engine.c_str(),
+                run.checked ? "passed" : "FAILED");
+    printStats(run.stats, opt);
+    std::printf("energy        %.3f uJ\n",
+                run.energy.totalJoules() * 1e6);
+    return run.checked ? 0 : 1;
+}
+
+int
+runFile(const Options &opt)
+{
+    std::ifstream in(opt.file);
+    fatal_if(!in.good(), "cannot open '%s'", opt.file.c_str());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const Program prog = assembler::assemble(ss.str());
+
+    sim::RunStats rs;
+    u32 final_regs[isa::kNumRegs] = {};
+    if (opt.engine == "golden") {
+        sim::GoldenSim sim(prog);
+        const sim::RunResult r = sim.run(opt.max_insts);
+        rs.cycles = r.inst_count;  // functional: 1 "cycle" per inst
+        rs.instructions = r.inst_count;
+        rs.halted = r.halted;
+        for (unsigned i = 0; i < isa::kNumRegs; ++i)
+            final_regs[i] = sim.reg(static_cast<isa::RegId>(i));
+    } else if (opt.engine == "ooo") {
+        ooo::OooProcessor proc(ooo::OooConfig::baseline8());
+        rs = proc.run(prog, opt.max_insts);
+        for (unsigned i = 0; i < isa::kNumRegs; ++i)
+            final_regs[i] =
+                proc.finalReg(0, static_cast<isa::RegId>(i));
+    } else {
+        core::DiagProcessor proc(configByName(opt.config));
+        rs = proc.run(prog, opt.max_insts);
+        for (unsigned i = 0; i < isa::kNumRegs; ++i)
+            final_regs[i] =
+                proc.finalReg(0, static_cast<isa::RegId>(i));
+    }
+    printStats(rs, opt);
+    if (opt.regs) {
+        std::printf("-- registers --\n");
+        for (unsigned i = 0; i < isa::kNumIntRegs; ++i) {
+            std::printf("%-4s 0x%08x%s",
+                        isa::regName(static_cast<isa::RegId>(i)).c_str(),
+                        final_regs[i], (i % 4 == 3) ? "\n" : "  ");
+        }
+    }
+    return rs.halted ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, "missing value for %s",
+                     arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--engine") {
+            opt.engine = next();
+        } else if (arg == "--config") {
+            opt.config = next();
+        } else if (arg == "--threads") {
+            opt.threads = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--workload") {
+            opt.workload = next();
+        } else if (arg == "--simt") {
+            opt.simt = true;
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--regs") {
+            opt.regs = true;
+        } else if (arg == "--max-insts") {
+            opt.max_insts = std::stoull(next());
+        } else if (arg == "--list-workloads") {
+            listWorkloads();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-') {
+            opt.file = arg;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (!opt.workload.empty())
+        return runWorkload(opt);
+    if (opt.file.empty()) {
+        usage();
+        fatal("no program file or --workload given");
+    }
+    return runFile(opt);
+}
