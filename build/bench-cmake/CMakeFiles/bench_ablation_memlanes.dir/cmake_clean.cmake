@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_memlanes"
+  "../bench/bench_ablation_memlanes.pdb"
+  "CMakeFiles/bench_ablation_memlanes.dir/bench_ablation_memlanes.cpp.o"
+  "CMakeFiles/bench_ablation_memlanes.dir/bench_ablation_memlanes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memlanes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

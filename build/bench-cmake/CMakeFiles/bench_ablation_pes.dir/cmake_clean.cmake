@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pes"
+  "../bench/bench_ablation_pes.pdb"
+  "CMakeFiles/bench_ablation_pes.dir/bench_ablation_pes.cpp.o"
+  "CMakeFiles/bench_ablation_pes.dir/bench_ablation_pes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

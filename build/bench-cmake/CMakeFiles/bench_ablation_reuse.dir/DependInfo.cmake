@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_reuse.cpp" "bench-cmake/CMakeFiles/bench_ablation_reuse.dir/bench_ablation_reuse.cpp.o" "gcc" "bench-cmake/CMakeFiles/bench_ablation_reuse.dir/bench_ablation_reuse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/diag_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/diag_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/diag_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/diag/CMakeFiles/diag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ooo/CMakeFiles/diag_ooo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/diag_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/diag_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/diag_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/diag_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/diag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

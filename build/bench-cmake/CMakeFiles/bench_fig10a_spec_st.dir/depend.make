@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10a_spec_st.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9a_rodinia_st"
+  "../bench/bench_fig9a_rodinia_st.pdb"
+  "CMakeFiles/bench_fig9a_rodinia_st.dir/bench_fig9a_rodinia_st.cpp.o"
+  "CMakeFiles/bench_fig9a_rodinia_st.dir/bench_fig9a_rodinia_st.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_rodinia_st.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lane_timing"
+  "../bench/bench_lane_timing.pdb"
+  "CMakeFiles/bench_lane_timing.dir/bench_lane_timing.cpp.o"
+  "CMakeFiles/bench_lane_timing.dir/bench_lane_timing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lane_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_stall_breakdown"
+  "../bench/bench_stall_breakdown.pdb"
+  "CMakeFiles/bench_stall_breakdown.dir/bench_stall_breakdown.cpp.o"
+  "CMakeFiles/bench_stall_breakdown.dir/bench_stall_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stall_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_stages"
+  "../bench/bench_table1_stages.pdb"
+  "CMakeFiles/bench_table1_stages.dir/bench_table1_stages.cpp.o"
+  "CMakeFiles/bench_table1_stages.dir/bench_table1_stages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/diag_vs_ooo"
+  "../examples-bin/diag_vs_ooo.pdb"
+  "CMakeFiles/diag_vs_ooo.dir/diag_vs_ooo.cpp.o"
+  "CMakeFiles/diag_vs_ooo.dir/diag_vs_ooo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_vs_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/loop_reuse"
+  "../examples-bin/loop_reuse.pdb"
+  "CMakeFiles/loop_reuse.dir/loop_reuse.cpp.o"
+  "CMakeFiles/loop_reuse.dir/loop_reuse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/simt_pipelining"
+  "../examples-bin/simt_pipelining.pdb"
+  "CMakeFiles/simt_pipelining.dir/simt_pipelining.cpp.o"
+  "CMakeFiles/simt_pipelining.dir/simt_pipelining.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_asm.dir/assembler.cpp.o"
+  "CMakeFiles/diag_asm.dir/assembler.cpp.o.d"
+  "CMakeFiles/diag_asm.dir/program.cpp.o"
+  "CMakeFiles/diag_asm.dir/program.cpp.o.d"
+  "CMakeFiles/diag_asm.dir/regnames.cpp.o"
+  "CMakeFiles/diag_asm.dir/regnames.cpp.o.d"
+  "libdiag_asm.a"
+  "libdiag_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_common.dir/log.cpp.o"
+  "CMakeFiles/diag_common.dir/log.cpp.o.d"
+  "CMakeFiles/diag_common.dir/stats.cpp.o"
+  "CMakeFiles/diag_common.dir/stats.cpp.o.d"
+  "libdiag_common.a"
+  "libdiag_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

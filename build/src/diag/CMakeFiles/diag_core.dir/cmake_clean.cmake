@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_core.dir/activation.cpp.o"
+  "CMakeFiles/diag_core.dir/activation.cpp.o.d"
+  "CMakeFiles/diag_core.dir/config.cpp.o"
+  "CMakeFiles/diag_core.dir/config.cpp.o.d"
+  "CMakeFiles/diag_core.dir/processor.cpp.o"
+  "CMakeFiles/diag_core.dir/processor.cpp.o.d"
+  "CMakeFiles/diag_core.dir/ring.cpp.o"
+  "CMakeFiles/diag_core.dir/ring.cpp.o.d"
+  "libdiag_core.a"
+  "libdiag_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_energy.dir/diag_energy.cpp.o"
+  "CMakeFiles/diag_energy.dir/diag_energy.cpp.o.d"
+  "CMakeFiles/diag_energy.dir/ooo_energy.cpp.o"
+  "CMakeFiles/diag_energy.dir/ooo_energy.cpp.o.d"
+  "libdiag_energy.a"
+  "libdiag_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

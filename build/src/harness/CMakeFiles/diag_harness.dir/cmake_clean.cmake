@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_harness.dir/runner.cpp.o"
+  "CMakeFiles/diag_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/diag_harness.dir/table.cpp.o"
+  "CMakeFiles/diag_harness.dir/table.cpp.o.d"
+  "libdiag_harness.a"
+  "libdiag_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/decoder.cpp" "src/isa/CMakeFiles/diag_isa.dir/decoder.cpp.o" "gcc" "src/isa/CMakeFiles/diag_isa.dir/decoder.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/isa/CMakeFiles/diag_isa.dir/disasm.cpp.o" "gcc" "src/isa/CMakeFiles/diag_isa.dir/disasm.cpp.o.d"
+  "/root/repo/src/isa/encoder.cpp" "src/isa/CMakeFiles/diag_isa.dir/encoder.cpp.o" "gcc" "src/isa/CMakeFiles/diag_isa.dir/encoder.cpp.o.d"
+  "/root/repo/src/isa/exec.cpp" "src/isa/CMakeFiles/diag_isa.dir/exec.cpp.o" "gcc" "src/isa/CMakeFiles/diag_isa.dir/exec.cpp.o.d"
+  "/root/repo/src/isa/inst.cpp" "src/isa/CMakeFiles/diag_isa.dir/inst.cpp.o" "gcc" "src/isa/CMakeFiles/diag_isa.dir/inst.cpp.o.d"
+  "/root/repo/src/isa/latency.cpp" "src/isa/CMakeFiles/diag_isa.dir/latency.cpp.o" "gcc" "src/isa/CMakeFiles/diag_isa.dir/latency.cpp.o.d"
+  "/root/repo/src/isa/opcodes.cpp" "src/isa/CMakeFiles/diag_isa.dir/opcodes.cpp.o" "gcc" "src/isa/CMakeFiles/diag_isa.dir/opcodes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/diag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_isa.dir/decoder.cpp.o"
+  "CMakeFiles/diag_isa.dir/decoder.cpp.o.d"
+  "CMakeFiles/diag_isa.dir/disasm.cpp.o"
+  "CMakeFiles/diag_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/diag_isa.dir/encoder.cpp.o"
+  "CMakeFiles/diag_isa.dir/encoder.cpp.o.d"
+  "CMakeFiles/diag_isa.dir/exec.cpp.o"
+  "CMakeFiles/diag_isa.dir/exec.cpp.o.d"
+  "CMakeFiles/diag_isa.dir/inst.cpp.o"
+  "CMakeFiles/diag_isa.dir/inst.cpp.o.d"
+  "CMakeFiles/diag_isa.dir/latency.cpp.o"
+  "CMakeFiles/diag_isa.dir/latency.cpp.o.d"
+  "CMakeFiles/diag_isa.dir/opcodes.cpp.o"
+  "CMakeFiles/diag_isa.dir/opcodes.cpp.o.d"
+  "libdiag_isa.a"
+  "libdiag_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

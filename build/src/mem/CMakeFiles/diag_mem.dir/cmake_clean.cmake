@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_mem.dir/cache.cpp.o"
+  "CMakeFiles/diag_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/diag_mem.dir/hierarchy.cpp.o"
+  "CMakeFiles/diag_mem.dir/hierarchy.cpp.o.d"
+  "libdiag_mem.a"
+  "libdiag_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

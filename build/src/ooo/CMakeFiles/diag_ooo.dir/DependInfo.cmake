@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ooo/config.cpp" "src/ooo/CMakeFiles/diag_ooo.dir/config.cpp.o" "gcc" "src/ooo/CMakeFiles/diag_ooo.dir/config.cpp.o.d"
+  "/root/repo/src/ooo/core.cpp" "src/ooo/CMakeFiles/diag_ooo.dir/core.cpp.o" "gcc" "src/ooo/CMakeFiles/diag_ooo.dir/core.cpp.o.d"
+  "/root/repo/src/ooo/predictor.cpp" "src/ooo/CMakeFiles/diag_ooo.dir/predictor.cpp.o" "gcc" "src/ooo/CMakeFiles/diag_ooo.dir/predictor.cpp.o.d"
+  "/root/repo/src/ooo/processor.cpp" "src/ooo/CMakeFiles/diag_ooo.dir/processor.cpp.o" "gcc" "src/ooo/CMakeFiles/diag_ooo.dir/processor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/diag_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/diag_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/diag_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/diag_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/diag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_ooo.dir/config.cpp.o"
+  "CMakeFiles/diag_ooo.dir/config.cpp.o.d"
+  "CMakeFiles/diag_ooo.dir/core.cpp.o"
+  "CMakeFiles/diag_ooo.dir/core.cpp.o.d"
+  "CMakeFiles/diag_ooo.dir/predictor.cpp.o"
+  "CMakeFiles/diag_ooo.dir/predictor.cpp.o.d"
+  "CMakeFiles/diag_ooo.dir/processor.cpp.o"
+  "CMakeFiles/diag_ooo.dir/processor.cpp.o.d"
+  "libdiag_ooo.a"
+  "libdiag_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

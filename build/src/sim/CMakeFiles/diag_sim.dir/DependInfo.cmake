@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fuzz.cpp" "src/sim/CMakeFiles/diag_sim.dir/fuzz.cpp.o" "gcc" "src/sim/CMakeFiles/diag_sim.dir/fuzz.cpp.o.d"
+  "/root/repo/src/sim/golden.cpp" "src/sim/CMakeFiles/diag_sim.dir/golden.cpp.o" "gcc" "src/sim/CMakeFiles/diag_sim.dir/golden.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/diag_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/diag_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/diag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

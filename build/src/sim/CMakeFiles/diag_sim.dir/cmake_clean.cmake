@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_sim.dir/fuzz.cpp.o"
+  "CMakeFiles/diag_sim.dir/fuzz.cpp.o.d"
+  "CMakeFiles/diag_sim.dir/golden.cpp.o"
+  "CMakeFiles/diag_sim.dir/golden.cpp.o.d"
+  "libdiag_sim.a"
+  "libdiag_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

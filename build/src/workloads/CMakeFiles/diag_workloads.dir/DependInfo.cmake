@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/rodinia_a.cpp" "src/workloads/CMakeFiles/diag_workloads.dir/rodinia_a.cpp.o" "gcc" "src/workloads/CMakeFiles/diag_workloads.dir/rodinia_a.cpp.o.d"
+  "/root/repo/src/workloads/rodinia_b.cpp" "src/workloads/CMakeFiles/diag_workloads.dir/rodinia_b.cpp.o" "gcc" "src/workloads/CMakeFiles/diag_workloads.dir/rodinia_b.cpp.o.d"
+  "/root/repo/src/workloads/rodinia_c.cpp" "src/workloads/CMakeFiles/diag_workloads.dir/rodinia_c.cpp.o" "gcc" "src/workloads/CMakeFiles/diag_workloads.dir/rodinia_c.cpp.o.d"
+  "/root/repo/src/workloads/spec_a.cpp" "src/workloads/CMakeFiles/diag_workloads.dir/spec_a.cpp.o" "gcc" "src/workloads/CMakeFiles/diag_workloads.dir/spec_a.cpp.o.d"
+  "/root/repo/src/workloads/spec_b.cpp" "src/workloads/CMakeFiles/diag_workloads.dir/spec_b.cpp.o" "gcc" "src/workloads/CMakeFiles/diag_workloads.dir/spec_b.cpp.o.d"
+  "/root/repo/src/workloads/suites.cpp" "src/workloads/CMakeFiles/diag_workloads.dir/suites.cpp.o" "gcc" "src/workloads/CMakeFiles/diag_workloads.dir/suites.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/diag_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/diag_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/diag_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_workloads.dir/rodinia_a.cpp.o"
+  "CMakeFiles/diag_workloads.dir/rodinia_a.cpp.o.d"
+  "CMakeFiles/diag_workloads.dir/rodinia_b.cpp.o"
+  "CMakeFiles/diag_workloads.dir/rodinia_b.cpp.o.d"
+  "CMakeFiles/diag_workloads.dir/rodinia_c.cpp.o"
+  "CMakeFiles/diag_workloads.dir/rodinia_c.cpp.o.d"
+  "CMakeFiles/diag_workloads.dir/spec_a.cpp.o"
+  "CMakeFiles/diag_workloads.dir/spec_a.cpp.o.d"
+  "CMakeFiles/diag_workloads.dir/spec_b.cpp.o"
+  "CMakeFiles/diag_workloads.dir/spec_b.cpp.o.d"
+  "CMakeFiles/diag_workloads.dir/suites.cpp.o"
+  "CMakeFiles/diag_workloads.dir/suites.cpp.o.d"
+  "libdiag_workloads.a"
+  "libdiag_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdiag_workloads.a"
+)

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diag.dir/diag/test_activation.cpp.o"
+  "CMakeFiles/test_diag.dir/diag/test_activation.cpp.o.d"
+  "CMakeFiles/test_diag.dir/diag/test_differential.cpp.o"
+  "CMakeFiles/test_diag.dir/diag/test_differential.cpp.o.d"
+  "CMakeFiles/test_diag.dir/diag/test_processor.cpp.o"
+  "CMakeFiles/test_diag.dir/diag/test_processor.cpp.o.d"
+  "CMakeFiles/test_diag.dir/diag/test_ring_control.cpp.o"
+  "CMakeFiles/test_diag.dir/diag/test_ring_control.cpp.o.d"
+  "CMakeFiles/test_diag.dir/diag/test_simt.cpp.o"
+  "CMakeFiles/test_diag.dir/diag/test_simt.cpp.o.d"
+  "test_diag"
+  "test_diag.pdb"
+  "test_diag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa.dir/isa/test_decoder.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_decoder.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_disasm.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_disasm.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_exec.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_exec.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_roundtrip.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_roundtrip.cpp.o.d"
+  "test_isa"
+  "test_isa.pdb"
+  "test_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

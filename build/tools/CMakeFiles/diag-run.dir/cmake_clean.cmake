@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools-bin/diag-run"
+  "../tools-bin/diag-run.pdb"
+  "CMakeFiles/diag-run.dir/diag_run.cpp.o"
+  "CMakeFiles/diag-run.dir/diag_run.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
