@@ -1,0 +1,94 @@
+#include "analysis/diagnostic.hpp"
+
+#include "common/log.hpp"
+
+namespace diag::analysis
+{
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Error: return "error";
+      case Severity::Warning: return "warning";
+      case Severity::Note: return "note";
+    }
+    return "?";
+}
+
+unsigned
+LintResult::count(Severity s) const
+{
+    unsigned n = 0;
+    for (const Diagnostic &d : diags)
+        if (d.severity == s)
+            ++n;
+    return n;
+}
+
+std::string
+renderText(const LintResult &result)
+{
+    std::string out;
+    for (const Diagnostic &d : result.diags) {
+        out += detail::vformat("0x%08x: %s: [%s] %s\n", d.pc,
+                               severityName(d.severity), d.pass.c_str(),
+                               d.message.c_str());
+    }
+    out += detail::vformat(
+        "%u error(s), %u warning(s), %u note(s)\n", result.errors(),
+        result.warnings(), result.count(Severity::Note));
+    return out;
+}
+
+namespace
+{
+
+/** Escape a string for inclusion in a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += detail::vformat("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderJson(const LintResult &result)
+{
+    std::string out = detail::vformat(
+        "{\"errors\": %u, \"warnings\": %u, \"notes\": %u, "
+        "\"diagnostics\": [",
+        result.errors(), result.warnings(),
+        result.count(Severity::Note));
+    bool first = true;
+    for (const Diagnostic &d : result.diags) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += detail::vformat(
+            "{\"severity\": \"%s\", \"pc\": %u, \"pass\": \"%s\", "
+            "\"message\": \"%s\"}",
+            severityName(d.severity), d.pc,
+            jsonEscape(d.pass).c_str(), jsonEscape(d.message).c_str());
+    }
+    out += "]}\n";
+    return out;
+}
+
+} // namespace diag::analysis

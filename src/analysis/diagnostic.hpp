@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Structured findings produced by the static analyzer: one Diagnostic
+ * per issue, collected into a LintResult with text and JSON renderers.
+ */
+#ifndef DIAG_ANALYSIS_DIAGNOSTIC_HPP
+#define DIAG_ANALYSIS_DIAGNOSTIC_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace diag::analysis
+{
+
+/**
+ * Finding severity. Errors are conditions that fault or corrupt an
+ * execution (reachable invalid encodings, control flow leaving the
+ * image); warnings are legal-but-suspicious constructs and anything
+ * that silently loses performance (serialized simt regions, datapath
+ * reuse misses); notes are optimization hints.
+ */
+enum class Severity : u8
+{
+    Error,
+    Warning,
+    Note,
+};
+
+/** Printable name of a severity ("error", "warning", "note"). */
+const char *severityName(Severity s);
+
+/** One static-analysis finding, anchored at a program counter. */
+struct Diagnostic
+{
+    Severity severity = Severity::Warning;
+    Addr pc = 0;          //!< instruction the finding anchors to
+    std::string pass;     //!< producing pass: cfg/liveness/simt/reuse
+    std::string message;  //!< human-readable description
+};
+
+/** All findings for one program, in pass order then address order. */
+struct LintResult
+{
+    std::vector<Diagnostic> diags;
+
+    unsigned count(Severity s) const;
+    unsigned errors() const { return count(Severity::Error); }
+    unsigned warnings() const { return count(Severity::Warning); }
+    bool clean() const { return diags.empty(); }
+
+    void
+    add(Severity sev, Addr pc, std::string pass, std::string message)
+    {
+        diags.push_back(
+            {sev, pc, std::move(pass), std::move(message)});
+    }
+};
+
+/**
+ * Render findings as compiler-style text, one per line:
+ *   0x00001010: error: [cfg] execution falls off the end ...
+ * followed by a one-line summary. Empty results render as "clean".
+ */
+std::string renderText(const LintResult &result);
+
+/**
+ * Render findings as a JSON document:
+ *   {"errors": N, "warnings": N, "notes": N, "diagnostics": [...]}
+ */
+std::string renderJson(const LintResult &result);
+
+} // namespace diag::analysis
+
+#endif // DIAG_ANALYSIS_DIAGNOSTIC_HPP

@@ -1,0 +1,173 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+
+#include "analysis/simt_scan.hpp"
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+
+namespace diag::analysis
+{
+
+using namespace diag::isa;
+
+void
+checkSimt(const Cfg &cfg, const Program &prog, const LintOptions &opt,
+          LintResult &report)
+{
+    for (const auto &[pc, di] : cfg.insts) {
+        if (di.op == Op::SIMT_E) {
+            // An unmatched simt_e: its l_offset must point back at a
+            // reachable simt_s.
+            const Addr s_pc = pc - simtEndFields(di).lOffset;
+            auto it = cfg.insts.find(s_pc);
+            if (it == cfg.insts.end() ||
+                it->second.op != Op::SIMT_S) {
+                report.add(
+                    Severity::Warning, pc, "simt",
+                    detail::vformat("unmatched simt_e: l_offset "
+                                    "points at 0x%08x, which is not "
+                                    "a reachable simt_s",
+                                    s_pc));
+            }
+            continue;
+        }
+        if (di.op != Op::SIMT_S)
+            continue;
+        const SimtScan scan = scanSimtRegion(
+            pc, prog.image, opt.line_bytes, opt.clusters_per_ring);
+        switch (scan.status) {
+          case SimtScan::Status::Ok:
+          case SimtScan::Status::NotSimtS:
+            break;
+          case SimtScan::Status::Unterminated:
+            report.add(
+                Severity::Warning, pc, "simt",
+                detail::vformat(
+                    "simt_s has no matching simt_e within %u "
+                    "instructions (ring capacity): the region cannot "
+                    "pipeline and executes serially",
+                    opt.clusters_per_ring * (opt.line_bytes / 4)));
+            break;
+          case SimtScan::Status::MismatchedEnd:
+            report.add(
+                Severity::Warning, pc, "simt",
+                detail::vformat("simt_e at 0x%08x closes a different "
+                                "simt_s: unmatched/nested region "
+                                "markers, the region executes serially",
+                                scan.fault_pc));
+            break;
+          case SimtScan::Status::TooManyLines:
+            report.add(
+                Severity::Warning, pc, "simt",
+                detail::vformat(
+                    "simt region spans %u I-lines but the ring has "
+                    "only %u clusters: the thread pipeline cannot be "
+                    "laid out and the region executes serially",
+                    scan.lines, opt.clusters_per_ring));
+            break;
+          case SimtScan::Status::NestedStart:
+            report.add(
+                Severity::Warning, pc, "simt",
+                detail::vformat("nested simt_s at 0x%08x inside the "
+                                "region: regions cannot nest, the "
+                                "outer region executes serially",
+                                scan.fault_pc));
+            break;
+          case SimtScan::Status::IllegalInst:
+            report.add(
+                Severity::Warning, pc, "simt",
+                detail::vformat(
+                    "illegal instruction inside simt region at "
+                    "0x%08x (`%s`): indirect jumps, ebreak/ecall and "
+                    "invalid encodings cannot pipeline, the region "
+                    "executes serially",
+                    scan.fault_pc,
+                    disassemble(decode(prog.word(scan.fault_pc)),
+                                scan.fault_pc)
+                        .c_str()));
+            break;
+          case SimtScan::Status::BackwardBranch:
+            report.add(
+                Severity::Warning, pc, "simt",
+                detail::vformat("backward branch at 0x%08x inside "
+                                "simt region: inner loops cannot "
+                                "pipeline, the region executes "
+                                "serially",
+                                scan.fault_pc));
+            break;
+          case SimtScan::Status::LoopCarriedDep:
+            report.add(
+                Severity::Warning, pc, "simt",
+                detail::vformat(
+                    "register %s carries a value across iterations "
+                    "(read before any unconditional write in the "
+                    "body): threads would observe the previous "
+                    "iteration's value, the region executes serially",
+                    regName(scan.dep_reg).c_str()));
+            break;
+        }
+    }
+}
+
+void
+checkReuse(const Cfg &cfg, const LintOptions &opt, LintResult &report)
+{
+    for (const auto &[pc, di] : cfg.insts) {
+        // Backward control transfers are the datapath-reuse case
+        // (paper §4.3): the loop body must still be resident.
+        const bool backward =
+            (di.isBranch() || di.op == Op::JAL) && di.imm < 0;
+        if (!backward)
+            continue;
+        const Addr target = pc + static_cast<u32>(di.imm);
+        const Addr head_line = alignDown(target, opt.line_bytes);
+        const Addr tail_line = alignDown(pc, opt.line_bytes);
+        const unsigned lines =
+            static_cast<unsigned>((tail_line - head_line) /
+                                  opt.line_bytes) +
+            1;
+        const u32 body_bytes = pc + 4 - target;
+        if (lines > opt.clusters_per_ring) {
+            report.add(
+                Severity::Warning, pc, "reuse",
+                detail::vformat(
+                    "backward branch to 0x%08x spans %u I-lines but "
+                    "the ring holds %u clusters: the loop cannot stay "
+                    "resident, so every iteration re-fetches and "
+                    "re-decodes its lines (~%u cycles/iteration of "
+                    "lost datapath reuse)",
+                    target, lines, opt.clusters_per_ring,
+                    lines * opt.iline_fetch_cycles));
+        } else if (body_bytes <= opt.line_bytes && lines == 2) {
+            report.add(
+                Severity::Note, pc, "reuse",
+                detail::vformat(
+                    "loop body of %u bytes straddles an I-line "
+                    "boundary: it occupies 2 clusters where an "
+                    "aligned placement needs 1 (costs one extra "
+                    "inter-cluster latch per iteration; consider "
+                    "aligning the loop head to %u bytes)",
+                    body_bytes, opt.line_bytes));
+        }
+    }
+}
+
+LintResult
+lintProgram(const Program &prog, const LintOptions &opt)
+{
+    LintResult report;
+    const Cfg cfg = buildCfg(prog, report);
+    if (cfg.blocks.empty())
+        return report;  // entry outside the image: nothing to analyze
+    checkUnreachable(cfg, prog, report);
+    checkLiveness(cfg, opt.entry_defined, report);
+    if (opt.simt_enabled)
+        checkSimt(cfg, prog, opt, report);
+    checkReuse(cfg, opt, report);
+    return report;
+}
+
+} // namespace diag::analysis

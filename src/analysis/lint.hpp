@@ -1,0 +1,67 @@
+/**
+ * @file
+ * diag-lint: the static dataflow analyzer for assembled programs.
+ *
+ * Runs a pipeline of passes over a diag::Program:
+ *   1. cfg      — basic blocks, reachability, structural errors
+ *   2. liveness — register-lane def-use (undefined reads, dead writes,
+ *                 results discarded into x0)
+ *   3. simt     — simt_s/simt_e region legality (the same scan the
+ *                 ring control unit runs at run time, with reasons)
+ *   4. reuse    — datapath-reuse / cluster-fit perf diagnostics
+ *
+ * Errors are conditions that fault at run time; warnings are legal
+ * constructs that silently lose performance (a region that serializes,
+ * a loop too long to stay resident) or look like bugs (undefined lane
+ * reads). The DiAG processor and the workload harness lint every
+ * program in strict mode and refuse to simulate one with errors.
+ */
+#ifndef DIAG_ANALYSIS_LINT_HPP
+#define DIAG_ANALYSIS_LINT_HPP
+
+#include "analysis/cfg.hpp"
+#include "analysis/liveness.hpp"
+
+namespace diag::analysis
+{
+
+/** Analyzer configuration (machine geometry and entry conventions). */
+struct LintOptions
+{
+    /** I-line / cluster size in bytes (pes_per_cluster * 4). */
+    unsigned line_bytes = 64;
+    /** Clusters per dataflow ring: bounds simt regions and reuse. */
+    unsigned clusters_per_ring = 32;
+    /** When false, simt markers are inert and the simt pass is off. */
+    bool simt_enabled = true;
+    /** Rough fetch+decode cost of one I-line, for perf estimates. */
+    unsigned iline_fetch_cycles = 4;
+    /** Lanes the launch environment initializes (x0 is implicit). */
+    RegSet entry_defined;
+
+    /** Options with the workload-harness convention: a0 = thread id
+     *  and a1 = thread count are defined at entry. */
+    static LintOptions
+    abiEntry()
+    {
+        LintOptions opt;
+        opt.entry_defined.set(10).set(11);
+        return opt;
+    }
+};
+
+/** Run every pass over @p prog and collect the findings. */
+LintResult lintProgram(const Program &prog,
+                       const LintOptions &opt = {});
+
+/** Pass 3: static simt_s/simt_e region legality (reachable regions). */
+void checkSimt(const Cfg &cfg, const Program &prog,
+               const LintOptions &opt, LintResult &report);
+
+/** Pass 4: backward-branch reuse and cluster-fit diagnostics. */
+void checkReuse(const Cfg &cfg, const LintOptions &opt,
+                LintResult &report);
+
+} // namespace diag::analysis
+
+#endif // DIAG_ANALYSIS_LINT_HPP

@@ -1,0 +1,214 @@
+#include "analysis/liveness.hpp"
+
+#include <map>
+
+#include "common/log.hpp"
+#include "isa/disasm.hpp"
+
+namespace diag::analysis
+{
+
+using namespace diag::isa;
+
+namespace
+{
+
+void
+addReg(RegSet &set, RegId r)
+{
+    if (r != kNoReg && r != kRegZero)
+        set.set(r);
+}
+
+/** True for opcode classes whose encodings carry a destination field,
+ *  so `rd == kNoReg` means the programmer wrote x0 as destination. */
+bool
+encodesIntDest(const DecodedInst &di)
+{
+    switch (di.cls()) {
+      case ExecClass::IntAlu:
+      case ExecClass::IntMul:
+      case ExecClass::IntDiv:
+      case ExecClass::Load:
+      case ExecClass::FpCmp:
+      case ExecClass::FpCvt:
+      case ExecClass::FpMisc:
+        return !di.info().fpDest;
+      default:
+        return false;
+    }
+}
+
+constexpr u32 kCanonicalNop = 0x00000013;  // addi x0, x0, 0
+
+} // namespace
+
+UseDef
+instUseDef(const Cfg &cfg, Addr pc, const DecodedInst &di)
+{
+    UseDef ud;
+    if (!di.valid())
+        return ud;
+    if (di.op == Op::SIMT_S) {
+        // simt_s launches threads from rc/r_step/r_end but leaves rc
+        // with its entry value (the marker itself writes nothing).
+        const SimtStartFields f = simtStartFields(di);
+        addReg(ud.use, f.rc);
+        addReg(ud.use, f.rStep);
+        addReg(ud.use, f.rEnd);
+        return ud;
+    }
+    if (di.op == Op::SIMT_E) {
+        // simt_e advances rc by the matching simt_s's step and
+        // compares it against r_end (scalar do-while semantics).
+        const SimtEndFields f = simtEndFields(di);
+        addReg(ud.use, f.rc);
+        addReg(ud.use, f.rEnd);
+        const Addr s_pc = pc - f.lOffset;
+        auto it = cfg.insts.find(s_pc);
+        if (it != cfg.insts.end() && it->second.op == Op::SIMT_S)
+            addReg(ud.use, simtStartFields(it->second).rStep);
+        addReg(ud.def, f.rc);
+        return ud;
+    }
+    addReg(ud.use, di.rs1);
+    addReg(ud.use, di.rs2);
+    addReg(ud.use, di.rs3);
+    addReg(ud.def, di.rd);
+    return ud;
+}
+
+void
+checkLiveness(const Cfg &cfg, const RegSet &entry_defined,
+              LintResult &report)
+{
+    const size_t n = cfg.blocks.size();
+    if (n == 0)
+        return;
+    const RegSet all = RegSet{}.flip();
+
+    // ---- backward liveness fixpoint ----
+    std::vector<RegSet> live_in(n), live_out(n);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = n; i-- > 0;) {
+            const BasicBlock &bb = cfg.blocks[i];
+            RegSet out;
+            if (bb.unknown_succ)
+                out = all;  // indirect transfer: anything may be read
+            for (const Addr s : bb.succs)
+                out |= live_in[cfg.leader_index.at(s)];
+            RegSet in = out;
+            for (Addr pc = bb.last;; pc -= 4) {
+                const UseDef ud =
+                    instUseDef(cfg, pc, cfg.insts.at(pc));
+                in = (in & ~ud.def) | ud.use;
+                if (pc == bb.first)
+                    break;
+            }
+            if (out != live_out[i] || in != live_in[i]) {
+                live_out[i] = out;
+                live_in[i] = in;
+                changed = true;
+            }
+        }
+    }
+
+    // ---- dead writes: defs of lanes not live just after the def ----
+    for (size_t i = 0; i < n; ++i) {
+        const BasicBlock &bb = cfg.blocks[i];
+        RegSet live = live_out[i];
+        for (Addr pc = bb.last;; pc -= 4) {
+            const DecodedInst &di = cfg.insts.at(pc);
+            const UseDef ud = instUseDef(cfg, pc, di);
+            // Link writes (call/return idiom) and simt markers are
+            // conventionally unread; only flag plain computation.
+            if (ud.def.any() && (ud.def & live).none() &&
+                di.op != Op::JAL && di.op != Op::JALR && !di.isSimt()) {
+                report.add(
+                    Severity::Warning, pc, "liveness",
+                    detail::vformat("dead write: `%s` drives lane %s "
+                                    "but no later instruction reads it "
+                                    "before the next write",
+                                    disassemble(di, pc).c_str(),
+                                    regName(di.rd).c_str()));
+            }
+            live = (live & ~ud.def) | ud.use;
+            if (pc == bb.first)
+                break;
+        }
+    }
+
+    // ---- forward must-define fixpoint (definitely-written lanes) ----
+    const unsigned entry_idx = cfg.leader_index.at(cfg.entry);
+    std::vector<RegSet> def_in(n, all), def_out(n, all);
+    changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 0; i < n; ++i) {
+            const BasicBlock &bb = cfg.blocks[i];
+            RegSet in = all;
+            for (const unsigned p : bb.preds) {
+                const BasicBlock &pred = cfg.blocks[p];
+                // A call-return edge may define anything (the callee's
+                // writes are visible after it returns).
+                const bool via_call = pred.call_fallthrough &&
+                                      pred.last + 4 == bb.first;
+                in &= via_call ? all : def_out[p];
+            }
+            // Entering from the launch environment is a real path.
+            if (bb.id == entry_idx)
+                in &= entry_defined;
+            RegSet out = in;
+            for (Addr pc = bb.first; pc <= bb.last; pc += 4)
+                out |= instUseDef(cfg, pc, cfg.insts.at(pc)).def;
+            if (in != def_in[i] || out != def_out[i]) {
+                def_in[i] = in;
+                def_out[i] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // ---- report: first read of each never-/maybe-unwritten lane ----
+    std::map<unsigned, Addr> first_undef_read;  // reg -> lowest pc
+    for (size_t i = 0; i < n; ++i) {
+        const BasicBlock &bb = cfg.blocks[i];
+        RegSet defined = def_in[i];
+        for (Addr pc = bb.first; pc <= bb.last; pc += 4) {
+            const UseDef ud = instUseDef(cfg, pc, cfg.insts.at(pc));
+            const RegSet undef = ud.use & ~defined;
+            for (unsigned r = 0; r < 64; ++r) {
+                if (!undef.test(r))
+                    continue;
+                auto it = first_undef_read.find(r);
+                if (it == first_undef_read.end() || pc < it->second)
+                    first_undef_read[r] = pc;
+            }
+            defined |= ud.def;
+        }
+    }
+    for (const auto &[r, pc] : first_undef_read) {
+        report.add(
+            Severity::Warning, pc, "liveness",
+            detail::vformat("register %s is read here but no write "
+                            "precedes it on some path from the entry "
+                            "(the lane reads as zero)",
+                            regName(static_cast<RegId>(r)).c_str()));
+    }
+
+    // ---- results discarded into x0 ----
+    for (const auto &[pc, di] : cfg.insts) {
+        if (di.valid() && di.rd == kNoReg && encodesIntDest(di) &&
+            di.raw != kCanonicalNop) {
+            report.add(
+                Severity::Warning, pc, "liveness",
+                detail::vformat("`%s` discards its result into x0 "
+                                "(did you mean another destination?)",
+                                disassemble(di, pc).c_str()));
+        }
+    }
+}
+
+} // namespace diag::analysis

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Register-lane def-use and liveness analysis over the CFG.
+ *
+ * In DiAG the register file is a set of lanes flowing through the PE
+ * row, so classic liveness maps directly onto the hardware: a lane
+ * read before any write observes the zero-initialized lane, and a dead
+ * write drives a lane value no later PE ever captures. This pass runs
+ * a backward liveness fixpoint plus a forward must-define fixpoint and
+ * reports: reads of never-written lanes, dead writes, and instructions
+ * that discard their result into x0.
+ */
+#ifndef DIAG_ANALYSIS_LIVENESS_HPP
+#define DIAG_ANALYSIS_LIVENESS_HPP
+
+#include <bitset>
+
+#include "analysis/cfg.hpp"
+
+namespace diag::analysis
+{
+
+/** One bit per unified register (x0..x31, f0..f31). */
+using RegSet = std::bitset<64>;
+
+/**
+ * Registers @p di reads / writes, with the simt markers modelled
+ * precisely: simt_s reads rc/r_step/r_end and preserves rc; simt_e
+ * reads rc/r_end plus the matching simt_s's r_step and rewrites rc.
+ * x0 is never in either set.
+ */
+struct UseDef
+{
+    RegSet use;
+    RegSet def;
+};
+UseDef instUseDef(const Cfg &cfg, Addr pc, const isa::DecodedInst &di);
+
+/**
+ * Run the liveness checks over @p cfg and append findings to
+ * @p report. @p entry_defined is the set of registers the launch
+ * environment initializes (e.g. a0/a1 under the workload harness
+ * convention); reads of any other lane before a write are flagged.
+ */
+void checkLiveness(const Cfg &cfg, const RegSet &entry_defined,
+                   LintResult &report);
+
+} // namespace diag::analysis
+
+#endif // DIAG_ANALYSIS_LIVENESS_HPP

@@ -36,6 +36,13 @@ struct DiagConfig
      * defaults to off; bench_ablation_prefetch quantifies it).
      */
     bool stride_prefetch_enabled = false;
+    /**
+     * Statically lint every program before simulating it (strict
+     * mode): programs with error-level findings — reachable invalid
+     * encodings, control flow leaving the image — are rejected with
+     * fatal() instead of faulting mid-simulation.
+     */
+    bool lint_enabled = true;
 
     // ---- timing ----
     /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/lint.hpp"
 #include "common/log.hpp"
 
 namespace diag::core
@@ -25,11 +26,40 @@ DiagProcessor::run(const Program &prog, u64 max_insts)
     return runThreads(prog, {ThreadSpec{prog.entry, {}}}, max_insts);
 }
 
+void
+DiagProcessor::lintStrict(const Program &prog,
+                          const std::vector<ThreadSpec> &threads) const
+{
+    analysis::LintOptions opt;
+    opt.line_bytes = cfg_.pes_per_cluster * 4;
+    opt.clusters_per_ring = cfg_.clustersPerRing();
+    opt.simt_enabled = cfg_.simt_enabled;
+    // A lane is entry-defined only if every thread initializes it.
+    opt.entry_defined.set();
+    for (const ThreadSpec &spec : threads) {
+        analysis::RegSet regs;
+        for (const auto &[reg, value] : spec.init_regs)
+            regs.set(reg);
+        opt.entry_defined &= regs;
+    }
+    const analysis::LintResult lint = analysis::lintProgram(prog, opt);
+    if (lint.errors() > 0) {
+        analysis::LintResult errors_only;
+        for (const analysis::Diagnostic &d : lint.diags)
+            if (d.severity == analysis::Severity::Error)
+                errors_only.diags.push_back(d);
+        fatal("program rejected by the static analyzer:\n%s",
+              analysis::renderText(errors_only).c_str());
+    }
+}
+
 sim::RunStats
 DiagProcessor::runThreads(const Program &prog,
                           const std::vector<ThreadSpec> &threads,
                           u64 max_insts)
 {
+    if (cfg_.lint_enabled)
+        lintStrict(prog, threads);
     if (!program_loaded_)
         loadProgram(prog);
     results_.clear();

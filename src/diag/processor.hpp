@@ -86,6 +86,10 @@ class DiagProcessor
     const StatGroup &stats() const { return stats_; }
 
   private:
+    /** Strict-mode static lint: fatal() on error-level findings. */
+    void lintStrict(const Program &prog,
+                    const std::vector<ThreadSpec> &threads) const;
+
     DiagConfig cfg_;
     SparseMemory mem_;
     mem::MemHierarchy mh_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "analysis/simt_scan.hpp"
 #include "common/bits.hpp"
 #include "common/log.hpp"
 #include "isa/decoder.hpp"
@@ -328,74 +329,18 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
 Ring::SimtRegion
 Ring::scanSimtRegion(Addr simt_s_pc, SparseMemory &mem) const
 {
+    // The legality rules live in the shared static analyzer so that
+    // diag-lint reports exactly what this control unit will accept.
     SimtRegion region;
     if (!cfg_.simt_enabled)
         return region;
-    const DecodedInst start = decode(mem.read32(simt_s_pc));
-    if (start.op != Op::SIMT_S)
+    const analysis::SimtScan scan = analysis::scanSimtRegion(
+        simt_s_pc, mem, line_bytes_, cfg_.clustersPerRing());
+    if (!scan.ok())
         return region;
-    region.fields = simtStartFields(start);
-    // The whole region [simt_s, simt_e] must fit in this ring's
-    // clusters, and the body must be free of backward control flow and
-    // indirect jumps (paper §4.4.3). Additionally reject loop-carried
-    // register dependences: any register other than rc that is read
-    // before it is written in the body would observe the previous
-    // thread's value, which a pipeline cannot provide.
-    const unsigned max_insts =
-        cfg_.clustersPerRing() * cfg_.pes_per_cluster;
-    bool written[isa::kNumRegs] = {};        // definitely written
-    bool maybe_written[isa::kNumRegs] = {};  // written on any path
-    bool live_in[isa::kNumRegs] = {};  // read before a definite write
-    Addr conditional_until = 0;  // writes under a forward branch are
-                                 // not definite
-    for (unsigned i = 1; i <= max_insts; ++i) {
-        const Addr pc = simt_s_pc + 4 * i;
-        const DecodedInst di = decode(mem.read32(pc));
-        if (di.op != Op::SIMT_E) {
-            for (const RegId src : {di.rs1, di.rs2, di.rs3}) {
-                if (src != kNoReg && src != kRegZero &&
-                    src != region.fields.rc && !written[src])
-                    live_in[src] = true;
-            }
-            if ((di.isBranch() || di.op == Op::JAL) && di.imm > 0)
-                conditional_until = std::max(
-                    conditional_until,
-                    pc + static_cast<u32>(di.imm));
-            if (di.writesReg() && di.rd != region.fields.rc) {
-                maybe_written[di.rd] = true;
-                if (pc >= conditional_until)
-                    written[di.rd] = true;
-            }
-        }
-        if (di.op == Op::SIMT_E) {
-            if (simtEndFields(di).lOffset != 4 * i)
-                return region;  // belongs to a different simt_s
-            // Check the line span fits the ring.
-            const Addr first_line =
-                alignDown(simt_s_pc + 4, line_bytes_);
-            const Addr last_line = alignDown(pc, line_bytes_);
-            const unsigned lines =
-                (last_line - first_line) / line_bytes_ + 1;
-            if (lines > cfg_.clustersPerRing())
-                return region;
-            // Loop-carried register dependence: a register that can
-            // carry a value from one iteration into a read of the
-            // next cannot be pipelined (threads see only the simt_s
-            // snapshot plus their own writes).
-            for (unsigned r = 1; r < isa::kNumRegs; ++r) {
-                if (live_in[r] && maybe_written[r])
-                    return region;
-            }
-            region.ok = true;
-            region.simt_e_pc = pc;
-            return region;
-        }
-        if (!di.valid() || di.op == Op::SIMT_S || di.isIndirect() ||
-            di.op == Op::EBREAK || di.op == Op::ECALL)
-            return region;
-        if ((di.isBranch() || di.op == Op::JAL) && di.imm < 0)
-            return region;  // backward branch: cannot pipeline
-    }
+    region.ok = true;
+    region.simt_e_pc = scan.simt_e_pc;
+    region.fields = scan.fields;
     return region;
 }
 

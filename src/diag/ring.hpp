@@ -48,6 +48,16 @@ class Ring
 
     void reset();
 
+    /** Pre-validate a simt region starting at @p simt_s_pc. Public so
+     *  tests can check it agrees with the static analyzer. */
+    struct SimtRegion
+    {
+        bool ok = false;
+        Addr simt_e_pc = 0;
+        isa::SimtStartFields fields{};
+    };
+    SimtRegion scanSimtRegion(Addr simt_s_pc, SparseMemory &mem) const;
+
   private:
     /** A line made resident in a cluster. */
     struct Resident
@@ -72,15 +82,6 @@ class Ring
 
     /** Fire-and-forget prefetch of the fall-through line. */
     void prefetch(Addr line, Cycle when, SparseMemory &mem);
-
-    /** Pre-validate a simt region starting at @p simt_s_pc. */
-    struct SimtRegion
-    {
-        bool ok = false;
-        Addr simt_e_pc = 0;
-        isa::SimtStartFields fields{};
-    };
-    SimtRegion scanSimtRegion(Addr simt_s_pc, SparseMemory &mem) const;
 
     /**
      * Execute a simt region as a thread pipeline. Returns the serial

@@ -1,5 +1,6 @@
 #include "harness/runner.hpp"
 
+#include "analysis/lint.hpp"
 #include "asm/assembler.hpp"
 #include "common/log.hpp"
 #include "diag/processor.hpp"
@@ -32,6 +33,20 @@ effectiveThreads(const Workload &w, const RunSpec &spec)
     return w.partitionable ? spec.threads : 1;
 }
 
+/**
+ * Strict lint: a bundled workload must be free of error-level static
+ * findings before we spend cycles simulating it.
+ */
+void
+lintOrDie(const Program &prog, const Workload &w)
+{
+    const analysis::LintResult lint =
+        analysis::lintProgram(prog, analysis::LintOptions::abiEntry());
+    if (lint.errors() > 0)
+        fatal("workload %s rejected by the static analyzer:\n%s",
+              w.name.c_str(), analysis::renderText(lint).c_str());
+}
+
 } // namespace
 
 EngineRun
@@ -40,6 +55,7 @@ runOnDiag(const core::DiagConfig &cfg, const Workload &w,
 {
     const Program prog =
         assembler::assemble(variantSource(w, spec));
+    lintOrDie(prog, w);
     core::DiagProcessor proc(cfg);
     proc.loadProgram(prog);
     w.init(proc.memory());
@@ -67,6 +83,7 @@ runOnOoo(const ooo::OooConfig &cfg, const Workload &w,
 {
     fatal_if(spec.use_simt, "the OoO baseline has no simt hardware");
     const Program prog = assembler::assemble(w.asm_serial);
+    lintOrDie(prog, w);
     ooo::OooProcessor proc(cfg);
     proc.loadProgram(prog);
     w.init(proc.memory());

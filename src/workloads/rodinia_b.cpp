@@ -51,7 +51,8 @@ kmeansBody()
         s += "    fmadd.s fa1, ft3, ft3, fa1\n";
         s += "    flt.s t3, fa1, fa0\n";
         s += "    beqz t3, " + skip + "\n";
-        s += "    fmv.s fa0, fa1\n";
+        if (k + 1 < kKmK)  // the last min is never compared again
+            s += "    fmv.s fa0, fa1\n";
         s += "    li t2, " + std::to_string(k) + "\n";
         s += skip + ":\n";
     }

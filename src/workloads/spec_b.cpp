@@ -311,7 +311,6 @@ nomatch:
     slli t1, t0, 1
     add t0, t0, t1         # reserved spacing (tile * 384 bytes)
     add t0, t0, s6
-    slli t1, s9, 0
     srli t1, s9, 4         # position / 16 = record index
     slli t1, t1, 2
     add t0, t0, t1

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * diag-lint: static dataflow analyzer for assembled DiAG programs.
+ *
+ *   diag-lint [options] [program.s ...]
+ *     --workload NAME        lint a built-in benchmark kernel
+ *     --all-workloads        lint every bundled kernel (both variants)
+ *     --config I4C2|F4C2|F4C16|F4C32   DiAG preset (default F4C32)
+ *     --rings N              override the ring count of the preset
+ *     --json                 emit machine-readable JSON
+ *     --werror               treat warnings as errors (exit status)
+ *
+ * Passes: CFG construction (unreachable code, control flow leaving the
+ * image), register-lane liveness (undefined-lane reads, dead writes,
+ * x0 destinations), SIMT region legality (the exact rules the control
+ * unit applies at runtime), and datapath-reuse diagnostics (loop spans
+ * vs. loaded clusters, I-line straddles).
+ *
+ * Exit status: 0 when no errors (no warnings either under --werror),
+ * 1 when findings fail that bar, 2 on usage errors.
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "asm/assembler.hpp"
+#include "common/log.hpp"
+#include "diag/config.hpp"
+#include "workloads/workload.hpp"
+
+using namespace diag;
+
+namespace
+{
+
+struct Options
+{
+    std::string config = "F4C32";
+    std::string workload;
+    std::vector<std::string> files;
+    unsigned rings = 0;  //!< 0 = keep the preset's ring count
+    bool all_workloads = false;
+    bool json = false;
+    bool werror = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: diag-lint [options] [program.s ...]\n"
+        "  --workload NAME      lint a built-in benchmark kernel\n"
+        "  --all-workloads      lint every bundled kernel\n"
+        "  --config I4C2|F4C2|F4C16|F4C32   DiAG preset\n"
+        "  --rings N            override the preset's ring count\n"
+        "  --json               emit machine-readable JSON\n"
+        "  --werror             treat warnings as errors\n");
+}
+
+core::DiagConfig
+configByName(const std::string &name)
+{
+    if (name == "I4C2")
+        return core::DiagConfig::i4c2();
+    if (name == "F4C2")
+        return core::DiagConfig::f4c2();
+    if (name == "F4C16")
+        return core::DiagConfig::f4c16();
+    if (name == "F4C32")
+        return core::DiagConfig::f4c32();
+    fatal("unknown DiAG configuration '%s'", name.c_str());
+}
+
+analysis::LintOptions
+lintOptions(const Options &opt, bool abi_entry)
+{
+    core::DiagConfig cfg = configByName(opt.config);
+    if (opt.rings != 0)
+        cfg.num_rings = opt.rings;
+    analysis::LintOptions lo =
+        abi_entry ? analysis::LintOptions::abiEntry()
+                  : analysis::LintOptions{};
+    lo.line_bytes = cfg.pes_per_cluster * 4;
+    lo.clusters_per_ring = cfg.clustersPerRing();
+    lo.simt_enabled = cfg.simt_enabled;
+    return lo;
+}
+
+/** Lint one unit; prints findings, returns the result. */
+analysis::LintResult
+lintUnit(const std::string &label, const std::string &source,
+         const Options &opt, bool abi_entry)
+{
+    const Program prog = assembler::assemble(source);
+    const analysis::LintResult res =
+        analysis::lintProgram(prog, lintOptions(opt, abi_entry));
+    if (opt.json) {
+        std::printf("%s\n", analysis::renderJson(res).c_str());
+    } else {
+        std::printf("== %s ==\n%s", label.c_str(),
+                    analysis::renderText(res).c_str());
+    }
+    return res;
+}
+
+/** True when @p res fails the exit bar of @p opt. */
+bool
+fails(const analysis::LintResult &res, const Options &opt)
+{
+    return res.errors() > 0 || (opt.werror && res.warnings() > 0);
+}
+
+int
+lintWorkload(const workloads::Workload &w, const Options &opt)
+{
+    int bad = 0;
+    bad += fails(lintUnit(w.name + " (serial)", w.asm_serial, opt,
+                          /*abi_entry=*/true),
+                 opt);
+    if (!w.asm_simt.empty())
+        bad += fails(lintUnit(w.name + " (simt)", w.asm_simt, opt,
+                              /*abi_entry=*/true),
+                     opt);
+    return bad;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, "missing value for %s",
+                     arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            opt.workload = next();
+        } else if (arg == "--all-workloads") {
+            opt.all_workloads = true;
+        } else if (arg == "--config") {
+            opt.config = next();
+        } else if (arg == "--rings") {
+            opt.rings = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--werror") {
+            opt.werror = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-') {
+            opt.files.push_back(arg);
+        } else {
+            usage();
+            return 2;
+        }
+    }
+
+    int bad = 0;
+    if (opt.all_workloads) {
+        for (const auto &w : workloads::rodiniaSuite())
+            bad += lintWorkload(w, opt);
+        for (const auto &w : workloads::specSuite())
+            bad += lintWorkload(w, opt);
+    } else if (!opt.workload.empty()) {
+        bad += lintWorkload(workloads::findWorkload(opt.workload), opt);
+    }
+    for (const std::string &file : opt.files) {
+        std::ifstream in(file);
+        fatal_if(!in.good(), "cannot open '%s'", file.c_str());
+        std::stringstream ss;
+        ss << in.rdbuf();
+        bad += fails(lintUnit(file, ss.str(), opt, /*abi_entry=*/false),
+                     opt);
+    }
+    if (!opt.all_workloads && opt.workload.empty() &&
+        opt.files.empty()) {
+        usage();
+        return 2;
+    }
+    return bad ? 1 : 0;
+}
