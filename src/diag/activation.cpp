@@ -4,6 +4,7 @@
 
 #include "common/bits.hpp"
 #include "common/log.hpp"
+#include "fault/controller.hpp"
 #include "isa/decoder.hpp"
 #include "isa/exec.hpp"
 #include "isa/latency.hpp"
@@ -223,11 +224,15 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
             done = serveLoad(cl, tmc, ea, di.info().memBytes, issue, i);
             value = loadExtend(di, tmc.mem().read(ea,
                                                   di.info().memBytes));
+            if (fc_)
+                fc_->onPeResult(cl.index, i, value);
         } else if (di.isStore()) {
             is_store = true;
             store_ea = effectiveAddr(di, lane_value(di.rs1));
             store_size = di.info().memBytes;
             store_val = lane_value(di.rs2);
+            if (fc_)
+                fc_->onPeResult(cl.index, i, store_val);
             done = start + 1;  // address + data latched in the PE
             // The address resolves as soon as rs1 is available, even
             // if the data operand arrives much later; younger loads
@@ -239,6 +244,8 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
                                        lane_value(di.rs2), c_val);
             done = start + execLatency(di);
             value = eo.value;
+            if (fc_)
+                fc_->onPeResult(cl.index, i, value);
             halt = eo.halt;
             if (eo.redirect) {
                 redirect = true;
@@ -258,6 +265,8 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
         // ---- destination lane write ----
         if (di.writesReg()) {
             lane[di.rd] = {value, done, seg};
+            if (fc_ && fc_->parityEnabled())
+                lane[di.rd].parity = laneParity(value);
             stats_.inc("lane_writes");
             stats_.inc("lane_hops",
                        static_cast<double>(last_seg - seg + 1));
@@ -270,12 +279,27 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
         pc_seg = seg;
         if (is_store) {
             // Stores commit when the PC lane passes (paper §4.3).
+            if (fc_)
+                fc_->onStoreCommit(
+                    store_ea, store_size,
+                    tmc.mem().read(store_ea, store_size));
             tmc.mem().write(store_ea, store_val, store_size);
             tmc.recordStore(store_ea, store_size, store_addr_ready,
                             done);
             commitStore(cl, store_ea, pc_leave);
         }
         ++out.retired;
+        if (fc_) {
+            fault::RetireRecord rr;
+            rr.pc = addr;
+            rr.wrote_reg = di.writesReg();
+            rr.rd = di.rd;
+            rr.rd_value = value;
+            rr.is_store = is_store;
+            rr.store_addr = store_ea;
+            rr.store_value = store_val;
+            fc_->onRetire(rr);
+        }
         expect += 4;
         max_done = std::max(max_done, done);
         if (in.mode == ActMode::SimtStage) {

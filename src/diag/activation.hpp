@@ -17,6 +17,11 @@
 #include "diag/thread_ctx.hpp"
 #include "mem/hierarchy.hpp"
 
+namespace diag::fault
+{
+class FaultController;
+}
+
 namespace diag::core
 {
 
@@ -84,6 +89,10 @@ class ActivationEngine
     /** Run one activation for the thread @p tmc. */
     ActivationOutput run(const ActivationInput &in, ThreadMemCtx &tmc);
 
+    /** Attach (or detach with nullptr) a fault controller. Every hook
+     *  in the hot path is a single null check when detached. */
+    void setFaultController(fault::FaultController *fc) { fc_ = fc; }
+
   private:
     /** Cycles until a load's data is available, with full accounting.
      *  @p pe is the issuing PE slot (keys the stride prefetcher). */
@@ -98,6 +107,7 @@ class ActivationEngine
     unsigned mem_port_;
     StatGroup &stats_;
     u32 line_bytes_;
+    fault::FaultController *fc_ = nullptr; //!< null = injection off
 };
 
 } // namespace diag::core

@@ -22,6 +22,9 @@ inline constexpr Addr kNoLine = ~Addr{0};
 struct Cluster
 {
     unsigned index = 0;       //!< position within its ring
+    /** Taken offline by fault recovery (graceful degradation): the
+     *  control unit never allocates lines to a disabled cluster. */
+    bool disabled = false;
 
     // ---- instruction side ----
     Addr line_base = kNoLine; //!< loaded I-line base address
@@ -129,6 +132,7 @@ struct Cluster
     reset()
     {
         evict();
+        disabled = false;
         ready_at = 0;
         free_at = 0;
         last_use = 0;

@@ -10,6 +10,7 @@
 #define DIAG_DIAG_LANES_HPP
 
 #include <array>
+#include <bit>
 
 #include "common/types.hpp"
 #include "isa/opcodes.hpp"
@@ -26,10 +27,28 @@ struct LaneState
     u32 value = 0;
     Cycle ready = 0;       //!< cycle valid at the producer's output
     int seg = kInputLatch; //!< producing segment within the cluster
+    u8 parity = 0;         //!< even-parity bit over value (fault
+                           //!< detection; maintained only when a
+                           //!< FaultController has parity enabled)
 };
 
 /** All 64 lanes (x0..x31, f0..f31). x0 is never written. */
 using LaneFile = std::array<LaneState, isa::kNumRegs>;
+
+/** Even-parity bit over a lane value. */
+inline u8
+laneParity(u32 value)
+{
+    return static_cast<u8>(std::popcount(value) & 1);
+}
+
+/** Recompute every lane's stored parity (thread start / recovery). */
+inline void
+refreshParity(LaneFile &regs)
+{
+    for (LaneState &lane : regs)
+        lane.parity = laneParity(lane.value);
+}
 
 /**
  * Cycles for a value produced in @p producer_seg to reach a consumer in

@@ -4,6 +4,7 @@
 
 #include "analysis/lint.hpp"
 #include "common/log.hpp"
+#include "fault/controller.hpp"
 
 namespace diag::core
 {
@@ -24,6 +25,14 @@ sim::RunStats
 DiagProcessor::run(const Program &prog, u64 max_insts)
 {
     return runThreads(prog, {ThreadSpec{prog.entry, {}}}, max_insts);
+}
+
+void
+DiagProcessor::attachFaults(fault::FaultController *fc)
+{
+    faults_ = fc;
+    for (auto &ring : rings_)
+        ring->setFaultController(fc);
 }
 
 void
@@ -60,6 +69,10 @@ DiagProcessor::runThreads(const Program &prog,
 {
     if (cfg_.lint_enabled)
         lintStrict(prog, threads);
+    fatal_if(faults_ && faults_->lockstepEnabled() &&
+                 threads.size() > 1,
+             "golden-lockstep checking shadows a single retirement "
+             "stream; run one thread");
     if (!program_loaded_)
         loadProgram(prog);
     results_.clear();
@@ -85,6 +98,12 @@ DiagProcessor::runThreads(const Program &prog,
         if (tr.faulted)
             warn("thread %u faulted at pc 0x%x", t, tr.stop_pc);
         rs.halted = rs.halted && tr.halted;
+        rs.timed_out = rs.timed_out || tr.timed_out;
+        rs.faulted = rs.faulted || tr.faulted;
+        rs.aborted = rs.aborted || tr.aborted;
+        if (rs.stop_reason.empty() && !tr.stop_reason.empty())
+            rs.stop_reason = detail::vformat(
+                "thread %u: %s", t, tr.stop_reason.c_str());
         rs.instructions += tr.retired;
         finish = std::max(finish, tr.finish);
         results_.push_back(tr);

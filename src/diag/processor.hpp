@@ -64,6 +64,14 @@ class DiagProcessor
     const DiagConfig &config() const { return cfg_; }
 
     /**
+     * Attach (or detach with nullptr) a fault controller for the next
+     * run: injection per its plan, parity/lockstep detection, and
+     * checkpoint-rollback recovery in every ring. The caller keeps
+     * ownership and reads the tally back after the run.
+     */
+    void attachFaults(fault::FaultController *fc);
+
+    /**
      * Run @p prog single-threaded on ring 0. Loads the program image
      * into memory first.
      */
@@ -98,6 +106,7 @@ class DiagProcessor
     std::vector<std::unique_ptr<Ring>> rings_;
     std::vector<ThreadResult> results_;
     bool program_loaded_ = false;
+    fault::FaultController *faults_ = nullptr;
 };
 
 } // namespace diag::core

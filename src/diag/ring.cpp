@@ -6,6 +6,9 @@
 #include "analysis/simt_scan.hpp"
 #include "common/bits.hpp"
 #include "common/log.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/controller.hpp"
+#include "fault/watchdog.hpp"
 #include "isa/decoder.hpp"
 
 namespace diag::core
@@ -38,11 +41,58 @@ Ring::reset()
     use_counter_ = 0;
 }
 
+void
+Ring::setFaultController(fault::FaultController *fc)
+{
+    faults_ = fc;
+    engine_.setFaultController(fc);
+}
+
+unsigned
+Ring::enabledClusters() const
+{
+    unsigned n = 0;
+    for (const Cluster &cl : clusters_)
+        n += cl.disabled ? 0 : 1;
+    return n;
+}
+
+void
+Ring::disableCluster(Cluster &cl)
+{
+    auto it = resident_.find(cl.line_base);
+    if (it != resident_.end() && it->second == cl.index)
+        resident_.erase(it);
+    cl.evict();
+    cl.disabled = true;
+    stats_.inc("clusters_disabled");
+    if (faults_)
+        faults_->noteClusterDisabled();
+    warn("ring%u: cluster %u disabled after repeated faults; "
+         "remapping onto %u surviving clusters",
+         index_, cl.index, enabledClusters());
+}
+
+void
+Ring::dumpState(const char *why) const
+{
+    warn("ring%u state dump (%s):", index_, why);
+    for (const Cluster &cl : clusters_) {
+        warn("  cl%u%s line=0x%x ready=%llu free=%llu last_use=%llu",
+             cl.index, cl.disabled ? " [disabled]" : "",
+             cl.line_base, static_cast<unsigned long long>(cl.ready_at),
+             static_cast<unsigned long long>(cl.free_at),
+             static_cast<unsigned long long>(cl.last_use));
+    }
+}
+
 Cluster &
 Ring::chooseVictim()
 {
     Cluster *victim = nullptr;
     for (Cluster &cl : clusters_) {
+        if (cl.disabled)
+            continue;
         if (cl.loaded() && pinned_lines_.count(cl.line_base))
             continue;
         if (!victim || cl.last_use < victim->last_use)
@@ -134,7 +184,80 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
     // speculation_depth activations earlier finished executing.
     std::deque<Cycle> inflight;
 
+    if (faults_ && faults_->parityEnabled())
+        refreshParity(regs);
+    fault::Watchdog wd(cfg_.max_cycles);
+    fault::ThreadCheckpoint ckpt;
+
+    // Fill in the common tail of every structured early stop.
+    auto stop = [&](Cycle when, Addr where, std::string reason) {
+        res.finish = when;
+        res.retired = retired;
+        res.stop_pc = where;
+        res.stop_reason = std::move(reason);
+        res.final_regs = regs;
+    };
+
     while (retired < max_insts) {
+        // Hardware trap: a misaligned PC (reachable through jalr off a
+        // corrupted lane — the ISA masks only bit 0) cannot address an
+        // I-line slot.
+        if (pc & 3u) {
+            res.faulted = true;
+            stop(std::max(pc_enter, min_start), pc,
+                 detail::vformat("trap: misaligned pc 0x%x", pc));
+            return res;
+        }
+        // Forward-progress watchdog: activation boundaries that stop
+        // retiring instructions mean a control-unit livelock.
+        if (wd.onProgress(retired) ||
+            wd.onCycle(std::max(pc_enter, min_start))) {
+            dumpState(wd.reason().c_str());
+            res.timed_out = true;
+            stop(std::max(pc_enter, min_start), pc, wd.reason());
+            return res;
+        }
+        if (faults_) {
+            // Activation boundary = checkpoint: snapshot architectural
+            // state *before* injection so recovery restores a clean
+            // image, then let due fault events strike.
+            ckpt.valid = true;
+            ckpt.pc = pc;
+            ckpt.pc_enter = pc_enter;
+            ckpt.min_start = min_start;
+            ckpt.retired = retired;
+            ckpt.regs = regs;
+            ckpt.inflight = inflight;
+            ckpt.mem_lanes = tmc;
+            faults_->undoLog().clear();
+            faults_->oracleMark();
+            faults_->onBoundary(regs, tmc, mem, mh_, retired);
+            if (faults_->parityEnabled()) {
+                const int bad = faults_->paritySweep(regs);
+                if (bad >= 0) {
+                    stats_.inc("fault_parity_detections");
+                    faults_->noteParityDetection();
+                    if (!faults_->recoveryBudgetLeft()) {
+                        res.aborted = true;
+                        stop(std::max(pc_enter, min_start), pc,
+                             detail::vformat(
+                                 "parity error on lane %d: recovery "
+                                 "budget exhausted", bad));
+                        return res;
+                    }
+                    // Lane scrub: restore the checkpointed lane file
+                    // and pay the recovery penalty before re-entry.
+                    faults_->noteRecovery();
+                    stats_.inc("fault_recoveries");
+                    regs = ckpt.regs;
+                    const Cycle resume =
+                        std::max(pc_enter, min_start) +
+                        faults_->detect().recovery_penalty;
+                    pc_enter = resume;
+                    min_start = resume;
+                }
+            }
+        }
         const Addr line = alignDown(pc, line_bytes_);
         const Cycle demand = std::max(pc_enter, min_start);
         const Resident got = ensureLoaded(line, demand, mem);
@@ -186,6 +309,38 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
         // trail behind.
         cl.free_at = act.compute_done;
         cl.last_use = ++use_counter_;
+        if (faults_ && faults_->divergencePending()) {
+            // Lockstep oracle flagged a retirement mismatch inside this
+            // activation: discard its architectural effects (precise at
+            // the activation boundary), roll back, and re-execute. A
+            // cluster blamed repeatedly is taken offline.
+            stats_.inc("fault_lockstep_detections");
+            faults_->noteLockstepDetection();
+            if (!faults_->recoveryBudgetLeft()) {
+                res.aborted = true;
+                stop(act.end_cycle, pc,
+                     "lockstep: " + faults_->divergenceReason() +
+                         " (recovery budget exhausted)");
+                return res;
+            }
+            faults_->noteRecovery();
+            stats_.inc("fault_recoveries");
+            faults_->undoLog().rollback(mem);
+            regs = ckpt.regs;
+            pc = ckpt.pc;
+            retired = ckpt.retired;
+            tmc = *ckpt.mem_lanes;
+            inflight = ckpt.inflight;
+            const Cycle resume =
+                act.end_cycle + faults_->detect().recovery_penalty;
+            pc_enter = resume;
+            min_start = resume;
+            faults_->oracleRewind();
+            faults_->clearDivergence();
+            if (faults_->strike(cl.index) && enabledClusters() > 2)
+                disableCluster(cl);
+            continue;
+        }
         retired += act.retired;
         regs = act.regs;
         inflight.push_back(act.compute_done);
@@ -199,6 +354,9 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
             res.halted = !act.faulted;
             res.faulted = act.faulted;
             res.stop_pc = act.exit_pc;
+            if (act.faulted)
+                res.stop_reason = detail::vformat(
+                    "trap: invalid encoding at pc 0x%x", act.exit_pc);
             res.final_regs = regs;
             return res;
           case ActExit::SimtTrap: {
@@ -206,9 +364,19 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
             if (!not_pipelinable_.count(simt_s_pc)) {
                 const SimtRegion region = scanSimtRegion(simt_s_pc, mem);
                 if (region.ok) {
-                    runSimtPipeline(region, simt_s_pc, regs,
-                                    act.exit_resolve, pc, pc_enter,
-                                    min_start, tmc, retired);
+                    if (!runSimtPipeline(region, simt_s_pc, regs,
+                                         act.exit_resolve, pc, pc_enter,
+                                         min_start, tmc, retired)) {
+                        dumpState("simt pipeline cycle ceiling");
+                        res.timed_out = true;
+                        stop(std::max(pc_enter, min_start), pc,
+                             detail::vformat(
+                                 "watchdog: simt pipeline exceeded "
+                                 "max_cycles %llu",
+                                 static_cast<unsigned long long>(
+                                     cfg_.max_cycles)));
+                        return res;
+                    }
                     continue;
                 }
                 not_pipelinable_.insert(simt_s_pc);
@@ -226,6 +394,40 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
                 again.trap_on_simt = false;
                 const ActivationOutput act2 = engine_.run(again, tmc);
                 cl.free_at = act2.end_cycle;
+                if (faults_ && faults_->divergencePending()) {
+                    // Same recovery as the main path: the whole loop
+                    // iteration (including the simt trap) re-executes
+                    // from the boundary checkpoint.
+                    stats_.inc("fault_lockstep_detections");
+                    faults_->noteLockstepDetection();
+                    if (!faults_->recoveryBudgetLeft()) {
+                        res.aborted = true;
+                        stop(act2.end_cycle, pc,
+                             "lockstep: " +
+                                 faults_->divergenceReason() +
+                                 " (recovery budget exhausted)");
+                        return res;
+                    }
+                    faults_->noteRecovery();
+                    stats_.inc("fault_recoveries");
+                    faults_->undoLog().rollback(mem);
+                    regs = ckpt.regs;
+                    pc = ckpt.pc;
+                    retired = ckpt.retired;
+                    tmc = *ckpt.mem_lanes;
+                    inflight = ckpt.inflight;
+                    const Cycle resume =
+                        act2.end_cycle +
+                        faults_->detect().recovery_penalty;
+                    pc_enter = resume;
+                    min_start = resume;
+                    faults_->oracleRewind();
+                    faults_->clearDivergence();
+                    if (faults_->strike(cl.index) &&
+                        enabledClusters() > 2)
+                        disableCluster(cl);
+                    continue;
+                }
                 retired += act2.retired;
                 regs = act2.regs;
                 if (act2.exit == ActExit::Halt) {
@@ -234,6 +436,10 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
                     res.halted = !act2.faulted;
                     res.faulted = act2.faulted;
                     res.stop_pc = act2.exit_pc;
+                    if (act2.faulted)
+                        res.stop_reason = detail::vformat(
+                            "trap: invalid encoding at pc 0x%x",
+                            act2.exit_pc);
                     res.final_regs = regs;
                     return res;
                 }
@@ -318,11 +524,11 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
             panic("ThreadEnd exit outside a simt pipeline stage");
         }
     }
-    // Instruction budget exhausted: report a non-halted result.
-    res.finish = std::max(pc_enter, min_start);
-    res.retired = retired;
-    res.halted = false;
-    res.final_regs = regs;
+    // Instruction budget exhausted: report a structured timeout.
+    res.timed_out = true;
+    stop(std::max(pc_enter, min_start), pc,
+         detail::vformat("instruction budget exhausted (%llu retired)",
+                         static_cast<unsigned long long>(retired)));
     return res;
 }
 
@@ -344,12 +550,17 @@ Ring::scanSimtRegion(Addr simt_s_pc, SparseMemory &mem) const
     return region;
 }
 
-void
+bool
 Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
                       LaneFile &regs, Cycle resolve, Addr &pc,
                       Cycle &pc_enter, Cycle &min_start,
                       ThreadMemCtx &tmc, u64 &retired)
 {
+    // Retirement order across pipelined threads is interleaved, so the
+    // instruction-by-instruction golden oracle cannot follow it.
+    fatal_if(faults_ && faults_->lockstepEnabled(),
+             "golden-lockstep checking is incompatible with simt "
+             "thread pipelining; disable one of the two");
     const auto &f = region.fields;
     auto reg_value = [&](RegId r) -> u32 {
         return r == kRegZero ? 0 : regs[r].value;
@@ -425,10 +636,14 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
     LaneFile last_regs = regs;
 
     for (u64 k = 0; k < trips; ++k) {
+        if (cfg_.max_cycles != 0 && launch > cfg_.max_cycles)
+            return false; // structured timeout, not an endless spin
         const auto &my_stages = stage[k % replicas];
         LaneFile thr = regs;
         thr[f.rc] = {rc0 + static_cast<u32>(k) * step, launch,
                      kInputLatch};
+        if (faults_ && faults_->parityEnabled())
+            thr[f.rc].parity = laneParity(thr[f.rc].value);
         Addr tpc = simt_s_pc + 4;
         Cycle tpc_enter = launch;
         Cycle tmin = launch;
@@ -500,6 +715,7 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
     min_start = 0;
     for (LaneState &l : regs)
         l.ready += cfg_.inter_cluster_latch;
+    return true;
 }
 
 } // namespace diag::core

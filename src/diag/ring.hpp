@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include <string>
+
 #include "diag/activation.hpp"
 #include "mem/bus.hpp"
 
@@ -25,8 +27,11 @@ struct ThreadResult
     Cycle finish = 0;      //!< cycle the thread halted
     u64 retired = 0;       //!< instructions committed
     bool halted = false;   //!< reached EBREAK/ECALL
-    bool faulted = false;  //!< invalid encoding reached
+    bool faulted = false;  //!< invalid encoding or misaligned PC
+    bool timed_out = false; //!< watchdog / cycle or inst budget
+    bool aborted = false;  //!< detected fault, recovery exhausted
     Addr stop_pc = 0;      //!< PC of the halting instruction
+    std::string stop_reason; //!< one-line reason when not halted
     LaneFile final_regs{}; //!< architectural registers at halt
 };
 
@@ -47,6 +52,10 @@ class Ring
                            u64 max_insts);
 
     void reset();
+
+    /** Attach (or detach with nullptr) a fault controller; forwards to
+     *  the activation engine's per-instruction hooks. */
+    void setFaultController(fault::FaultController *fc);
 
     /** Pre-validate a simt region starting at @p simt_s_pc. Public so
      *  tests can check it agrees with the static analyzer. */
@@ -85,12 +94,25 @@ class Ring
 
     /**
      * Execute a simt region as a thread pipeline. Returns the serial
-     * resume state via the in/out parameters.
+     * resume state via the in/out parameters. False when the cycle
+     * ceiling was exceeded mid-pipeline (structured timeout).
      */
-    void runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
+    bool runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
                          LaneFile &regs, Cycle resolve, Addr &pc,
                          Cycle &pc_enter, Cycle &min_start,
                          ThreadMemCtx &tmc, u64 &retired);
+
+    /** Clusters not taken offline by fault recovery. */
+    unsigned enabledClusters() const;
+
+    /**
+     * Graceful degradation: take @p cl offline and let the normal
+     * allocation path remap its lines onto the survivors.
+     */
+    void disableCluster(Cluster &cl);
+
+    /** warn()-level ring-state dump attached to watchdog aborts. */
+    void dumpState(const char *why) const;
 
     const DiagConfig &cfg_;
     unsigned index_;
@@ -104,6 +126,7 @@ class Ring
     std::set<Addr> not_pipelinable_;   //!< simt_s PCs that fell back
     u64 use_counter_ = 0;
     u32 line_bytes_;
+    fault::FaultController *faults_ = nullptr; //!< null = no injection
 };
 
 } // namespace diag::core

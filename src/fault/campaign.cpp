@@ -1,0 +1,325 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "asm/assembler.hpp"
+#include "common/log.hpp"
+#include "diag/processor.hpp"
+#include "fault/controller.hpp"
+#include "fault/lockstep.hpp"
+#include "sim/golden.hpp"
+#include "workloads/workload.hpp"
+
+namespace diag::fault
+{
+
+namespace
+{
+
+/** Bytewise comparison over the union of both resident page sets. */
+bool
+memoryMatches(const SparseMemory &a, const SparseMemory &b)
+{
+    std::vector<Addr> pages;
+    a.forEachPage([&](Addr base) { pages.push_back(base); });
+    b.forEachPage([&](Addr base) { pages.push_back(base); });
+    std::sort(pages.begin(), pages.end());
+    pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+    for (const Addr base : pages) {
+        for (Addr off = 0; off < SparseMemory::kPageSize; off += 4) {
+            if (a.read32(base + off) != b.read32(base + off))
+                return false;
+        }
+    }
+    return true;
+}
+
+/** Deterministic per-trial seed derivation (splitmix-style). */
+u64
+trialSeed(u64 campaign_seed, unsigned trial)
+{
+    u64 z = campaign_seed + 0x9e3779b97f4a7c15ull * (trial + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += detail::vformat("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+siteMaskNames(u32 mask)
+{
+    std::string out;
+    for (unsigned s = 0; s < static_cast<unsigned>(FaultSite::Count);
+         ++s) {
+        if (!(mask & (1u << s)))
+            continue;
+        if (!out.empty())
+            out += ',';
+        out += siteName(static_cast<FaultSite>(s));
+    }
+    return out;
+}
+
+void
+tallyOutcome(SiteSummary &sum, const TrialRecord &rec)
+{
+    ++sum.trials;
+    if (rec.fired)
+        ++sum.fired;
+    switch (rec.outcome) {
+      case Outcome::Masked: ++sum.masked; break;
+      case Outcome::Detected:
+        ++sum.detected;
+        if (rec.recovered)
+            ++sum.recovered;
+        break;
+      case Outcome::Sdc: ++sum.sdc; break;
+      case Outcome::Hang: ++sum.hang; break;
+    }
+}
+
+std::string
+summaryJson(const SiteSummary &sum)
+{
+    return detail::vformat(
+        "{\"trials\":%llu,\"fired\":%llu,\"masked\":%llu,"
+        "\"detected\":%llu,\"recovered\":%llu,\"sdc\":%llu,"
+        "\"hang\":%llu}",
+        static_cast<unsigned long long>(sum.trials),
+        static_cast<unsigned long long>(sum.fired),
+        static_cast<unsigned long long>(sum.masked),
+        static_cast<unsigned long long>(sum.detected),
+        static_cast<unsigned long long>(sum.recovered),
+        static_cast<unsigned long long>(sum.sdc),
+        static_cast<unsigned long long>(sum.hang));
+}
+
+} // namespace
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Masked: return "masked";
+      case Outcome::Detected: return "detected";
+      case Outcome::Sdc: return "sdc";
+      case Outcome::Hang: return "hang";
+    }
+    return "unknown";
+}
+
+CampaignReport
+runCampaign(const CampaignSpec &spec, bool verbose)
+{
+    const workloads::Workload w = workloads::findWorkload(spec.workload);
+    const Program prog = assembler::assemble(w.asm_serial);
+
+    // Golden reference: dynamic length and the correct final memory.
+    sim::GoldenSim gold(prog);
+    w.init(gold.memory());
+    gold.setReg(isa::RegId{10}, 0);
+    gold.setReg(isa::RegId{11}, 1);
+    const sim::RunResult gres = gold.run(w.max_insts);
+    fatal_if(!gres.halted, "golden run of %s did not halt",
+             w.name.c_str());
+    const SparseMemory ref_mem = gold.memory();
+
+    // Fault-free DiAG baseline: cycle budget and model sanity.
+    CampaignReport report;
+    report.spec = spec;
+    report.baseline_insts = gres.inst_count;
+    {
+        core::DiagProcessor proc(spec.config);
+        proc.loadProgram(prog);
+        w.init(proc.memory());
+        proc.warmCaches();
+        const std::vector<core::ThreadSpec> specs{
+            {prog.entry, {{isa::RegId{10}, 0}, {isa::RegId{11}, 1}}}};
+        const sim::RunStats base =
+            proc.runThreads(prog, specs, w.max_insts);
+        fatal_if(!base.halted, "fault-free DiAG run of %s did not halt",
+                 w.name.c_str());
+        fatal_if(!memoryMatches(proc.memory(), ref_mem),
+                 "fault-free DiAG run of %s diverged from golden",
+                 w.name.c_str());
+        report.baseline_cycles = base.cycles;
+    }
+
+    // Trial configuration: generous cycle/instruction budgets so a
+    // degraded (slower) ring can still finish, lint off (the program
+    // image is identical every trial; one strict pass above suffices).
+    core::DiagConfig cfg = spec.config;
+    cfg.lint_enabled = false;
+    cfg.max_cycles =
+        std::min(cfg.max_cycles, report.baseline_cycles * 8 + 100'000);
+    const u64 inst_budget = gres.inst_count * 8 + 10'000;
+
+    DetectConfig det;
+    det.parity = spec.parity;
+    det.lockstep = spec.lockstep;
+
+    PlanSpec pspec;
+    pspec.site_mask = spec.site_mask;
+    pspec.max_trigger = gres.inst_count ? gres.inst_count - 1 : 0;
+    pspec.clusters = cfg.clustersPerRing();
+    pspec.pes_per_cluster = cfg.pes_per_cluster;
+
+    for (unsigned t = 0; t < spec.trials; ++t) {
+        TrialRecord rec;
+        rec.index = t;
+        rec.seed = trialSeed(spec.seed, t);
+
+        const FaultPlan plan = FaultPlan::random(rec.seed, pspec);
+        rec.site = plan.events[0].site;
+        rec.planned = describeEvent(plan.events[0]);
+
+        FaultController fc(plan, det);
+        if (spec.lockstep) {
+            sim::GoldenSim oracle(prog);
+            w.init(oracle.memory());
+            oracle.setReg(isa::RegId{10}, 0);
+            oracle.setReg(isa::RegId{11}, 1);
+            fc.attachOracle(std::make_unique<LockstepOracle>(
+                std::move(oracle)));
+        }
+
+        core::DiagProcessor proc(cfg);
+        proc.loadProgram(prog);
+        w.init(proc.memory());
+        proc.warmCaches();
+        proc.attachFaults(&fc);
+        const std::vector<core::ThreadSpec> specs{
+            {prog.entry, {{isa::RegId{10}, 0}, {isa::RegId{11}, 1}}}};
+        const sim::RunStats stats =
+            proc.runThreads(prog, specs, inst_budget);
+
+        const FaultTally &tally = fc.tally();
+        rec.fired = tally.injected > 0;
+        for (const EventLog &log : fc.eventLog()) {
+            if (!log.note.empty())
+                rec.observed += rec.observed.empty() ? log.note
+                                                     : "; " + log.note;
+        }
+        rec.cycles = stats.cycles;
+        rec.instructions = stats.instructions;
+        rec.recoveries = tally.recoveries;
+        rec.clusters_disabled = tally.clusters_disabled;
+
+        const u64 detections =
+            tally.parity_detections + tally.lockstep_detections;
+        const bool mem_ok = memoryMatches(proc.memory(), ref_mem);
+        if (stats.timed_out) {
+            rec.outcome = Outcome::Hang;
+            rec.detector = "watchdog";
+        } else if (stats.aborted) {
+            rec.outcome = Outcome::Detected;
+            rec.detector = tally.lockstep_detections ? "lockstep"
+                                                     : "parity";
+        } else if (detections > 0) {
+            rec.outcome = Outcome::Detected;
+            rec.detector = tally.parity_detections ? "parity"
+                                                   : "lockstep";
+            rec.recovered = stats.halted && mem_ok;
+        } else if (stats.faulted) {
+            rec.outcome = Outcome::Detected;
+            rec.detector = "trap";
+        } else if (stats.halted && mem_ok) {
+            rec.outcome = Outcome::Masked;
+        } else {
+            rec.outcome = Outcome::Sdc;
+        }
+
+        if (verbose) {
+            inform("trial %u seed 0x%llx: %s -> %s%s%s", t,
+                   static_cast<unsigned long long>(rec.seed),
+                   rec.planned.c_str(), outcomeName(rec.outcome),
+                   rec.detector.empty() ? "" : " by ",
+                   rec.detector.c_str());
+        }
+
+        tallyOutcome(report.total, rec);
+        tallyOutcome(
+            report.by_site[static_cast<unsigned>(rec.site)], rec);
+        report.trials.push_back(std::move(rec));
+    }
+    return report;
+}
+
+std::string
+CampaignReport::renderJson() const
+{
+    std::string out = "{\n";
+    out += detail::vformat(
+        "  \"workload\": \"%s\",\n  \"config\": \"%s\",\n"
+        "  \"seed\": %llu,\n  \"sites\": \"%s\",\n"
+        "  \"parity\": %s,\n  \"lockstep\": %s,\n",
+        jsonEscape(spec.workload).c_str(),
+        jsonEscape(spec.config.name).c_str(),
+        static_cast<unsigned long long>(spec.seed),
+        siteMaskNames(spec.site_mask).c_str(),
+        spec.parity ? "true" : "false",
+        spec.lockstep ? "true" : "false");
+    out += detail::vformat(
+        "  \"baseline\": {\"cycles\": %llu, \"instructions\": %llu},\n",
+        static_cast<unsigned long long>(baseline_cycles),
+        static_cast<unsigned long long>(baseline_insts));
+    out += "  \"summary\": " + summaryJson(total) + ",\n";
+    out += "  \"by_site\": {";
+    bool first = true;
+    for (unsigned s = 0; s < static_cast<unsigned>(FaultSite::Count);
+         ++s) {
+        if (by_site[s].trials == 0)
+            continue;
+        out += detail::vformat(
+            "%s\n    \"%s\": ", first ? "" : ",",
+            siteName(static_cast<FaultSite>(s)));
+        out += summaryJson(by_site[s]);
+        first = false;
+    }
+    out += "\n  },\n  \"trials\": [";
+    for (size_t i = 0; i < trials.size(); ++i) {
+        const TrialRecord &r = trials[i];
+        out += detail::vformat(
+            "%s\n    {\"index\": %u, \"seed\": %llu, \"site\": \"%s\", "
+            "\"planned\": \"%s\", \"observed\": \"%s\", "
+            "\"fired\": %s, \"outcome\": \"%s\", \"detector\": \"%s\", "
+            "\"recovered\": %s, \"cycles\": %llu, "
+            "\"instructions\": %llu, \"recoveries\": %llu, "
+            "\"clusters_disabled\": %llu}",
+            i ? "," : "", r.index,
+            static_cast<unsigned long long>(r.seed), siteName(r.site),
+            jsonEscape(r.planned).c_str(),
+            jsonEscape(r.observed).c_str(), r.fired ? "true" : "false",
+            outcomeName(r.outcome), r.detector.c_str(),
+            r.recovered ? "true" : "false",
+            static_cast<unsigned long long>(r.cycles),
+            static_cast<unsigned long long>(r.instructions),
+            static_cast<unsigned long long>(r.recoveries),
+            static_cast<unsigned long long>(r.clusters_disabled));
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+} // namespace diag::fault

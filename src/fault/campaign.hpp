@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fault-injection campaigns: N seeded single-fault trials of one
+ * workload on the DiAG model, each classified AVF-style against the
+ * golden reference (masked / detected / SDC / hang), aggregated into a
+ * JSON report. Campaigns are bit-reproducible from the seed: every
+ * random choice derives from it, and no wall-clock state leaks into
+ * the report.
+ */
+#ifndef DIAG_FAULT_CAMPAIGN_HPP
+#define DIAG_FAULT_CAMPAIGN_HPP
+
+#include <string>
+#include <vector>
+
+#include "diag/config.hpp"
+#include "fault/plan.hpp"
+
+namespace diag::fault
+{
+
+/** What a campaign should run. */
+struct CampaignSpec
+{
+    std::string workload;      //!< bundled workload name
+    core::DiagConfig config = core::DiagConfig::f4c16();
+    u64 seed = 1;
+    unsigned trials = 20;
+    u32 site_mask = kAllSites;
+    bool parity = true;
+    bool lockstep = true;
+};
+
+/** AVF outcome classes. */
+enum class Outcome : u8
+{
+    Masked,   //!< completed, outputs match golden, nothing tripped
+    Detected, //!< parity/lockstep/trap/abort fired
+    Sdc,      //!< completed with wrong outputs, nothing tripped
+    Hang,     //!< watchdog or budget stopped a non-terminating run
+};
+
+const char *outcomeName(Outcome o);
+
+/** One trial's result. */
+struct TrialRecord
+{
+    unsigned index = 0;
+    u64 seed = 0;
+    FaultSite site = FaultSite::RegLaneValue;
+    std::string planned;  //!< describeEvent() of the scheduled fault
+    std::string observed; //!< what the fault actually hit (if fired)
+    bool fired = false;
+    Outcome outcome = Outcome::Masked;
+    std::string detector; //!< "parity"/"lockstep"/"trap"/"watchdog"/""
+    bool recovered = false; //!< detected AND final outputs correct
+    Cycle cycles = 0;
+    u64 instructions = 0;
+    u64 recoveries = 0;
+    u64 clusters_disabled = 0;
+};
+
+/** Per-site aggregate. */
+struct SiteSummary
+{
+    u64 trials = 0;
+    u64 fired = 0;
+    u64 masked = 0;
+    u64 detected = 0;
+    u64 recovered = 0;
+    u64 sdc = 0;
+    u64 hang = 0;
+};
+
+/** Full campaign result. */
+struct CampaignReport
+{
+    CampaignSpec spec;
+    Cycle baseline_cycles = 0;  //!< fault-free DiAG run
+    u64 baseline_insts = 0;     //!< golden dynamic instruction count
+    std::vector<TrialRecord> trials;
+    SiteSummary total;
+    SiteSummary by_site[static_cast<unsigned>(FaultSite::Count)];
+
+    /** Deterministic JSON rendering (byte-stable across runs). */
+    std::string renderJson() const;
+};
+
+/**
+ * Run the campaign. Fatals if the workload is unknown or its fault-free
+ * baseline misbehaves; individual faulty trials never fatal.
+ */
+CampaignReport runCampaign(const CampaignSpec &spec,
+                           bool verbose = false);
+
+} // namespace diag::fault
+
+#endif // DIAG_FAULT_CAMPAIGN_HPP

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Checkpoint/rollback support for fault recovery. The ring snapshots
+ * architectural thread state at every activation boundary (the natural
+ * cluster-granular commit point, paper §4.3); a memory undo log records
+ * old values at store-commit time so a detected-divergent activation
+ * can be rolled back and re-executed on the surviving ring.
+ */
+#ifndef DIAG_FAULT_CHECKPOINT_HPP
+#define DIAG_FAULT_CHECKPOINT_HPP
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/sparse_mem.hpp"
+#include "common/types.hpp"
+#include "diag/lanes.hpp"
+#include "sim/mem_order.hpp"
+
+namespace diag::fault
+{
+
+/** One store's overwritten bytes, for rollback. */
+struct MemWrite
+{
+    Addr addr = 0;
+    u8 size = 0;
+    u32 old_value = 0;
+};
+
+/**
+ * Undo log for stores committed since the last checkpoint. Entries are
+ * recorded in commit order and rolled back in reverse, so overlapping
+ * stores restore the true pre-activation bytes.
+ */
+class MemUndoLog
+{
+  public:
+    void
+    record(Addr addr, u8 size, u32 old_value)
+    {
+        writes_.push_back({addr, size, old_value});
+    }
+
+    /** Restore @p mem to its state at the last clear(). */
+    void
+    rollback(SparseMemory &mem)
+    {
+        for (auto it = writes_.rbegin(); it != writes_.rend(); ++it)
+            mem.write(it->addr, it->old_value, it->size);
+        writes_.clear();
+    }
+
+    void clear() { writes_.clear(); }
+    size_t size() const { return writes_.size(); }
+
+  private:
+    std::vector<MemWrite> writes_;
+};
+
+/**
+ * Architectural thread state at an activation boundary. Everything a
+ * rolled-back thread needs to re-enter the ring as if the faulty
+ * activation never ran; the memory image itself is restored separately
+ * through the MemUndoLog.
+ */
+struct ThreadCheckpoint
+{
+    bool valid = false;
+    Addr pc = 0;
+    Cycle pc_enter = 0;
+    Cycle min_start = 0;
+    u64 retired = 0;
+    core::LaneFile regs{};
+    std::deque<Cycle> inflight;  //!< outstanding-activation window
+    std::optional<sim::StoreTracker> mem_lanes; //!< memory-lane CAM
+};
+
+} // namespace diag::fault
+
+#endif // DIAG_FAULT_CHECKPOINT_HPP

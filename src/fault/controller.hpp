@@ -1,0 +1,189 @@
+/**
+ * @file
+ * FaultController: interprets a FaultPlan against the running model and
+ * hosts the detection machinery (lane parity sweep, golden-lockstep
+ * oracle, store undo log, cluster strike counting). The execution
+ * engines hold a nullable pointer to one of these; every hook is a
+ * single null check when no controller is attached, so the fault
+ * subsystem is zero-cost when off.
+ */
+#ifndef DIAG_FAULT_CONTROLLER_HPP
+#define DIAG_FAULT_CONTROLLER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sparse_mem.hpp"
+#include "diag/lanes.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/lockstep.hpp"
+#include "fault/plan.hpp"
+#include "mem/hierarchy.hpp"
+#include "sim/mem_order.hpp"
+
+namespace diag::fault
+{
+
+/** Detection/recovery knobs. */
+struct DetectConfig
+{
+    bool parity = false;   //!< per-lane parity bits on the lane file
+    bool lockstep = false; //!< golden retirement oracle (needs oracle)
+    Cycle recovery_penalty = 64; //!< cycles charged per rollback
+    unsigned max_recoveries = 8; //!< rollback budget before abort
+    unsigned strikes_to_disable = 2; //!< rollbacks blamed on a cluster
+                                     //!< before it is taken offline
+};
+
+/** Running detection/recovery counters. */
+struct FaultTally
+{
+    u64 injected = 0;
+    u64 parity_detections = 0;
+    u64 lockstep_detections = 0;
+    u64 recoveries = 0;
+    u64 clusters_disabled = 0;
+};
+
+/** Per-event outcome, for campaign reports. */
+struct EventLog
+{
+    bool fired = false;
+    std::string note; //!< what the event actually hit (resolved picks)
+};
+
+/** Interprets a plan and tracks detection state for one run. */
+class FaultController
+{
+  public:
+    FaultController(FaultPlan plan, const DetectConfig &detect);
+
+    /** Attach the golden oracle (enables lockstep checking). */
+    void
+    attachOracle(std::unique_ptr<LockstepOracle> oracle)
+    {
+        oracle_ = std::move(oracle);
+    }
+
+    bool parityEnabled() const { return detect_.parity; }
+    bool lockstepEnabled() const
+    {
+        return detect_.lockstep && oracle_ != nullptr;
+    }
+    const DetectConfig &detect() const { return detect_; }
+
+    /**
+     * Activation-boundary hook: applies every due boundary-scoped event
+     * (lane flips, memory-lane CAM flips, memory data flips, cache tag
+     * flips) and arms the per-instruction ones (PE result/stuck).
+     */
+    void onBoundary(core::LaneFile &regs, sim::StoreTracker &mem_lanes,
+                    SparseMemory &mem, mem::MemHierarchy &mh,
+                    u64 retired);
+
+    /**
+     * Parity sweep over the lane file; returns the first lane whose
+     * stored parity disagrees with its value, or -1 when clean.
+     */
+    int paritySweep(const core::LaneFile &regs) const;
+
+    /** PE result-bus hook (hot path: one branch when nothing armed). */
+    void
+    onPeResult(unsigned cluster, unsigned pe, u32 &value)
+    {
+        if (pe_armed_)
+            applyPeFault(cluster, pe, value);
+    }
+
+    /** Store-commit hook: log the overwritten bytes for rollback. */
+    void
+    onStoreCommit(Addr addr, u8 size, u32 old_value)
+    {
+        undo_.record(addr, size, old_value);
+    }
+
+    /**
+     * Retirement hook: lockstep-compare one instruction. On divergence
+     * the controller latches a pending-divergence flag the ring acts on
+     * at the next boundary (hardware would raise a precise exception).
+     */
+    void
+    onRetire(const RetireRecord &rec)
+    {
+        if (!lockstepEnabled() || divergence_pending_)
+            return;
+        if (!oracle_->check(rec))
+            divergence_pending_ = true;
+    }
+
+    void
+    oracleMark()
+    {
+        if (oracle_)
+            oracle_->mark();
+    }
+
+    void
+    oracleRewind()
+    {
+        if (oracle_)
+            oracle_->rewind();
+    }
+
+    bool divergencePending() const { return divergence_pending_; }
+
+    const std::string &
+    divergenceReason() const
+    {
+        static const std::string none;
+        return oracle_ ? oracle_->divergence() : none;
+    }
+
+    void clearDivergence() { divergence_pending_ = false; }
+
+    /**
+     * Blame a rollback on @p cluster. Returns true when the cluster
+     * has accumulated enough strikes that it should be disabled.
+     */
+    bool strike(unsigned cluster);
+
+    void noteRecovery() { ++tally_.recoveries; }
+    void noteClusterDisabled() { ++tally_.clusters_disabled; }
+    void noteParityDetection() { ++tally_.parity_detections; }
+    void noteLockstepDetection() { ++tally_.lockstep_detections; }
+
+    bool recoveryBudgetLeft() const
+    {
+        return tally_.recoveries < detect_.max_recoveries;
+    }
+
+    const FaultTally &tally() const { return tally_; }
+    MemUndoLog &undoLog() { return undo_; }
+    const FaultPlan &plan() const { return plan_; }
+    const std::vector<EventLog> &eventLog() const { return events_; }
+
+    /** True once every planned event has fired. */
+    bool allFired() const;
+
+  private:
+    void applyBoundaryEvent(size_t idx, core::LaneFile &regs,
+                            sim::StoreTracker &mem_lanes,
+                            SparseMemory &mem, mem::MemHierarchy &mh);
+    void applyPeFault(unsigned cluster, unsigned pe, u32 &value);
+
+    FaultPlan plan_;
+    DetectConfig detect_;
+    std::vector<EventLog> events_; //!< parallel to plan_.events
+    std::vector<u8> status_;       //!< per-event lifecycle state
+    std::unique_ptr<LockstepOracle> oracle_;
+    MemUndoLog undo_;
+    FaultTally tally_;
+    bool divergence_pending_ = false;
+    bool pe_armed_ = false; //!< any PeResult/PeStuck event active
+    std::vector<unsigned> strikes_; //!< per-cluster rollback blame
+};
+
+} // namespace diag::fault
+
+#endif // DIAG_FAULT_CONTROLLER_HPP

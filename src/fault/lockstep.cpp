@@ -1,0 +1,49 @@
+#include "fault/lockstep.hpp"
+
+#include "common/log.hpp"
+
+namespace diag::fault
+{
+
+const sim::StepInfo &
+LockstepOracle::next()
+{
+    if (pos_ == replay_.size())
+        replay_.push_back(gold_.step());
+    return replay_[pos_++];
+}
+
+bool
+LockstepOracle::check(const RetireRecord &rec)
+{
+    const sim::StepInfo &g = next();
+    ++compared_;
+
+    auto diverge = [&](const std::string &what) {
+        divergence_ = detail::vformat(
+            "lockstep divergence at pc 0x%x (golden pc 0x%x): %s",
+            rec.pc, g.pc, what.c_str());
+        return false;
+    };
+
+    if (g.pc != rec.pc)
+        return diverge("retired PC differs");
+    if (g.faulted)
+        return diverge("golden faulted here");
+    if (g.wrote_reg != rec.wrote_reg ||
+        (rec.wrote_reg &&
+         (g.rd != rec.rd || g.rd_value != rec.rd_value)))
+        return diverge(detail::vformat(
+            "rd x%u=0x%x vs golden x%u=0x%x", rec.rd, rec.rd_value,
+            g.rd, g.rd_value));
+    const bool g_store = g.inst.isStore();
+    if (g_store != rec.is_store ||
+        (rec.is_store && (g.mem_addr != rec.store_addr ||
+                          g.mem_value != rec.store_value)))
+        return diverge(detail::vformat(
+            "store [0x%x]=0x%x vs golden [0x%x]=0x%x", rec.store_addr,
+            rec.store_value, g.mem_addr, g.mem_value));
+    return true;
+}
+
+} // namespace diag::fault

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Golden-lockstep oracle: diffs the DiAG retirement stream against the
+ * golden RV32IMF interpreter instruction-by-instruction. A replay
+ * buffer lets the ring roll the comparison point back to the last
+ * checkpoint after a detected divergence, so re-executed activations
+ * are compared against the same golden steps.
+ */
+#ifndef DIAG_FAULT_LOCKSTEP_HPP
+#define DIAG_FAULT_LOCKSTEP_HPP
+
+#include <deque>
+#include <string>
+
+#include "sim/golden.hpp"
+
+namespace diag::fault
+{
+
+/** What one retired DiAG instruction did (the comparable subset). */
+struct RetireRecord
+{
+    Addr pc = 0;
+    bool wrote_reg = false;
+    isa::RegId rd = isa::kNoReg;
+    u32 rd_value = 0;
+    bool is_store = false;
+    Addr store_addr = 0;
+    u32 store_value = 0;
+};
+
+/** Steps a golden simulator in lockstep with DiAG retirement. */
+class LockstepOracle
+{
+  public:
+    /** Takes a golden simulator already loaded and input-initialized
+     *  exactly like the DiAG run it will shadow. */
+    explicit LockstepOracle(sim::GoldenSim golden)
+        : gold_(std::move(golden))
+    {}
+
+    sim::GoldenSim &golden() { return gold_; }
+
+    /** Commit everything compared so far; rewind() returns here. */
+    void
+    mark()
+    {
+        replay_.erase(replay_.begin(),
+                      replay_.begin() +
+                          static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+
+    /** Roll the comparison point back to the last mark(). */
+    void rewind() { pos_ = 0; }
+
+    /**
+     * Compare one retired DiAG instruction against the next golden
+     * step. Returns false on divergence (the reason is retained).
+     */
+    bool check(const RetireRecord &rec);
+
+    const std::string &divergence() const { return divergence_; }
+
+    /** Instructions compared (including replayed ones). */
+    u64 compared() const { return compared_; }
+
+  private:
+    const sim::StepInfo &next();
+
+    sim::GoldenSim gold_;
+    std::deque<sim::StepInfo> replay_; //!< golden steps since mark()
+    size_t pos_ = 0;                   //!< next replay slot to compare
+    u64 compared_ = 0;
+    std::string divergence_;
+};
+
+} // namespace diag::fault
+
+#endif // DIAG_FAULT_LOCKSTEP_HPP

@@ -1,0 +1,142 @@
+#include "fault/plan.hpp"
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace diag::fault
+{
+
+const char *
+siteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::RegLaneValue: return "reg_lane_value";
+      case FaultSite::RegLaneTiming: return "reg_lane_timing";
+      case FaultSite::PeResult: return "pe_result";
+      case FaultSite::PeStuck: return "pe_stuck";
+      case FaultSite::MemLaneEntry: return "mem_lane_entry";
+      case FaultSite::MemData: return "mem_data";
+      case FaultSite::CacheTag: return "cache_tag";
+      case FaultSite::Count: break;
+    }
+    return "unknown";
+}
+
+u32
+parseSiteMask(const std::string &list)
+{
+    if (list == "all")
+        return kAllSites;
+    u32 mask = 0;
+    size_t start = 0;
+    while (start <= list.size()) {
+        size_t end = list.find(',', start);
+        if (end == std::string::npos)
+            end = list.size();
+        const std::string tok = list.substr(start, end - start);
+        if (tok == "lane")
+            mask |= siteBit(FaultSite::RegLaneValue);
+        else if (tok == "timing")
+            mask |= siteBit(FaultSite::RegLaneTiming);
+        else if (tok == "pe")
+            mask |= siteBit(FaultSite::PeResult);
+        else if (tok == "stuck")
+            mask |= siteBit(FaultSite::PeStuck);
+        else if (tok == "memlane")
+            mask |= siteBit(FaultSite::MemLaneEntry);
+        else if (tok == "memdata")
+            mask |= siteBit(FaultSite::MemData);
+        else if (tok == "cache")
+            mask |= siteBit(FaultSite::CacheTag);
+        else
+            return 0;
+        start = end + 1;
+    }
+    return mask;
+}
+
+std::string
+describeEvent(const FaultEvent &ev)
+{
+    switch (ev.site) {
+      case FaultSite::RegLaneValue:
+        return detail::vformat("flip lane %u value bit %u after %llu "
+                               "retires",
+                               ev.lane, ev.bit,
+                               static_cast<unsigned long long>(
+                                   ev.trigger));
+      case FaultSite::RegLaneTiming:
+        return detail::vformat("flip lane %u timing bit %u after %llu "
+                               "retires",
+                               ev.lane, ev.bit,
+                               static_cast<unsigned long long>(
+                                   ev.trigger));
+      case FaultSite::PeResult:
+        return detail::vformat("flip next PE result bit %u after %llu "
+                               "retires",
+                               ev.bit,
+                               static_cast<unsigned long long>(
+                                   ev.trigger));
+      case FaultSite::PeStuck:
+        return detail::vformat("PE cl%u/%u stuck at 0x%x after %llu "
+                               "retires",
+                               ev.cluster, ev.pe, ev.stuck_value,
+                               static_cast<unsigned long long>(
+                                   ev.trigger));
+      case FaultSite::MemLaneEntry:
+        return detail::vformat("flip mem-lane entry addr bit %u after "
+                               "%llu retires",
+                               ev.bit,
+                               static_cast<unsigned long long>(
+                                   ev.trigger));
+      case FaultSite::MemData:
+        return detail::vformat("flip a resident memory bit %u after "
+                               "%llu retires",
+                               ev.bit % 8,
+                               static_cast<unsigned long long>(
+                                   ev.trigger));
+      case FaultSite::CacheTag:
+        return detail::vformat("flip a %s tag bit %u after %llu retires",
+                               (ev.pick & 1) ? "L2" : "L1D", ev.bit,
+                               static_cast<unsigned long long>(
+                                   ev.trigger));
+      case FaultSite::Count: break;
+    }
+    return "unknown fault";
+}
+
+FaultPlan
+FaultPlan::random(u64 seed, const PlanSpec &spec)
+{
+    fatal_if((spec.site_mask & kAllSites) == 0,
+             "fault plan with an empty site mask");
+    std::vector<FaultSite> enabled;
+    for (unsigned s = 0; s < static_cast<unsigned>(FaultSite::Count);
+         ++s) {
+        if (spec.site_mask & (1u << s))
+            enabled.push_back(static_cast<FaultSite>(s));
+    }
+
+    FaultPlan plan;
+    plan.seed = seed;
+    Rng rng(seed ^ 0xfa017c0de5eedull);
+    for (unsigned e = 0; e < spec.events; ++e) {
+        FaultEvent ev;
+        ev.site = enabled[rng.below(enabled.size())];
+        ev.trigger = rng.below(spec.max_trigger + 1);
+        ev.lane = static_cast<u8>(1 + rng.below(63));  // never x0
+        ev.bit = static_cast<u8>(rng.below(32));
+        ev.cluster = static_cast<unsigned>(rng.below(spec.clusters));
+        ev.pe = static_cast<unsigned>(rng.below(spec.pes_per_cluster));
+        switch (rng.below(3)) {
+          case 0: ev.stuck_value = 0; break;
+          case 1: ev.stuck_value = ~u32{0}; break;
+          default: ev.stuck_value = rng.next32(); break;
+        }
+        ev.pick = rng.next64();
+        plan.events.push_back(ev);
+    }
+    return plan;
+}
+
+} // namespace diag::fault

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fault plans: seeded (site x trigger x mode) injection schedules for
+ * resilience campaigns. A plan is pure data — the FaultController
+ * interprets it against the running model — so campaigns are
+ * bit-reproducible from the seed alone.
+ */
+#ifndef DIAG_FAULT_PLAN_HPP
+#define DIAG_FAULT_PLAN_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace diag::fault
+{
+
+/** Hardware structure a fault strikes. */
+enum class FaultSite : u8
+{
+    RegLaneValue,  //!< bit flip in a register-lane value latch
+    RegLaneTiming, //!< bit flip in a lane valid/timing wire
+    PeResult,      //!< transient flip on one PE's result bus
+    PeStuck,       //!< a PE permanently drives a stuck result value
+    MemLaneEntry,  //!< bit flip in a memory-lane address CAM entry
+    MemData,       //!< bit flip in a data word of backing memory
+    CacheTag,      //!< bit flip in an L1D/L2 tag way
+    Count,
+};
+
+/** Bit for @p site in a site mask. */
+constexpr u32
+siteBit(FaultSite site)
+{
+    return 1u << static_cast<unsigned>(site);
+}
+
+/** Mask with every site enabled. */
+inline constexpr u32 kAllSites =
+    (1u << static_cast<unsigned>(FaultSite::Count)) - 1;
+
+/** Stable lower-case identifier (used in reports and --sites). */
+const char *siteName(FaultSite site);
+
+/**
+ * Parse a comma-separated site list ("lane,timing,pe,stuck,memlane,
+ * memdata,cache" or "all") into a mask. Returns 0 on a bad token.
+ */
+u32 parseSiteMask(const std::string &list);
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    FaultSite site = FaultSite::RegLaneValue;
+    /** Arms once this many instructions have retired (the campaign
+     *  draws it uniformly over the workload's dynamic length). */
+    u64 trigger = 0;
+    u8 lane = 1;          //!< register lane, 1..63 (RegLane* sites)
+    u8 bit = 0;           //!< bit position within the struck word
+    unsigned cluster = 0; //!< PE sites: cluster within the ring
+    unsigned pe = 0;      //!< PE sites: slot within the cluster
+    u32 stuck_value = 0;  //!< PeStuck: value the dead PE drives
+    /** Deterministic index used to pick targets that only exist at
+     *  run time (resident memory bytes, cache ways, CAM entries). */
+    u64 pick = 0;
+};
+
+/** Human-readable one-line description of @p ev. */
+std::string describeEvent(const FaultEvent &ev);
+
+/** Shape parameters for random plan generation. */
+struct PlanSpec
+{
+    u32 site_mask = kAllSites;
+    u64 max_trigger = 1000;       //!< triggers drawn from [0, max]
+    unsigned clusters = 2;        //!< clusters per ring
+    unsigned pes_per_cluster = 16;
+    unsigned events = 1;          //!< single-fault model by default
+};
+
+/** A full injection schedule. */
+struct FaultPlan
+{
+    u64 seed = 0;
+    std::vector<FaultEvent> events;
+
+    /** Deterministically generate a plan from @p seed. */
+    static FaultPlan random(u64 seed, const PlanSpec &spec);
+};
+
+} // namespace diag::fault
+
+#endif // DIAG_FAULT_PLAN_HPP

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Forward-progress watchdog: converts livelocks and runaway executions
+ * into structured aborts instead of spinning forever. Two independent
+ * tripwires — an absolute cycle ceiling (DiagConfig::max_cycles) and a
+ * stagnation counter that fires when the retired-instruction count
+ * stops advancing across many activation boundaries.
+ */
+#ifndef DIAG_FAULT_WATCHDOG_HPP
+#define DIAG_FAULT_WATCHDOG_HPP
+
+#include <string>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace diag::fault
+{
+
+/** Per-thread forward-progress monitor. */
+class Watchdog
+{
+  public:
+    explicit Watchdog(u64 max_cycles, u64 stall_limit = 4096)
+        : max_cycles_(max_cycles), stall_limit_(stall_limit)
+    {}
+
+    /** Check the cycle ceiling; true means "abort now". */
+    bool
+    onCycle(Cycle now)
+    {
+        if (max_cycles_ != 0 && now > max_cycles_) {
+            reason_ = detail::vformat(
+                "watchdog: cycle ceiling exceeded (%llu > max_cycles "
+                "%llu)",
+                static_cast<unsigned long long>(now),
+                static_cast<unsigned long long>(max_cycles_));
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Feed the retirement counter at an activation boundary; true when
+     * it has not advanced for stall_limit consecutive observations.
+     */
+    bool
+    onProgress(u64 retired)
+    {
+        if (retired != last_retired_) {
+            last_retired_ = retired;
+            stalled_ = 0;
+            return false;
+        }
+        if (++stalled_ < stall_limit_)
+            return false;
+        reason_ = detail::vformat(
+            "watchdog: no forward progress for %llu activation "
+            "boundaries (stuck at %llu retired)",
+            static_cast<unsigned long long>(stalled_),
+            static_cast<unsigned long long>(retired));
+        return true;
+    }
+
+    const std::string &reason() const { return reason_; }
+
+  private:
+    u64 max_cycles_;
+    u64 stall_limit_;
+    u64 last_retired_ = ~u64{0};
+    u64 stalled_ = 0;
+    std::string reason_;
+};
+
+} // namespace diag::fault
+
+#endif // DIAG_FAULT_WATCHDOG_HPP

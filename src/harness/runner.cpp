@@ -68,11 +68,19 @@ runOnDiag(const core::DiagConfig &cfg, const Workload &w,
                           {isa::RegId{11}, threads}}});
     EngineRun run;
     run.stats = proc.runThreads(prog, specs, w.max_insts);
-    fatal_if(!run.stats.halted, "diag run of %s did not halt",
-             w.name.c_str());
+    if (!run.stats.halted) {
+        const char *why = run.stats.stop_reason.empty()
+                              ? "did not halt"
+                              : run.stats.stop_reason.c_str();
+        fatal_if(!spec.tolerate_failures, "diag run of %s stopped: %s",
+                 w.name.c_str(), why);
+        warn("diag run of %s stopped: %s", w.name.c_str(), why);
+        run.energy = energy::diagEnergy(cfg, run.stats);
+        return run;
+    }
     run.checked = w.check(proc.memory());
-    fatal_if(!run.checked, "diag run of %s failed its output check",
-             w.name.c_str());
+    fatal_if(!run.checked && !spec.tolerate_failures,
+             "diag run of %s failed its output check", w.name.c_str());
     run.energy = energy::diagEnergy(cfg, run.stats);
     return run;
 }
@@ -96,11 +104,19 @@ runOnOoo(const ooo::OooConfig &cfg, const Workload &w,
                           {isa::RegId{11}, threads}}});
     EngineRun run;
     run.stats = proc.runThreads(prog, specs, w.max_insts);
-    fatal_if(!run.stats.halted, "ooo run of %s did not halt",
-             w.name.c_str());
+    if (!run.stats.halted) {
+        const char *why = run.stats.stop_reason.empty()
+                              ? "did not halt"
+                              : run.stats.stop_reason.c_str();
+        fatal_if(!spec.tolerate_failures, "ooo run of %s stopped: %s",
+                 w.name.c_str(), why);
+        warn("ooo run of %s stopped: %s", w.name.c_str(), why);
+        run.energy = energy::oooEnergy(cfg, run.stats);
+        return run;
+    }
     run.checked = w.check(proc.memory());
-    fatal_if(!run.checked, "ooo run of %s failed its output check",
-             w.name.c_str());
+    fatal_if(!run.checked && !spec.tolerate_failures,
+             "ooo run of %s failed its output check", w.name.c_str());
     run.energy = energy::oooEnergy(cfg, run.stats);
     return run;
 }

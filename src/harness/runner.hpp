@@ -24,6 +24,9 @@ struct RunSpec
 {
     unsigned threads = 1;   //!< software threads (a1 value)
     bool use_simt = false;  //!< run the simt-annotated variant
+    /** Return failed runs (timeout/trap/check miss) to the caller
+     *  instead of fatal()ing — campaign/CLI drivers classify them. */
+    bool tolerate_failures = false;
 };
 
 /** One engine execution result. */

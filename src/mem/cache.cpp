@@ -125,6 +125,17 @@ Cache::fill(Addr addr, bool is_write, Cycle)
     return writeback;
 }
 
+std::string
+Cache::corruptWay(u64 pick, unsigned bit)
+{
+    const size_t idx = static_cast<size_t>(pick % ways_.size());
+    Way &way = ways_[idx];
+    way.tag ^= 1u << (bit % 32);
+    return detail::vformat("%s way %zu tag bit %u flipped%s",
+                           name_.c_str(), idx, bit % 32,
+                           way.valid ? "" : " (way was invalid)");
+}
+
 void
 Cache::reset()
 {

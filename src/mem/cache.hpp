@@ -55,6 +55,15 @@ class Cache
      */
     void warmFill(Addr addr) { fillQuiet(addr); }
 
+    /**
+     * Flip bit @p bit of one way's stored tag (fault injection). The
+     * way is picked as @p pick modulo the tag array size. Data always
+     * comes from the functional image, so a corrupted tag perturbs
+     * timing (spurious hits/misses), never values. Returns a one-line
+     * description of what was hit.
+     */
+    std::string corruptWay(u64 pick, unsigned bit);
+
     const CacheParams &params() const { return params_; }
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }

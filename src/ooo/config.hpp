@@ -64,6 +64,9 @@ struct OooConfig
     mem::MemParams mem;
 
     u64 max_insts = 500'000'000;
+    /** Cycle ceiling: runs past this report a structured timeout
+     *  (same contract as DiagConfig::max_cycles). */
+    u64 max_cycles = 2'000'000'000;
 
     /** The paper's single-core baseline (64KB L1s, 4MB L2). */
     static OooConfig baseline8();

@@ -98,11 +98,34 @@ OooCore::runThread(Addr entry,
     };
 
     for (u64 i = 0; i < max_insts; ++i) {
+        if (pc & 3u) {
+            // A misaligned PC (jalr masks only bit 0) cannot be
+            // fetched; trap instead of decoding garbage.
+            res.faulted = true;
+            res.stop_pc = pc;
+            res.finish = last_commit;
+            res.stop_reason =
+                detail::vformat("trap: misaligned pc 0x%x", pc);
+            break;
+        }
+        if (cfg_.max_cycles != 0 && last_commit > cfg_.max_cycles) {
+            res.timed_out = true;
+            res.stop_pc = pc;
+            res.finish = last_commit;
+            res.stop_reason = detail::vformat(
+                "watchdog: cycle ceiling exceeded (%llu > max_cycles "
+                "%llu)",
+                static_cast<unsigned long long>(last_commit),
+                static_cast<unsigned long long>(cfg_.max_cycles));
+            break;
+        }
         const DecodedInst &di = decodeAt(pc, mem);
         if (!di.valid()) {
             res.faulted = true;
             res.stop_pc = pc;
             res.finish = last_commit;
+            res.stop_reason = detail::vformat(
+                "trap: invalid encoding at pc 0x%x", pc);
             break;
         }
 
@@ -353,6 +376,12 @@ OooCore::runThread(Addr entry,
         res.finish = commit;
     }
 
+    if (!res.halted && !res.faulted && !res.timed_out) {
+        res.timed_out = true;
+        res.stop_reason = detail::vformat(
+            "instruction budget exhausted (%llu retired)",
+            static_cast<unsigned long long>(res.retired));
+    }
     for (unsigned r = 0; r < kNumRegs; ++r)
         res.regs[r] = regs[r];
     return res;

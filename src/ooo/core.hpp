@@ -11,6 +11,7 @@
 #ifndef DIAG_OOO_CORE_HPP
 #define DIAG_OOO_CORE_HPP
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -32,7 +33,9 @@ struct CoreResult
     u64 retired = 0;
     bool halted = false;
     bool faulted = false;
+    bool timed_out = false;  //!< cycle ceiling or instruction budget
     Addr stop_pc = 0;
+    std::string stop_reason; //!< one-line reason when not halted
     u32 regs[isa::kNumRegs] = {};
 };
 

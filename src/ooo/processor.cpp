@@ -44,6 +44,11 @@ OooProcessor::runThreads(const Program &prog,
         if (cr.faulted)
             warn("ooo thread %u faulted at pc 0x%x", t, cr.stop_pc);
         rs.halted = rs.halted && cr.halted;
+        rs.timed_out = rs.timed_out || cr.timed_out;
+        rs.faulted = rs.faulted || cr.faulted;
+        if (rs.stop_reason.empty() && !cr.stop_reason.empty())
+            rs.stop_reason = detail::vformat(
+                "thread %u: %s", t, cr.stop_reason.c_str());
         rs.instructions += cr.retired;
         finish = std::max(finish, cr.finish);
         results_.push_back(cr);

@@ -81,6 +81,9 @@ class StoreTracker
         store_addr_gate_ = 0;
     }
 
+    /** Direct access to the CAM window (fault injection / tests). */
+    std::deque<PendingStore> &entries() { return stores_; }
+
   private:
     SparseMemory *mem_;
     unsigned entries_;

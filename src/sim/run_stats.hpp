@@ -6,6 +6,8 @@
 #ifndef DIAG_SIM_RUN_STATS_HPP
 #define DIAG_SIM_RUN_STATS_HPP
 
+#include <string>
+
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -18,6 +20,10 @@ struct RunStats
     Cycle cycles = 0;        //!< total execution time in core cycles
     u64 instructions = 0;    //!< retired (committed) instructions
     bool halted = false;     //!< reached EBREAK normally
+    bool timed_out = false;  //!< watchdog / max_cycles / inst budget
+    bool faulted = false;    //!< hardware trap (bad encoding, bad PC)
+    bool aborted = false;    //!< detected-unrecoverable fault abort
+    std::string stop_reason; //!< one-line reason when not halted
     StatGroup counters{"run"}; //!< model-specific activity counters
 
     double

@@ -1,0 +1,104 @@
+/** Watchdog tests: the cycle ceiling and stagnation tripwires, and
+ *  their end-to-end wiring — a livelocked program must come back as a
+ *  structured timeout from both engines, not spin forever. */
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "diag/processor.hpp"
+#include "fault/watchdog.hpp"
+#include "ooo/processor.hpp"
+
+using namespace diag;
+using namespace diag::fault;
+
+TEST(Watchdog, CycleCeiling)
+{
+    Watchdog wd(1000);
+    EXPECT_FALSE(wd.onCycle(999));
+    EXPECT_FALSE(wd.onCycle(1000));
+    EXPECT_TRUE(wd.onCycle(1001));
+    EXPECT_NE(wd.reason().find("cycle ceiling"), std::string::npos);
+}
+
+TEST(Watchdog, ZeroCeilingDisablesCycleCheck)
+{
+    Watchdog wd(0);
+    EXPECT_FALSE(wd.onCycle(~u64{0}));
+}
+
+TEST(Watchdog, StagnationFiresAfterLimit)
+{
+    // The first observation baselines the counter; the limit counts
+    // *stalled* boundaries after it.
+    Watchdog wd(0, /*stall_limit=*/16);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_FALSE(wd.onProgress(42));
+    EXPECT_TRUE(wd.onProgress(42));
+    EXPECT_NE(wd.reason().find("no forward progress"),
+              std::string::npos);
+}
+
+TEST(Watchdog, ProgressResetsStagnation)
+{
+    Watchdog wd(0, /*stall_limit=*/4);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(wd.onProgress(7));
+    EXPECT_FALSE(wd.onProgress(8));  // advanced: counter resets
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(wd.onProgress(8));
+    EXPECT_TRUE(wd.onProgress(8));
+}
+
+TEST(Watchdog, DiagLivelockBecomesStructuredTimeout)
+{
+    const Program p = assembler::assemble(R"(
+        _start:
+        spin:
+            jal x0, spin
+    )");
+    core::DiagConfig cfg = core::DiagConfig::f4c2();
+    cfg.lint_enabled = false;  // the lint would reject the livelock
+    cfg.max_cycles = 20'000;
+    core::DiagProcessor proc(cfg);
+    const sim::RunStats rs = proc.run(p);
+    EXPECT_FALSE(rs.halted);
+    EXPECT_TRUE(rs.timed_out);
+    EXPECT_FALSE(rs.faulted);
+    EXPECT_NE(rs.stop_reason.find("watchdog"), std::string::npos);
+}
+
+TEST(Watchdog, OooLivelockBecomesStructuredTimeout)
+{
+    const Program p = assembler::assemble(R"(
+        _start:
+        spin:
+            jal x0, spin
+    )");
+    ooo::OooConfig cfg = ooo::OooConfig::baseline8();
+    cfg.max_cycles = 20'000;
+    ooo::OooProcessor proc(cfg);
+    const sim::RunStats rs = proc.run(p);
+    EXPECT_FALSE(rs.halted);
+    EXPECT_TRUE(rs.timed_out);
+    EXPECT_FALSE(rs.stop_reason.empty());
+}
+
+TEST(Watchdog, InstructionBudgetIsAlsoStructured)
+{
+    // Exhausting max_insts (not max_cycles) must report the same
+    // structured shape rather than a silent non-halt.
+    const Program p = assembler::assemble(R"(
+        _start:
+            li a0, 0
+        spin:
+            addi a0, a0, 1
+            jal x0, spin
+    )");
+    core::DiagConfig cfg = core::DiagConfig::f4c2();
+    cfg.lint_enabled = false;
+    core::DiagProcessor proc(cfg);
+    const sim::RunStats rs = proc.run(p, /*max_insts=*/5'000);
+    EXPECT_FALSE(rs.halted);
+    EXPECT_TRUE(rs.timed_out);
+    EXPECT_NE(rs.stop_reason.find("budget"), std::string::npos);
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * diag-fault: seeded fault-injection campaign driver.
+ *
+ *   diag-fault --workload NAME [options]
+ *     --config I4C2|F4C2|F4C16|F4C32   DiAG preset (default F4C16)
+ *     --trials N          injections to run (default 20)
+ *     --seed S            campaign seed; reruns are bit-identical
+ *     --sites LIST        comma list of lane,timing,pe,stuck,
+ *                         memlane,memdata,cache (default all)
+ *     --no-parity         disable the lane-parity detector
+ *     --no-lockstep       disable the golden-lockstep oracle
+ *     --json FILE         write the JSON report to FILE ("-" = stdout)
+ *     --assert-no-sdc     exit 1 if any undetected SDC occurred
+ *     --verbose           narrate every trial
+ *
+ * Exit codes: 0 campaign ran (and --assert-no-sdc held), 1 usage
+ * error or SDC assertion failure.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/log.hpp"
+#include "fault/campaign.hpp"
+
+using namespace diag;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: diag-fault --workload NAME [options]\n"
+        "  --config I4C2|F4C2|F4C16|F4C32   DiAG preset (F4C16)\n"
+        "  --trials N           injections to run (default 20)\n"
+        "  --seed S             campaign seed (bit-reproducible)\n"
+        "  --sites LIST         lane,timing,pe,stuck,memlane,\n"
+        "                       memdata,cache,all (default all)\n"
+        "  --no-parity          disable lane parity\n"
+        "  --no-lockstep        disable the golden-lockstep oracle\n"
+        "  --json FILE          write JSON report (\"-\" = stdout)\n"
+        "  --assert-no-sdc      exit 1 on any undetected SDC\n"
+        "  --verbose            narrate every trial\n");
+}
+
+core::DiagConfig
+configByName(const std::string &name)
+{
+    if (name == "I4C2")
+        return core::DiagConfig::i4c2();
+    if (name == "F4C2")
+        return core::DiagConfig::f4c2();
+    if (name == "F4C16")
+        return core::DiagConfig::f4c16();
+    if (name == "F4C32")
+        return core::DiagConfig::f4c32();
+    fatal("unknown DiAG configuration '%s'", name.c_str());
+}
+
+void
+printSummary(const fault::CampaignReport &rep)
+{
+    const auto &t = rep.total;
+    std::printf("campaign: %s, %u trials, seed %llu\n",
+                rep.spec.workload.c_str(), rep.spec.trials,
+                static_cast<unsigned long long>(rep.spec.seed));
+    std::printf("  fired     %llu/%llu\n",
+                static_cast<unsigned long long>(t.fired),
+                static_cast<unsigned long long>(t.trials));
+    std::printf("  masked    %llu\n",
+                static_cast<unsigned long long>(t.masked));
+    std::printf("  detected  %llu (recovered %llu)\n",
+                static_cast<unsigned long long>(t.detected),
+                static_cast<unsigned long long>(t.recovered));
+    std::printf("  sdc       %llu\n",
+                static_cast<unsigned long long>(t.sdc));
+    std::printf("  hang      %llu\n",
+                static_cast<unsigned long long>(t.hang));
+    for (unsigned s = 0;
+         s < static_cast<unsigned>(fault::FaultSite::Count); ++s) {
+        const auto &ss = rep.by_site[s];
+        if (ss.trials == 0)
+            continue;
+        std::printf(
+            "  %-8s trials %-3llu masked %-3llu detected %-3llu "
+            "sdc %-3llu hang %llu\n",
+            fault::siteName(static_cast<fault::FaultSite>(s)),
+            static_cast<unsigned long long>(ss.trials),
+            static_cast<unsigned long long>(ss.masked),
+            static_cast<unsigned long long>(ss.detected),
+            static_cast<unsigned long long>(ss.sdc),
+            static_cast<unsigned long long>(ss.hang));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fault::CampaignSpec spec;
+    std::string json_path;
+    bool assert_no_sdc = false;
+    bool verbose = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, "missing value for %s",
+                     arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            spec.workload = next();
+        } else if (arg == "--config") {
+            spec.config = configByName(next());
+        } else if (arg == "--trials") {
+            spec.trials =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--seed") {
+            spec.seed = std::stoull(next());
+        } else if (arg == "--sites") {
+            const std::string list = next();
+            spec.site_mask = fault::parseSiteMask(list);
+            fatal_if(spec.site_mask == 0,
+                     "bad --sites list '%s'", list.c_str());
+        } else if (arg == "--no-parity") {
+            spec.parity = false;
+        } else if (arg == "--no-lockstep") {
+            spec.lockstep = false;
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--assert-no-sdc") {
+            assert_no_sdc = true;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (spec.workload.empty()) {
+        usage();
+        fatal("--workload is required");
+    }
+
+    const fault::CampaignReport rep =
+        fault::runCampaign(spec, verbose);
+    printSummary(rep);
+
+    if (!json_path.empty()) {
+        const std::string json = rep.renderJson();
+        if (json_path == "-") {
+            std::fwrite(json.data(), 1, json.size(), stdout);
+        } else {
+            std::ofstream out(json_path);
+            fatal_if(!out.good(), "cannot write '%s'",
+                     json_path.c_str());
+            out << json;
+        }
+    }
+
+    if (assert_no_sdc && rep.total.sdc > 0) {
+        std::printf("ASSERTION FAILED: %llu undetected SDC(s)\n",
+                    static_cast<unsigned long long>(rep.total.sdc));
+        return 1;
+    }
+    return 0;
+}

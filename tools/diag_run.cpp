@@ -12,15 +12,27 @@
  *     --stats                     dump every model counter
  *     --regs                      dump final integer registers
  *     --max-insts N               instruction budget
+ *     --max-cycles N              cycle ceiling (structured timeout)
+ *     --golden-diff               diff final state against the golden
+ *                                 reference (file mode)
+ *     --diff-fuzz N               run N seeded fuzz programs through
+ *                                 the engine vs golden, then exit
  *
  * With a .s file, the program is assembled and run; with --workload,
  * the named kernel (inputs + output check included) is run instead.
+ *
+ * Exit codes (CI tells pass from SDC from crash):
+ *   0  pass        2  wrong result (SDC / failed check)
+ *   1  usage or internal error     3  timeout (watchdog/budget)
+ *   4  hardware trap or detected-unrecoverable abort
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "asm/assembler.hpp"
 #include "common/log.hpp"
@@ -28,6 +40,7 @@
 #include "harness/runner.hpp"
 #include "isa/disasm.hpp"
 #include "ooo/processor.hpp"
+#include "sim/fuzz.hpp"
 #include "sim/golden.hpp"
 
 using namespace diag;
@@ -45,7 +58,11 @@ struct Options
     bool simt = false;
     bool stats = false;
     bool regs = false;
+    bool golden_diff = false;
     u64 max_insts = 500'000'000;
+    u64 max_cycles = 0;  //!< 0 = keep the config's default
+    unsigned diff_fuzz = 0;
+    u64 seed = 1;  //!< base seed for --diff-fuzz
 };
 
 void
@@ -61,7 +78,13 @@ usage()
         "  --list-workloads           list the benchmark inventory\n"
         "  --stats                    dump all model counters\n"
         "  --regs                     dump final integer registers\n"
-        "  --max-insts N              instruction budget\n");
+        "  --max-insts N              instruction budget\n"
+        "  --max-cycles N             cycle ceiling (timeout)\n"
+        "  --golden-diff              diff final state vs golden\n"
+        "  --diff-fuzz N              differential fuzz N seeds\n"
+        "  --seed S                   base seed for --diff-fuzz\n"
+        "exit codes: 0 pass, 1 error, 2 wrong result (SDC), "
+        "3 timeout, 4 trap\n");
 }
 
 core::DiagConfig
@@ -110,16 +133,53 @@ printStats(const sim::RunStats &rs, const Options &opt)
     }
 }
 
+/**
+ * Map a finished run onto the documented exit codes: timeouts (3) and
+ * traps/aborts (4) take precedence over result checking (2).
+ */
+int
+classify(const sim::RunStats &rs, bool checked)
+{
+    if (rs.timed_out)
+        return 3;
+    if (rs.faulted || rs.aborted || !rs.halted)
+        return 4;
+    return checked ? 0 : 2;
+}
+
+/** Byte-compare two sparse memories over the union of their pages. */
+bool
+memEqual(const SparseMemory &a, const SparseMemory &b)
+{
+    std::vector<Addr> pages;
+    a.forEachPage([&](Addr base) { pages.push_back(base); });
+    b.forEachPage([&](Addr base) { pages.push_back(base); });
+    std::sort(pages.begin(), pages.end());
+    pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+    for (const Addr base : pages)
+        for (Addr off = 0; off < SparseMemory::kPageSize; off += 4)
+            if (a.read32(base + off) != b.read32(base + off))
+                return false;
+    return true;
+}
+
 int
 runWorkload(const Options &opt)
 {
     const workloads::Workload w = workloads::findWorkload(opt.workload);
-    harness::RunSpec spec{opt.threads, opt.simt};
+    harness::RunSpec spec{opt.threads, opt.simt,
+                          /*tolerate_failures=*/true};
     harness::EngineRun run;
     if (opt.engine == "diag") {
-        run = harness::runOnDiag(configByName(opt.config), w, spec);
+        core::DiagConfig cfg = configByName(opt.config);
+        if (opt.max_cycles)
+            cfg.max_cycles = opt.max_cycles;
+        run = harness::runOnDiag(cfg, w, spec);
     } else if (opt.engine == "ooo") {
-        run = harness::runOnOoo(ooo::OooConfig::baseline8(), w, spec);
+        ooo::OooConfig cfg = ooo::OooConfig::baseline8();
+        if (opt.max_cycles)
+            cfg.max_cycles = opt.max_cycles;
+        run = harness::runOnOoo(cfg, w, spec);
     } else {
         fatal("--workload requires --engine diag or ooo");
     }
@@ -129,7 +189,104 @@ runWorkload(const Options &opt)
     printStats(run.stats, opt);
     std::printf("energy        %.3f uJ\n",
                 run.energy.totalJoules() * 1e6);
-    return run.checked ? 0 : 1;
+    const int rc = classify(run.stats, run.checked);
+    if (rc != 0)
+        std::printf("FAIL (exit %d): %s\n", rc,
+                    run.stats.stop_reason.empty()
+                        ? (rc == 2 ? "silent data corruption: "
+                                     "output check failed"
+                                   : "did not halt")
+                        : run.stats.stop_reason.c_str());
+    return rc;
+}
+
+/**
+ * Run an already-assembled program on the chosen engine; fills final
+ * registers and (when @p mem_out is non-null) moves out the engine's
+ * final memory image for golden-diff comparison.
+ */
+sim::RunStats
+runProgram(const Options &opt, const Program &prog,
+           u32 final_regs[isa::kNumRegs], SparseMemory *mem_out)
+{
+    sim::RunStats rs;
+    if (opt.engine == "golden") {
+        sim::GoldenSim sim(prog);
+        const sim::RunResult r = sim.run(opt.max_insts);
+        rs.cycles = r.inst_count;  // functional: 1 "cycle" per inst
+        rs.instructions = r.inst_count;
+        rs.halted = r.halted;
+        rs.faulted = r.faulted;
+        if (r.faulted)
+            rs.stop_reason = detail::vformat(
+                "golden fault at pc 0x%x", r.stop_pc);
+        else if (!r.halted)
+            rs.timed_out = true;
+        for (unsigned i = 0; i < isa::kNumRegs; ++i)
+            final_regs[i] = sim.reg(static_cast<isa::RegId>(i));
+        if (mem_out)
+            *mem_out = sim.memory();
+    } else if (opt.engine == "ooo") {
+        ooo::OooConfig cfg = ooo::OooConfig::baseline8();
+        if (opt.max_cycles)
+            cfg.max_cycles = opt.max_cycles;
+        ooo::OooProcessor proc(cfg);
+        rs = proc.run(prog, opt.max_insts);
+        for (unsigned i = 0; i < isa::kNumRegs; ++i)
+            final_regs[i] =
+                proc.finalReg(0, static_cast<isa::RegId>(i));
+        if (mem_out)
+            *mem_out = proc.memory();
+    } else {
+        core::DiagConfig cfg = configByName(opt.config);
+        if (opt.max_cycles)
+            cfg.max_cycles = opt.max_cycles;
+        core::DiagProcessor proc(cfg);
+        rs = proc.run(prog, opt.max_insts);
+        for (unsigned i = 0; i < isa::kNumRegs; ++i)
+            final_regs[i] =
+                proc.finalReg(0, static_cast<isa::RegId>(i));
+        if (mem_out)
+            *mem_out = proc.memory();
+    }
+    return rs;
+}
+
+/**
+ * Compare an engine run against the functional golden reference:
+ * every unified register plus the full memory image. Returns true
+ * when architecturally identical.
+ */
+bool
+goldenDiff(const Program &prog, u64 max_insts,
+           const u32 final_regs[isa::kNumRegs],
+           const SparseMemory &mem, bool verbose_pass)
+{
+    sim::GoldenSim gold(prog);
+    const sim::RunResult gr = gold.run(max_insts);
+    if (!gr.halted) {
+        warn("golden reference did not halt; diff skipped");
+        return false;
+    }
+    bool ok = true;
+    for (unsigned i = 0; i < isa::kNumRegs; ++i) {
+        const u32 want = gold.reg(static_cast<isa::RegId>(i));
+        if (final_regs[i] != want) {
+            std::printf("golden-diff: %s = 0x%08x, golden has "
+                        "0x%08x\n",
+                        isa::regName(static_cast<isa::RegId>(i))
+                            .c_str(),
+                        final_regs[i], want);
+            ok = false;
+        }
+    }
+    if (!memEqual(mem, gold.memory())) {
+        std::printf("golden-diff: final memory image differs\n");
+        ok = false;
+    }
+    if (ok && verbose_pass)
+        std::printf("golden-diff: architectural state matches\n");
+    return ok;
 }
 
 int
@@ -141,29 +298,11 @@ runFile(const Options &opt)
     ss << in.rdbuf();
     const Program prog = assembler::assemble(ss.str());
 
-    sim::RunStats rs;
     u32 final_regs[isa::kNumRegs] = {};
-    if (opt.engine == "golden") {
-        sim::GoldenSim sim(prog);
-        const sim::RunResult r = sim.run(opt.max_insts);
-        rs.cycles = r.inst_count;  // functional: 1 "cycle" per inst
-        rs.instructions = r.inst_count;
-        rs.halted = r.halted;
-        for (unsigned i = 0; i < isa::kNumRegs; ++i)
-            final_regs[i] = sim.reg(static_cast<isa::RegId>(i));
-    } else if (opt.engine == "ooo") {
-        ooo::OooProcessor proc(ooo::OooConfig::baseline8());
-        rs = proc.run(prog, opt.max_insts);
-        for (unsigned i = 0; i < isa::kNumRegs; ++i)
-            final_regs[i] =
-                proc.finalReg(0, static_cast<isa::RegId>(i));
-    } else {
-        core::DiagProcessor proc(configByName(opt.config));
-        rs = proc.run(prog, opt.max_insts);
-        for (unsigned i = 0; i < isa::kNumRegs; ++i)
-            final_regs[i] =
-                proc.finalReg(0, static_cast<isa::RegId>(i));
-    }
+    SparseMemory mem;
+    const bool want_mem = opt.golden_diff;
+    const sim::RunStats rs = runProgram(opt, prog, final_regs,
+                                        want_mem ? &mem : nullptr);
     printStats(rs, opt);
     if (opt.regs) {
         std::printf("-- registers --\n");
@@ -173,7 +312,58 @@ runFile(const Options &opt)
                         final_regs[i], (i % 4 == 3) ? "\n" : "  ");
         }
     }
-    return rs.halted ? 0 : 1;
+    int rc = classify(rs, true);
+    if (rc == 0 && opt.golden_diff && opt.engine != "golden" &&
+        !goldenDiff(prog, opt.max_insts, final_regs, mem, true))
+        rc = 2;  // silent data corruption vs the reference
+    if (rc != 0)
+        std::printf("FAIL (exit %d): %s\n", rc,
+                    rs.stop_reason.empty()
+                        ? (rc == 2 ? "golden-diff mismatch"
+                                   : "did not halt")
+                        : rs.stop_reason.c_str());
+    return rc;
+}
+
+/**
+ * Differential fuzzing: N seeded random programs, each executed on the
+ * selected engine and on the golden reference, with full architectural
+ * state compared at the end. Any divergence exits 2.
+ */
+int
+runDiffFuzz(const Options &opt)
+{
+    fatal_if(opt.engine == "golden",
+             "--diff-fuzz compares an engine against golden; pick "
+             "--engine diag or ooo");
+    unsigned mismatches = 0;
+    for (unsigned n = 0; n < opt.diff_fuzz; ++n) {
+        sim::FuzzOptions fo;
+        fo.seed = opt.seed + n;
+        const std::string src = sim::generateFuzzProgram(fo);
+        const Program prog = assembler::assemble(src);
+        u32 final_regs[isa::kNumRegs] = {};
+        SparseMemory mem;
+        const sim::RunStats rs =
+            runProgram(opt, prog, final_regs, &mem);
+        bool ok = rs.halted && !rs.faulted && !rs.timed_out;
+        if (!ok) {
+            std::printf("diff-fuzz seed %llu: engine stopped: %s\n",
+                        static_cast<unsigned long long>(fo.seed),
+                        rs.stop_reason.empty() ? "did not halt"
+                                               : rs.stop_reason.c_str());
+        } else if (!goldenDiff(prog, opt.max_insts, final_regs, mem,
+                               false)) {
+            std::printf("diff-fuzz seed %llu: MISMATCH vs golden\n",
+                        static_cast<unsigned long long>(fo.seed));
+            ok = false;
+        }
+        if (!ok)
+            ++mismatches;
+    }
+    std::printf("diff-fuzz: %u/%u seeds matched golden\n",
+                opt.diff_fuzz - mismatches, opt.diff_fuzz);
+    return mismatches ? 2 : 0;
 }
 
 } // namespace
@@ -205,6 +395,15 @@ main(int argc, char **argv)
             opt.regs = true;
         } else if (arg == "--max-insts") {
             opt.max_insts = std::stoull(next());
+        } else if (arg == "--max-cycles") {
+            opt.max_cycles = std::stoull(next());
+        } else if (arg == "--golden-diff") {
+            opt.golden_diff = true;
+        } else if (arg == "--diff-fuzz") {
+            opt.diff_fuzz =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--seed") {
+            opt.seed = std::stoull(next());
         } else if (arg == "--list-workloads") {
             listWorkloads();
             return 0;
@@ -218,6 +417,8 @@ main(int argc, char **argv)
             fatal("unknown option '%s'", arg.c_str());
         }
     }
+    if (opt.diff_fuzz > 0)
+        return runDiffFuzz(opt);
     if (!opt.workload.empty())
         return runWorkload(opt);
     if (opt.file.empty()) {
