@@ -14,6 +14,7 @@
 
 #include "harness/runner.hpp"
 #include "harness/table.hpp"
+#include "harness/validate.hpp"
 
 namespace diag::bench
 {
@@ -33,7 +34,7 @@ relPerfSingleThread(const std::string &title,
     const auto cfgs = harness::diagSingleThreadConfigs();
     Table t(title);
     t.header({"benchmark", "DiAG-32PE", "DiAG-256PE", "DiAG-512PE",
-              "baseline IPC"});
+              "meas/bound", "baseline IPC"});
     std::vector<std::vector<double>> rels(cfgs.size());
     for (const auto &w : suite) {
         const EngineRun base =
@@ -47,12 +48,19 @@ relPerfSingleThread(const std::string &title,
             rels[c].push_back(rel);
             cells.push_back(Table::num(rel, 2) + "x");
         }
+        // Measured cycles over the analyzer's provable lower bound on
+        // the largest config: >= 1.0 by construction, and how close to
+        // 1.0 says how much of the runtime the static model explains.
+        const harness::ValidationReport rep = harness::validateBound(
+            cfgs.back(), w, /*use_simt=*/false);
+        cells.push_back(Table::num(
+            rep.measured_cycles / rep.program_lower_bound, 2));
         cells.push_back(Table::num(base.stats.ipc(), 2));
         t.row(cells);
     }
     t.row({"geomean", Table::num(harness::geomean(rels[0]), 2) + "x",
            Table::num(harness::geomean(rels[1]), 2) + "x",
-           Table::num(harness::geomean(rels[2]), 2) + "x", ""});
+           Table::num(harness::geomean(rels[2]), 2) + "x", "", ""});
     t.print();
     std::printf("\nPaper-reported averages: %.2fx (32 PE), %.2fx "
                 "(256 PE), %.2fx (512 PE)\n",
@@ -69,7 +77,7 @@ relPerfMultiThread(const std::string &title,
 {
     Table t(title);
     t.header({"benchmark", "DiAG MT(16x2)", "DiAG MT+SIMT(8x4)",
-              "threads"});
+              "meas/bound", "threads"});
     std::vector<double> mt_rels;
     std::vector<double> simt_rels;
     for (const auto &w : suite) {
@@ -83,6 +91,7 @@ relPerfMultiThread(const std::string &title,
                               static_cast<double>(mt.stats.cycles);
         mt_rels.push_back(rel_mt);
         std::string simt_cell = "-";
+        std::string bound_cell = "-";
         if (!w.asm_simt.empty()) {
             const EngineRun st = harness::runOnDiag(
                 harness::diagMtSimtConfig(), w,
@@ -92,16 +101,25 @@ relPerfMultiThread(const std::string &title,
                 static_cast<double>(st.stats.cycles);
             simt_rels.push_back(rel);
             simt_cell = Table::num(rel, 2) + "x";
+            // Single-thread simt run vs the analyzer's provable lower
+            // bound (>= 1.0 by construction; near 1.0 means the
+            // static model explains most of the runtime).
+            const harness::ValidationReport rep =
+                harness::validateBound(harness::diagMtSimtConfig(), w,
+                                       /*use_simt=*/true);
+            bound_cell = Table::num(
+                rep.measured_cycles / rep.program_lower_bound, 2);
         } else {
             simt_rels.push_back(rel_mt);  // paper: purple == blue bar
         }
         t.row({w.name, Table::num(rel_mt, 2) + "x", simt_cell,
+               bound_cell,
                w.partitionable ? std::to_string(
                                      harness::kDiagMtThreads)
                                : "1"});
     }
     t.row({"geomean", Table::num(harness::geomean(mt_rels), 2) + "x",
-           Table::num(harness::geomean(simt_rels), 2) + "x", ""});
+           Table::num(harness::geomean(simt_rels), 2) + "x", "", ""});
     t.print();
     std::printf("\nPaper-reported averages: %.2fx (MT), %.2fx "
                 "(MT with SIMT pipelining)\n",

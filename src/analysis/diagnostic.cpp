@@ -1,5 +1,8 @@
 #include "analysis/diagnostic.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 #include "common/log.hpp"
 
 namespace diag::analysis
@@ -24,6 +27,24 @@ LintResult::count(Severity s) const
         if (d.severity == s)
             ++n;
     return n;
+}
+
+void
+LintResult::finalize()
+{
+    auto key = [](const Diagnostic &d) {
+        return std::tie(d.pc, d.pass, d.severity, d.message);
+    };
+    std::stable_sort(diags.begin(), diags.end(),
+                     [&](const Diagnostic &a, const Diagnostic &b) {
+                         return key(a) < key(b);
+                     });
+    diags.erase(std::unique(diags.begin(), diags.end(),
+                            [&](const Diagnostic &a,
+                                const Diagnostic &b) {
+                                return key(a) == key(b);
+                            }),
+                diags.end());
 }
 
 std::string
@@ -88,6 +109,48 @@ renderJson(const LintResult &result)
             jsonEscape(d.pass).c_str(), jsonEscape(d.message).c_str());
     }
     out += "]}\n";
+    return out;
+}
+
+std::string
+renderSarif(const std::vector<std::pair<std::string, LintResult>> &units,
+            const std::string &tool_name)
+{
+    auto sarif_level = [](Severity s) {
+        switch (s) {
+          case Severity::Error: return "error";
+          case Severity::Warning: return "warning";
+          case Severity::Note: return "note";
+        }
+        return "none";
+    };
+    std::string out =
+        "{\"version\": \"2.1.0\", "
+        "\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\", "
+        "\"runs\": [{\"tool\": {\"driver\": {\"name\": \"";
+    out += jsonEscape(tool_name);
+    out += "\", \"rules\": []}}, \"results\": [";
+    bool first = true;
+    for (const auto &[uri, result] : units) {
+        for (const Diagnostic &d : result.diags) {
+            if (!first)
+                out += ", ";
+            first = false;
+            // No source mapping exists for assembled images: anchor
+            // each finding at instruction granularity (word index as
+            // a line).
+            out += detail::vformat(
+                "{\"ruleId\": \"%s\", \"level\": \"%s\", "
+                "\"message\": {\"text\": \"0x%08x: %s\"}, "
+                "\"locations\": [{\"physicalLocation\": "
+                "{\"artifactLocation\": {\"uri\": \"%s\"}, "
+                "\"region\": {\"startLine\": %u}}}]}",
+                jsonEscape(d.pass).c_str(), sarif_level(d.severity),
+                d.pc, jsonEscape(d.message).c_str(),
+                jsonEscape(uri).c_str(), d.pc / 4 + 1);
+        }
+    }
+    out += "]}]}\n";
     return out;
 }
 

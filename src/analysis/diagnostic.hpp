@@ -7,6 +7,7 @@
 #define DIAG_ANALYSIS_DIAGNOSTIC_HPP
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -56,6 +57,13 @@ struct LintResult
         diags.push_back(
             {sev, pc, std::move(pass), std::move(message)});
     }
+
+    /**
+     * Canonicalize for output: sort by (pc, pass, severity, message)
+     * and drop exact duplicates, so text/JSON/SARIF renderings are
+     * byte-stable regardless of pass iteration order.
+     */
+    void finalize();
 };
 
 /**
@@ -70,6 +78,17 @@ std::string renderText(const LintResult &result);
  *   {"errors": N, "warnings": N, "notes": N, "diagnostics": [...]}
  */
 std::string renderJson(const LintResult &result);
+
+/**
+ * Render findings as a SARIF 2.1.0 log (one run, one result per
+ * diagnostic) so CI can annotate pull requests. Each unit pairs an
+ * artifact URI (the linted file or a workload pseudo-path) with its
+ * findings; the instruction word index maps to startLine (pc/4 + 1)
+ * since assembled programs carry no source mapping.
+ */
+std::string
+renderSarif(const std::vector<std::pair<std::string, LintResult>> &units,
+            const std::string &tool_name);
 
 } // namespace diag::analysis
 

@@ -158,16 +158,28 @@ checkReuse(const Cfg &cfg, const LintOptions &opt, LintResult &report)
 LintResult
 lintProgram(const Program &prog, const LintOptions &opt)
 {
-    LintResult report;
+    return analyzeProgram(prog, opt).lint;
+}
+
+ProgramAnalysis
+analyzeProgram(const Program &prog, const LintOptions &opt)
+{
+    ProgramAnalysis out;
+    LintResult &report = out.lint;
     const Cfg cfg = buildCfg(prog, report);
-    if (cfg.blocks.empty())
-        return report;  // entry outside the image: nothing to analyze
+    if (cfg.blocks.empty()) {
+        report.finalize();
+        return out;  // entry outside the image: nothing to analyze
+    }
     checkUnreachable(cfg, prog, report);
     checkLiveness(cfg, opt.entry_defined, report);
     if (opt.simt_enabled)
         checkSimt(cfg, prog, opt, report);
     checkReuse(cfg, opt, report);
-    return report;
+    out.memdep = checkMemDep(cfg, prog, opt, report);
+    out.bound = analyzeBound(cfg, prog, out.memdep, opt, &report);
+    report.finalize();
+    return out;
 }
 
 } // namespace diag::analysis

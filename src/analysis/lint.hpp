@@ -19,8 +19,10 @@
 #ifndef DIAG_ANALYSIS_LINT_HPP
 #define DIAG_ANALYSIS_LINT_HPP
 
+#include "analysis/bound.hpp"
 #include "analysis/cfg.hpp"
 #include "analysis/liveness.hpp"
+#include "analysis/memdep.hpp"
 
 namespace diag::analysis
 {
@@ -36,6 +38,8 @@ struct LintOptions
     bool simt_enabled = true;
     /** Rough fetch+decode cost of one I-line, for perf estimates. */
     unsigned iline_fetch_cycles = 4;
+    /** Timing parameters for the memdep/bound passes. */
+    BoundParams timing;
     /** Lanes the launch environment initializes (x0 is implicit). */
     RegSet entry_defined;
 
@@ -53,6 +57,18 @@ struct LintOptions
 /** Run every pass over @p prog and collect the findings. */
 LintResult lintProgram(const Program &prog,
                        const LintOptions &opt = {});
+
+/** Findings plus the structured memdep/bound models (diag-bound). */
+struct ProgramAnalysis
+{
+    LintResult lint;
+    MemDepResult memdep;
+    BoundResult bound;
+};
+
+/** Run every pass and keep the structured pass results. */
+ProgramAnalysis analyzeProgram(const Program &prog,
+                               const LintOptions &opt = {});
 
 /** Pass 3: static simt_s/simt_e region legality (reachable regions). */
 void checkSimt(const Cfg &cfg, const Program &prog,

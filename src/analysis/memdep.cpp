@@ -1,0 +1,428 @@
+#include "analysis/memdep.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "analysis/lint.hpp"
+#include "analysis/simt_scan.hpp"
+#include "common/log.hpp"
+#include "isa/decoder.hpp"
+
+namespace diag::analysis
+{
+
+using namespace diag::isa;
+
+const char *
+loadClassName(LoadClass c)
+{
+    switch (c) {
+      case LoadClass::UnknownAlias: return "unknown-alias";
+      case LoadClass::LaneForwardable: return "lane-forwardable";
+      case LoadClass::LsuSerialized: return "lsu-serialized";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Value-numbering state: one SymExpr per architectural lane. */
+struct SymState
+{
+    std::array<SymExpr, kNumRegs> reg{};
+    u32 next_term = 1;
+
+    /** Seed every lane with a distinct opaque term (x0 stays 0). */
+    void
+    seed()
+    {
+        for (unsigned r = 1; r < kNumRegs; ++r)
+            reg[r] = {next_term++, 0, 0};
+    }
+
+    SymExpr fresh() { return {next_term++, 0, 0}; }
+
+    SymExpr
+    read(RegId r) const
+    {
+        if (r == kNoReg || r == kRegZero)
+            return {0, 0, 0};
+        return reg[r];
+    }
+};
+
+/** True iff @p e is a compile-time constant (no base, no rc term). */
+bool
+isConst(const SymExpr &e)
+{
+    return e.base == 0 && e.rc_coeff == 0;
+}
+
+/**
+ * Transfer function of the value numbering: update @p st for @p di.
+ * Only the address-forming subset (LUI/AUIPC, add/sub/shift with
+ * immediates and constant operands) stays symbolic; everything else
+ * produces a fresh opaque term.
+ */
+void
+evalInst(SymState &st, Addr pc, const DecodedInst &di)
+{
+    if (!di.writesReg())
+        return;
+    const SymExpr a = st.read(di.rs1);
+    const SymExpr b = st.read(di.rs2);
+    SymExpr out;
+    switch (di.op) {
+      case Op::LUI:
+        out = {0, 0, static_cast<i64>(static_cast<u32>(di.imm))};
+        break;
+      case Op::AUIPC:
+        out = {0, 0,
+               static_cast<i64>(pc + static_cast<u32>(di.imm))};
+        break;
+      case Op::ADDI:
+        out = a;
+        out.offset += di.imm;
+        break;
+      case Op::ADD:
+        if (a.base == 0)
+            out = {b.base, a.rc_coeff + b.rc_coeff,
+                   a.offset + b.offset};
+        else if (b.base == 0)
+            out = {a.base, a.rc_coeff + b.rc_coeff,
+                   a.offset + b.offset};
+        else
+            out = st.fresh();
+        break;
+      case Op::SUB:
+        if (isConst(b)) {
+            out = a;
+            out.offset -= b.offset;
+        } else if (a.sameBase(b) && a.rc_coeff == b.rc_coeff) {
+            out = {0, 0, a.offset - b.offset};
+        } else {
+            out = st.fresh();
+        }
+        break;
+      case Op::SLLI:
+        if (a.base == 0 && di.imm >= 0 && di.imm < 32)
+            out = {0, a.rc_coeff << di.imm, a.offset << di.imm};
+        else
+            out = st.fresh();
+        break;
+      default:
+        out = st.fresh();
+        break;
+    }
+    st.reg[di.rd] = out;
+}
+
+/** One memory access with its reconstructed address expression. */
+struct MemAccess
+{
+    Addr pc = 0;
+    SymExpr ea;
+    u8 size = 0;
+    bool is_store = false;
+};
+
+/** Byte-range relation of a load against one store (same base). */
+enum class Overlap
+{
+    Disjoint,
+    Covered,   //!< the store covers every byte the load reads
+    Partial,
+};
+
+Overlap
+classifyOverlap(const SymExpr &load_ea, u8 load_size,
+                const SymExpr &store_ea, u8 store_size)
+{
+    const i64 delta = load_ea.offset - store_ea.offset;
+    if (delta >= store_size || delta + load_size <= 0)
+        return Overlap::Disjoint;
+    if (delta >= 0 && delta + load_size <= store_size)
+        return Overlap::Covered;
+    return Overlap::Partial;
+}
+
+/** Human description of an address expression for diagnostics. */
+std::string
+describeAddr(const Program &prog, const SymExpr &e)
+{
+    if (isConst(e))
+        return prog.nearestSymbol(static_cast<Addr>(e.offset));
+    if (e.rc_coeff != 0)
+        return detail::vformat("base+%lld*rc%+lld",
+                               static_cast<long long>(e.rc_coeff),
+                               static_cast<long long>(e.offset));
+    return detail::vformat("base%+lld",
+                           static_cast<long long>(e.offset));
+}
+
+/**
+ * Straight-line scope: classify each load in @p body against the
+ * sliding window of older stores, modelling the memory-lane CAM
+ * (youngest fully-covering match forwards; a partial overlap blocks
+ * forwarding; an opaque store leaves the query undecidable).
+ */
+void
+classifyLoads(const std::vector<MemAccess> &body, unsigned cam_entries,
+              const Program &prog, bool emit, MemDepResult &out,
+              LintResult &report)
+{
+    std::deque<const MemAccess *> window;
+    for (const MemAccess &m : body) {
+        if (m.is_store) {
+            window.push_back(&m);
+            if (window.size() > cam_entries)
+                window.pop_front();
+            continue;
+        }
+        LoadDep dep;
+        dep.pc = m.pc;
+        dep.ea = m.ea;
+        for (auto it = window.rbegin(); it != window.rend(); ++it) {
+            const MemAccess &s = **it;
+            if (!m.ea.sameBase(s.ea) ||
+                m.ea.rc_coeff != s.ea.rc_coeff) {
+                // Undecidable pair: the CAM may or may not match at
+                // run time, so no younger decision is provable.
+                dep.cls = LoadClass::UnknownAlias;
+                dep.store_pc = s.pc;
+                break;
+            }
+            const Overlap ov =
+                classifyOverlap(m.ea, m.size, s.ea, s.size);
+            if (ov == Overlap::Disjoint)
+                continue;
+            dep.store_pc = s.pc;
+            if (ov == Overlap::Covered) {
+                dep.cls = LoadClass::LaneForwardable;
+                if (emit)
+                    report.add(
+                        Severity::Note, m.pc, "memdep",
+                        detail::vformat(
+                            "load forwards from the store at 0x%08x "
+                            "through the memory lanes "
+                            "(store-to-load hit on %s)",
+                            s.pc, describeAddr(prog, m.ea).c_str()));
+            } else {
+                dep.cls = LoadClass::LsuSerialized;
+                if (emit)
+                    report.add(
+                        Severity::Note, m.pc, "memdep",
+                        detail::vformat(
+                            "load overlaps the %u-byte store at "
+                            "0x%08x only partially: the memory lanes "
+                            "cannot forward a partial value, so the "
+                            "load serializes through the LSU behind "
+                            "the store",
+                            s.size, s.pc));
+            }
+            break;
+        }
+        out.loads.push_back(dep);
+    }
+}
+
+/** Collect the memory accesses of one basic block, symbolically. */
+std::vector<MemAccess>
+blockAccesses(const Cfg &cfg, const BasicBlock &bb, SymState &st)
+{
+    std::vector<MemAccess> body;
+    for (Addr pc = bb.first; pc <= bb.last; pc += 4) {
+        const auto it = cfg.insts.find(pc);
+        if (it == cfg.insts.end())
+            break;
+        const DecodedInst &di = it->second;
+        if (di.isMem()) {
+            MemAccess m;
+            m.pc = pc;
+            m.ea = st.read(di.rs1);
+            m.ea.offset += di.imm;
+            m.size = di.info().memBytes;
+            m.is_store = di.isStore();
+            body.push_back(m);
+        }
+        evalInst(st, pc, di);
+    }
+    return body;
+}
+
+/**
+ * Region scope: pairwise store->load dependence tests under the
+ * per-iteration address map `base + rc_coeff*rc + offset`, where rc
+ * takes a different value in every pipelined thread.
+ */
+void
+analyzeRegion(const Program &prog, const LintOptions &opt,
+              Addr simt_s_pc, const SimtScan &scan,
+              MemDepResult &out, LintResult &report)
+{
+    const DecodedInst start = decode(prog.word(simt_s_pc));
+    const SimtStartFields f = simtStartFields(start);
+
+    SymState st;
+    st.seed();
+    // The loop-control lane is the region's induction variable.
+    if (f.rc != kRegZero && f.rc != kNoReg)
+        st.reg[f.rc] = {0, 1, 0};
+
+    RegionMemDep region;
+    region.simt_s_pc = simt_s_pc;
+    region.simt_e_pc = scan.simt_e_pc;
+
+    std::vector<MemAccess> body;
+    for (Addr pc = simt_s_pc + 4; pc <= scan.simt_e_pc; pc += 4) {
+        const DecodedInst di = decode(prog.word(pc));
+        if (di.isMem()) {
+            MemAccess m;
+            m.pc = pc;
+            m.ea = st.read(di.rs1);
+            m.ea.offset += di.imm;
+            m.size = di.info().memBytes;
+            m.is_store = di.isStore();
+            body.push_back(m);
+            if (m.is_store) {
+                ++region.stores_per_iter;
+                region.stores.push_back({pc, m.ea});
+            } else {
+                ++region.loads_per_iter;
+            }
+        }
+        evalInst(st, pc, di);
+    }
+
+    // Same-iteration classification (the per-thread CAM view).
+    classifyLoads(body, opt.timing.mem_lane_entries, prog,
+                  /*emit=*/true, out, report);
+    region.loads.assign(out.loads.end() - region.loads_per_iter,
+                        out.loads.end());
+    out.loads.resize(out.loads.size() - region.loads_per_iter);
+
+    // Cross-iteration store->load tests.
+    for (const MemAccess &s : body) {
+        if (!s.is_store)
+            continue;
+        for (const MemAccess &l : body) {
+            if (l.is_store || !l.ea.sameBase(s.ea))
+                continue;
+            if (l.ea.rc_coeff == 0 && s.ea.rc_coeff == 0) {
+                // Both accesses hit the same fixed address in every
+                // iteration: a definite pipelined-thread race.
+                if (classifyOverlap(l.ea, l.size, s.ea, s.size) ==
+                    Overlap::Disjoint)
+                    continue;
+                region.carried_race = true;
+                report.add(
+                    Severity::Error, l.pc, "memdep",
+                    detail::vformat(
+                        "cross-iteration store-to-load race in the "
+                        "simt region at 0x%08x: the store at 0x%08x "
+                        "and this load address %s in every iteration, "
+                        "but pipelined threads snapshot the lanes at "
+                        "simt_s and interleave their memory accesses "
+                        "freely, so the value read depends on thread "
+                        "timing; rewrite the reduction with a "
+                        "per-iteration address or drop the simt "
+                        "markers",
+                        simt_s_pc, s.pc,
+                        describeAddr(prog, l.ea).c_str()));
+            } else if (l.ea.rc_coeff != s.ea.rc_coeff ||
+                       (l.ea.offset != s.ea.offset &&
+                        classifyOverlap(l.ea, l.size, s.ea, s.size) ==
+                            Overlap::Disjoint)) {
+                // Same base, different stride or a non-overlapping
+                // offset gap: whether two *different* iterations
+                // collide depends on the step value, which is only
+                // known at run time.
+                if (l.ea.rc_coeff == s.ea.rc_coeff)
+                    continue;  // equal stride, disjoint offsets: the
+                               // gap is constant across iterations
+                report.add(
+                    Severity::Warning, l.pc, "memdep",
+                    detail::vformat(
+                        "store at 0x%08x (stride %lld per iteration) "
+                        "and this load (stride %lld) share a base "
+                        "address: iterations may alias depending on "
+                        "the simt step value, and pipelined threads "
+                        "give no cross-iteration memory ordering",
+                        s.pc,
+                        static_cast<long long>(s.ea.rc_coeff),
+                        static_cast<long long>(l.ea.rc_coeff)));
+            }
+        }
+    }
+
+    // Memory-lane CAM pressure: the lanes are shared by every thread
+    // in flight, so each iteration's stores occupy entries for about
+    // one pipeline-fill worth of threads.
+    const unsigned body_insts =
+        static_cast<unsigned>((scan.simt_e_pc - simt_s_pc) / 4);
+    const unsigned interval = std::max(1u, scan.fields.interval);
+    const unsigned inflight = body_insts / interval + 1;
+    region.cam_demand = region.stores_per_iter * inflight;
+    if (region.stores_per_iter > 0 &&
+        region.cam_demand > opt.timing.mem_lane_entries) {
+        report.add(
+            Severity::Note, simt_s_pc, "memdep",
+            detail::vformat(
+                "memory-lane pressure: %u store(s)/iteration with "
+                "~%u threads in flight demands ~%u CAM entries but "
+                "the lanes hold %u; store-to-load forwarding hits "
+                "will be lost to capacity evictions",
+                region.stores_per_iter, inflight, region.cam_demand,
+                opt.timing.mem_lane_entries));
+    }
+
+    out.regions.push_back(std::move(region));
+}
+
+} // namespace
+
+MemDepResult
+checkMemDep(const Cfg &cfg, const Program &prog,
+            const LintOptions &opt, LintResult &report)
+{
+    MemDepResult out;
+
+    // Pipelinable regions get the cross-iteration treatment; their
+    // span is excluded from the straight-line pass below so each load
+    // is classified exactly once.
+    std::vector<std::pair<Addr, Addr>> region_spans;
+    if (opt.simt_enabled) {
+        for (const auto &[pc, di] : cfg.insts) {
+            if (di.op != Op::SIMT_S)
+                continue;
+            const SimtScan scan = scanSimtRegion(
+                pc, prog.image, opt.line_bytes, opt.clusters_per_ring);
+            if (!scan.ok())
+                continue;  // serializes: the block pass covers it
+            region_spans.emplace_back(pc + 4, scan.simt_e_pc);
+            analyzeRegion(prog, opt, pc, scan, out, report);
+        }
+    }
+    auto in_region = [&](Addr pc) {
+        for (const auto &[lo, hi] : region_spans)
+            if (pc >= lo && pc <= hi)
+                return true;
+        return false;
+    };
+
+    SymState st;
+    for (const BasicBlock &bb : cfg.blocks) {
+        if (in_region(bb.first))
+            continue;
+        // Lanes carry unknown values at block entry: reseed so no
+        // expression leaks across a control-flow join.
+        st.seed();
+        const std::vector<MemAccess> body = blockAccesses(cfg, bb, st);
+        classifyLoads(body, opt.timing.mem_lane_entries, prog,
+                      /*emit=*/true, out, report);
+    }
+    return out;
+}
+
+} // namespace diag::analysis

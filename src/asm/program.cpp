@@ -19,6 +19,28 @@ Program::hasSymbol(const std::string &name) const
     return symbols.find(name) != symbols.end();
 }
 
+std::string
+Program::nearestSymbol(Addr addr) const
+{
+    const std::string *best = nullptr;
+    Addr best_addr = 0;
+    for (const auto &[name, at] : symbols) {
+        if (at > addr)
+            continue;
+        if (!best || at > best_addr ||
+            (at == best_addr && name < *best)) {
+            best = &name;
+            best_addr = at;
+        }
+    }
+    if (!best)
+        return detail::vformat("0x%08x", addr);
+    if (addr == best_addr)
+        return *best;
+    return detail::vformat("%s+0x%x", best->c_str(),
+                           addr - best_addr);
+}
+
 void
 Program::loadInto(SparseMemory &mem) const
 {

@@ -41,6 +41,13 @@ struct Program
     /** True iff a label @p name exists. */
     bool hasSymbol(const std::string &name) const;
 
+    /**
+     * Symbolic description of @p addr for diagnostics: the closest
+     * label at or below it ("buf", "buf+0x40"), or a bare hex
+     * address when no label precedes it.
+     */
+    std::string nearestSymbol(Addr addr) const;
+
     /** Fetch the instruction word at @p addr. */
     u32 word(Addr addr) const { return image.read32(addr); }
 

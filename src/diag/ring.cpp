@@ -589,6 +589,12 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
     }
     stats_.inc("simt_regions");
     stats_.inc("simt_threads", static_cast<double>(trips));
+    // Per-region counters (keyed by the simt_s pc) let the bound
+    // validator compare each region's measured duration against its
+    // static model (tools/diag_bound.cpp --validate).
+    stats_.inc(detail::vformat("simt_region_%08x_entries", simt_s_pc));
+    stats_.inc(detail::vformat("simt_region_%08x_threads", simt_s_pc),
+               static_cast<double>(trips));
 
     // Region lines; pin them so stage clusters are never evicted.
     const Addr first_line = alignDown(simt_s_pc + 4, line_bytes_);
@@ -711,6 +717,9 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
     // Only the last thread's lanes propagate past simt_e (paper §5.4).
     regs = last_regs;
     pc = region.simt_e_pc + 4;
+    stats_.inc(detail::vformat("simt_region_%08x_cycles", simt_s_pc),
+               static_cast<double>(last_exit_resolve +
+                                   cfg_.inter_cluster_latch - resolve));
     pc_enter = last_exit_resolve + cfg_.inter_cluster_latch;
     min_start = 0;
     for (LaneState &l : regs)

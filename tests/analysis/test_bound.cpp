@@ -1,0 +1,148 @@
+/**
+ * Static performance-bound model tests: block critical paths, region
+ * pipeline models (fill / initiation interval / bottleneck), and the
+ * simulator cross-validation contract (measured cycles never beat the
+ * proven lower bound; predictions track measurements).
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/lint.hpp"
+#include "asm/assembler.hpp"
+#include "diag/config.hpp"
+#include "harness/validate.hpp"
+#include "workloads/workload.hpp"
+
+using namespace diag;
+using namespace diag::analysis;
+
+namespace
+{
+
+ProgramAnalysis
+analyze(const std::string &src, const LintOptions &opt = {})
+{
+    return analyzeProgram(assembler::assemble(src), opt);
+}
+
+/** A one-line pipelineable region (vector increment with reuse). */
+const char *kVectorAdd = R"(
+    _start:
+        li s2, 0x100000
+        li a2, 0
+        li a3, 4
+        li a4, 256
+    head:
+        simt_s a2, a3, a4, 1
+        add t5, s2, a2
+        lw t6, 0(t5)
+        addi t6, t6, 1
+        sw t6, 0(t5)
+        simt_e a2, a4, head
+        ebreak
+)";
+
+} // namespace
+
+TEST(Bound, DependentChainBoundsBlockCriticalPath)
+{
+    // Eight serially dependent adds: the lane critical path cannot be
+    // shorter than the chain itself.
+    const ProgramAnalysis a = analyze(R"(
+        _start:
+            li t0, 1
+            addi t0, t0, 1
+            addi t0, t0, 1
+            addi t0, t0, 1
+            addi t0, t0, 1
+            addi t0, t0, 1
+            addi t0, t0, 1
+            addi t0, t0, 1
+            sw t0, 0(t0)
+            ebreak
+    )");
+    ASSERT_FALSE(a.bound.blocks.empty());
+    EXPECT_GE(a.bound.blocks[0].crit_lb, 8u);
+}
+
+TEST(Bound, RegionModelHasSaneShape)
+{
+    const ProgramAnalysis a = analyze(kVectorAdd);
+    ASSERT_EQ(a.bound.regions.size(), 1u);
+    const RegionBound &r = a.bound.regions[0];
+    EXPECT_EQ(r.lines, 1u);
+    EXPECT_TRUE(r.straightline);
+    EXPECT_EQ(r.interval, 1u);
+    EXPECT_GE(r.fill_lb, 1u);
+    EXPECT_GE(r.ii_lb, 1.0);
+    // The prediction uses expected (>= minimum) latencies, so it can
+    // never undercut the proven bound.
+    const double threads = 64;
+    const double entries = 1;
+    EXPECT_GE(r.predict(threads, entries),
+              r.lowerBound(threads, entries));
+    // More threads can only cost more cycles.
+    EXPECT_GE(r.lowerBound(2 * threads, entries),
+              r.lowerBound(threads, entries));
+}
+
+TEST(Bound, ResourceNoteWhenDivideLimitsThroughput)
+{
+    // On a small ring (4 clusters) the 12-cycle unpipelined divide
+    // cannot be replicated away: 12 / 4 replicas > interval 1.
+    LintOptions opt;
+    opt.clusters_per_ring = 4;
+    const ProgramAnalysis a = analyze(R"(
+        _start:
+            li s2, 0x100000
+            li a2, 0
+            li a3, 4
+            li a4, 64
+        head:
+            simt_s a2, a3, a4, 1
+            add t5, s2, a2
+            lw t6, 0(t5)
+            div t6, t6, t6
+            sw t6, 0(t5)
+            simt_e a2, a4, head
+            ebreak
+    )",
+                                      opt);
+    ASSERT_EQ(a.bound.regions.size(), 1u);
+    EXPECT_GT(a.bound.regions[0].unpip_ii, 1.0);
+    bool note = false;
+    for (const Diagnostic &d : a.lint.diags)
+        note |= d.pass == "bound" &&
+                d.message.find("resource-bound") != std::string::npos;
+    EXPECT_TRUE(note) << renderText(a.lint);
+}
+
+TEST(Bound, ValidationHoldsOnSmallWorkloads)
+{
+    const core::DiagConfig cfg = core::DiagConfig::f4c32();
+    for (const char *name : {"particlefilter", "nn"}) {
+        const workloads::Workload w = workloads::findWorkload(name);
+        const harness::ValidationReport rep =
+            harness::validateBound(cfg, w, /*use_simt=*/true);
+        EXPECT_TRUE(rep.ok()) << harness::renderValidation(rep);
+        EXPECT_GE(rep.measured_cycles, rep.program_lower_bound);
+        for (const auto &c : rep.regions) {
+            if (c.entries <= 0)
+                continue;
+            EXPECT_GE(c.measured, c.lower_bound) << name;
+            EXPECT_LE(c.err, 0.15) << name;
+        }
+    }
+}
+
+TEST(Bound, ValidationJsonRoundTripsVerdict)
+{
+    const core::DiagConfig cfg = core::DiagConfig::f4c32();
+    const workloads::Workload w = workloads::findWorkload("nn");
+    const harness::ValidationReport rep =
+        harness::validateBound(cfg, w, /*use_simt=*/true);
+    const std::string js = harness::renderValidationJson(rep);
+    EXPECT_NE(js.find("\"ok\": true"), std::string::npos) << js;
+    EXPECT_NE(js.find("\"bottleneck\""), std::string::npos) << js;
+}

@@ -1,0 +1,18 @@
+# Diff the analyzer's JSON for every bundled workload against the
+# checked-in snapshot. Regenerate with tools/update_goldens.sh.
+execute_process(
+    COMMAND ${BOUND_TOOL} --all-workloads --json
+    OUTPUT_VARIABLE actual
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "diag-bound exited ${rc}")
+endif()
+file(READ ${GOLDEN} expected)
+if(NOT actual STREQUAL expected)
+    string(LENGTH "${actual}" alen)
+    string(LENGTH "${expected}" elen)
+    message(FATAL_ERROR
+        "analysis output diverged from ${GOLDEN} "
+        "(${alen} vs ${elen} bytes); if the change is intentional, "
+        "run tools/update_goldens.sh <build-dir> and commit the diff")
+endif()

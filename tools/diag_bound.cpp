@@ -1,0 +1,278 @@
+/**
+ * @file
+ * diag-bound: static performance-bound & memory-dependence analyzer
+ * with simulator cross-validation.
+ *
+ *   diag-bound [options] [program.s ...]
+ *     --workload NAME        analyze a built-in benchmark kernel
+ *     --all-workloads        analyze every bundled kernel
+ *     --config I4C2|F4C2|F4C16|F4C32   DiAG preset (default F4C32)
+ *     --rings N              override the ring count of the preset
+ *     --json                 emit machine-readable JSON
+ *     --sarif                emit SARIF 2.1.0 (findings only)
+ *     --validate             simulate and cross-check the bound model
+ *     --slack FRAC           allowed prediction error (default 0.15)
+ *     --werror               treat warnings as errors (exit status)
+ *
+ * Analysis mode prints the diag-lint findings (including the memdep
+ * pass: load classification, cross-iteration races, CAM pressure)
+ * plus the static schedule model: per-block critical paths, resident
+ * loop iteration periods, and per-simt-region fill/II bounds.
+ *
+ * Validation mode additionally runs the workload on the simulator and
+ * compares the measured per-region cycles against the model: measured
+ * below the *provable* lower bound fails (that is a simulator timing
+ * bug), and a prediction off by more than --slack fails (model drift).
+ *
+ * Exit status: 0 when no errors and validation holds (no warnings
+ * either under --werror), 1 otherwise, 2 on usage errors.
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "asm/assembler.hpp"
+#include "common/log.hpp"
+#include "diag/config.hpp"
+#include "harness/validate.hpp"
+#include "workloads/workload.hpp"
+
+using namespace diag;
+
+namespace
+{
+
+struct Options
+{
+    std::string config = "F4C32";
+    std::string workload;
+    std::vector<std::string> files;
+    unsigned rings = 0;  //!< 0 = keep the preset's ring count
+    double slack = 0.15;
+    bool all_workloads = false;
+    bool json = false;
+    bool sarif = false;
+    bool validate = false;
+    bool werror = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: diag-bound [options] [program.s ...]\n"
+        "  --workload NAME      analyze a built-in benchmark kernel\n"
+        "  --all-workloads      analyze every bundled kernel\n"
+        "  --config I4C2|F4C2|F4C16|F4C32   DiAG preset\n"
+        "  --rings N            override the preset's ring count\n"
+        "  --json               emit machine-readable JSON\n"
+        "  --sarif              emit SARIF 2.1.0 (findings only)\n"
+        "  --validate           simulate and cross-check the model\n"
+        "  --slack FRAC         allowed prediction error (0.15)\n"
+        "  --werror             treat warnings as errors\n");
+}
+
+core::DiagConfig
+configByName(const std::string &name)
+{
+    if (name == "I4C2")
+        return core::DiagConfig::i4c2();
+    if (name == "F4C2")
+        return core::DiagConfig::f4c2();
+    if (name == "F4C16")
+        return core::DiagConfig::f4c16();
+    if (name == "F4C32")
+        return core::DiagConfig::f4c32();
+    fatal("unknown DiAG configuration '%s'", name.c_str());
+}
+
+core::DiagConfig
+engineConfig(const Options &opt)
+{
+    core::DiagConfig cfg = configByName(opt.config);
+    if (opt.rings != 0)
+        cfg.num_rings = opt.rings;
+    return cfg;
+}
+
+std::string
+renderBoundText(const analysis::BoundResult &b)
+{
+    std::string out;
+    for (const auto &blk : b.blocks)
+        out += detail::vformat(
+            "block 0x%08x..0x%08x: %u insts, critical path >= %llu "
+            "cycles\n",
+            blk.first, blk.last, blk.insts,
+            static_cast<unsigned long long>(blk.crit_lb));
+    for (const auto &l : b.loops) {
+        out += detail::vformat(
+            "loop 0x%08x..0x%08x: %u insts over %u lines, %s", l.head,
+            l.tail, l.insts, l.lines,
+            l.resident ? "resident (datapath reuse)" : "not resident");
+        if (l.iter_pred > 0)
+            out += detail::vformat(", ~%.1f cycles/iteration",
+                                   l.iter_pred);
+        out += "\n";
+    }
+    for (const auto &r : b.regions)
+        out += detail::vformat(
+            "simt region 0x%08x..0x%08x: %u-inst body over %u lines, "
+            "interval %llu, fill >= %llu, II floor %.2f "
+            "(lsu %.2f, unpipelined %.2f, replicas <= %u)\n",
+            r.simt_s_pc, r.simt_e_pc, r.body_insts, r.lines,
+            static_cast<unsigned long long>(r.interval),
+            static_cast<unsigned long long>(r.fill_lb), r.resource_ii,
+            r.lsu_ii, r.unpip_ii, r.max_replicas);
+    return out;
+}
+
+struct Unit
+{
+    std::string label;
+    analysis::ProgramAnalysis analysis;
+};
+
+/** Analyze one unit; prints per-unit output unless SARIF. */
+Unit
+analyzeUnit(const std::string &label, const std::string &source,
+            const Options &opt, bool abi_entry)
+{
+    const Program prog = assembler::assemble(source);
+    analysis::LintOptions lo =
+        harness::lintOptionsFor(engineConfig(opt));
+    if (!abi_entry)
+        lo.entry_defined = analysis::RegSet{};
+    Unit u{label, analysis::analyzeProgram(prog, lo)};
+    if (opt.sarif)
+        return u;  // collected and rendered in one document at exit
+    if (opt.json) {
+        std::printf("{\"unit\": \"%s\",\n\"lint\": %s,\n\"bound\": %s}\n",
+                    label.c_str(),
+                    analysis::renderJson(u.analysis.lint).c_str(),
+                    analysis::renderBoundJson(u.analysis.bound).c_str());
+    } else {
+        std::printf("== %s ==\n%s%s", label.c_str(),
+                    analysis::renderText(u.analysis.lint).c_str(),
+                    renderBoundText(u.analysis.bound).c_str());
+    }
+    return u;
+}
+
+/** True when @p res fails the exit bar of @p opt. */
+bool
+fails(const analysis::LintResult &res, const Options &opt)
+{
+    return res.errors() > 0 || (opt.werror && res.warnings() > 0);
+}
+
+int
+boundWorkload(const workloads::Workload &w, const Options &opt,
+              std::vector<std::pair<std::string, analysis::LintResult>>
+                  &sarif_units)
+{
+    int bad = 0;
+    const auto run = [&](const std::string &label,
+                         const std::string &source, bool simt) {
+        Unit u = analyzeUnit(label, source, opt, /*abi_entry=*/true);
+        bad += fails(u.analysis.lint, opt);
+        if (opt.sarif)
+            sarif_units.emplace_back(label,
+                                     std::move(u.analysis.lint));
+        if (opt.validate && !fails(u.analysis.lint, opt)) {
+            const harness::ValidationReport rep = harness::validateBound(
+                engineConfig(opt), w, simt, opt.slack);
+            if (!opt.json && !opt.sarif)
+                std::printf("%s", harness::renderValidation(rep).c_str());
+            else if (opt.json)
+                std::printf("%s",
+                            harness::renderValidationJson(rep).c_str());
+            bad += rep.ok() ? 0 : 1;
+        }
+    };
+    run(w.name + " (serial)", w.asm_serial, false);
+    if (!w.asm_simt.empty())
+        run(w.name + " (simt)", w.asm_simt, true);
+    return bad;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, "missing value for %s",
+                     arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            opt.workload = next();
+        } else if (arg == "--all-workloads") {
+            opt.all_workloads = true;
+        } else if (arg == "--config") {
+            opt.config = next();
+        } else if (arg == "--rings") {
+            opt.rings = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--slack") {
+            opt.slack = std::stod(next());
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--sarif") {
+            opt.sarif = true;
+        } else if (arg == "--validate") {
+            opt.validate = true;
+        } else if (arg == "--werror") {
+            opt.werror = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-') {
+            opt.files.push_back(arg);
+        } else {
+            usage();
+            return 2;
+        }
+    }
+
+    std::vector<std::pair<std::string, analysis::LintResult>> sarif_units;
+    int bad = 0;
+    const auto doWorkload = [&](const workloads::Workload &w) {
+        bad += boundWorkload(w, opt, sarif_units);
+    };
+    if (opt.all_workloads) {
+        for (const auto &w : workloads::rodiniaSuite())
+            doWorkload(w);
+        for (const auto &w : workloads::specSuite())
+            doWorkload(w);
+    } else if (!opt.workload.empty()) {
+        doWorkload(workloads::findWorkload(opt.workload));
+    }
+    for (const std::string &file : opt.files) {
+        std::ifstream in(file);
+        fatal_if(!in.good(), "cannot open '%s'", file.c_str());
+        std::stringstream ss;
+        ss << in.rdbuf();
+        Unit u = analyzeUnit(file, ss.str(), opt, /*abi_entry=*/false);
+        bad += fails(u.analysis.lint, opt);
+        if (opt.sarif)
+            sarif_units.emplace_back(file, std::move(u.analysis.lint));
+    }
+    if (!opt.all_workloads && opt.workload.empty() &&
+        opt.files.empty()) {
+        usage();
+        return 2;
+    }
+    if (opt.sarif)
+        std::printf("%s\n",
+                    analysis::renderSarif(sarif_units, "diag-bound")
+                        .c_str());
+    return bad ? 1 : 0;
+}

@@ -8,6 +8,7 @@
  *     --config I4C2|F4C2|F4C16|F4C32   DiAG preset (default F4C32)
  *     --rings N              override the ring count of the preset
  *     --json                 emit machine-readable JSON
+ *     --sarif                emit SARIF 2.1.0 (one document per run)
  *     --werror               treat warnings as errors (exit status)
  *
  * Passes: CFG construction (unreachable code, control flow leaving the
@@ -23,6 +24,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/lint.hpp"
@@ -44,8 +46,12 @@ struct Options
     unsigned rings = 0;  //!< 0 = keep the preset's ring count
     bool all_workloads = false;
     bool json = false;
+    bool sarif = false;
     bool werror = false;
 };
+
+/** Units accumulated for the single SARIF document. */
+std::vector<std::pair<std::string, analysis::LintResult>> g_sarif_units;
 
 void
 usage()
@@ -57,6 +63,7 @@ usage()
         "  --config I4C2|F4C2|F4C16|F4C32   DiAG preset\n"
         "  --rings N            override the preset's ring count\n"
         "  --json               emit machine-readable JSON\n"
+        "  --sarif              emit SARIF 2.1.0\n"
         "  --werror             treat warnings as errors\n");
 }
 
@@ -97,7 +104,9 @@ lintUnit(const std::string &label, const std::string &source,
     const Program prog = assembler::assemble(source);
     const analysis::LintResult res =
         analysis::lintProgram(prog, lintOptions(opt, abi_entry));
-    if (opt.json) {
+    if (opt.sarif) {
+        g_sarif_units.emplace_back(label, res);
+    } else if (opt.json) {
         std::printf("%s\n", analysis::renderJson(res).c_str());
     } else {
         std::printf("== %s ==\n%s", label.c_str(),
@@ -150,6 +159,8 @@ main(int argc, char **argv)
             opt.rings = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--json") {
             opt.json = true;
+        } else if (arg == "--sarif") {
+            opt.sarif = true;
         } else if (arg == "--werror") {
             opt.werror = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -185,5 +196,9 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+    if (opt.sarif)
+        std::printf("%s\n",
+                    analysis::renderSarif(g_sarif_units, "diag-lint")
+                        .c_str());
     return bad ? 1 : 0;
 }

@@ -17,6 +17,9 @@
  *                                 reference (file mode)
  *     --diff-fuzz N               run N seeded fuzz programs through
  *                                 the engine vs golden, then exit
+ *     --validate                  cross-check measured cycles against
+ *                                 the static bound model (diag engine,
+ *                                 workload mode)
  *
  * With a .s file, the program is assembled and run; with --workload,
  * the named kernel (inputs + output check included) is run instead.
@@ -38,6 +41,7 @@
 #include "common/log.hpp"
 #include "diag/processor.hpp"
 #include "harness/runner.hpp"
+#include "harness/validate.hpp"
 #include "isa/disasm.hpp"
 #include "ooo/processor.hpp"
 #include "sim/fuzz.hpp"
@@ -59,6 +63,7 @@ struct Options
     bool stats = false;
     bool regs = false;
     bool golden_diff = false;
+    bool validate = false;
     u64 max_insts = 500'000'000;
     u64 max_cycles = 0;  //!< 0 = keep the config's default
     unsigned diff_fuzz = 0;
@@ -82,6 +87,7 @@ usage()
         "  --max-cycles N             cycle ceiling (timeout)\n"
         "  --golden-diff              diff final state vs golden\n"
         "  --diff-fuzz N              differential fuzz N seeds\n"
+        "  --validate                 cross-check vs the static bound\n"
         "  --seed S                   base seed for --diff-fuzz\n"
         "exit codes: 0 pass, 1 error, 2 wrong result (SDC), "
         "3 timeout, 4 trap\n");
@@ -189,7 +195,19 @@ runWorkload(const Options &opt)
     printStats(run.stats, opt);
     std::printf("energy        %.3f uJ\n",
                 run.energy.totalJoules() * 1e6);
-    const int rc = classify(run.stats, run.checked);
+    int rc = classify(run.stats, run.checked);
+    if (rc == 0 && opt.validate) {
+        fatal_if(opt.engine != "diag",
+                 "--validate checks the diag engine's timing");
+        const harness::ValidationReport rep = harness::validateBound(
+            configByName(opt.config), w, opt.simt);
+        std::printf("%s", harness::renderValidation(rep).c_str());
+        if (!rep.ok()) {
+            std::printf("FAIL (exit 2): static bound validation "
+                        "failed\n");
+            return 2;  // timing contract broken: bound or prediction
+        }
+    }
     if (rc != 0)
         std::printf("FAIL (exit %d): %s\n", rc,
                     run.stats.stop_reason.empty()
@@ -399,6 +417,8 @@ main(int argc, char **argv)
             opt.max_cycles = std::stoull(next());
         } else if (arg == "--golden-diff") {
             opt.golden_diff = true;
+        } else if (arg == "--validate") {
+            opt.validate = true;
         } else if (arg == "--diff-fuzz") {
             opt.diff_fuzz =
                 static_cast<unsigned>(std::stoul(next()));

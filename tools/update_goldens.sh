@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate the analysis golden snapshots from a built tree.
+#
+#   tools/update_goldens.sh [build-dir]
+#
+# The snapshot is the diag-bound JSON (lint findings + bound model)
+# for every bundled workload, compared byte-for-byte by the
+# `analysis_goldens` ctest. Rerun this after any intentional change
+# to the analyzer or the workloads, then commit the diff.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+bound="$build/tools-bin/diag-bound"
+
+if [[ ! -x "$bound" ]]; then
+    echo "error: $bound not built (cmake --build $build)" >&2
+    exit 1
+fi
+
+out="$repo/tests/golden/analysis_all_workloads.json"
+"$bound" --all-workloads --json > "$out"
+echo "wrote $out ($(wc -c < "$out") bytes)"
