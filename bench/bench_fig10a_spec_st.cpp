@@ -6,11 +6,12 @@
 #include "fig_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = diag::bench::parseJobs(argc, argv);
     diag::bench::relPerfSingleThread(
         "Fig 10a: SPEC single-thread relative performance "
         "(baseline = 1.0)",
-        diag::workloads::specSuite(), 0.81, 0.97, 0.97);
+        diag::workloads::specSuite(), 0.81, 0.97, 0.97, jobs);
     return 0;
 }

@@ -6,11 +6,12 @@
 #include "fig_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = diag::bench::parseJobs(argc, argv);
     diag::bench::relPerfMultiThread(
         "Fig 10b: SPEC multithreaded relative performance "
         "(12-core baseline = 1.0)",
-        diag::workloads::specSuite(), 0.97, 1.15);
+        diag::workloads::specSuite(), 0.97, 1.15, jobs);
     return 0;
 }

@@ -6,11 +6,12 @@
 #include "fig_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = diag::bench::parseJobs(argc, argv);
     diag::bench::relPerfSingleThread(
         "Fig 9a: Rodinia single-thread relative performance "
         "(baseline = 1.0)",
-        diag::workloads::rodiniaSuite(), 0.91, 1.12, 1.12);
+        diag::workloads::rodiniaSuite(), 0.91, 1.12, 1.12, jobs);
     return 0;
 }

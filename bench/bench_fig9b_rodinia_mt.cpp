@@ -7,11 +7,12 @@
 #include "fig_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = diag::bench::parseJobs(argc, argv);
     diag::bench::relPerfMultiThread(
         "Fig 9b: Rodinia multithreaded relative performance "
         "(12-core baseline = 1.0)",
-        diag::workloads::rodiniaSuite(), 0.95, 1.20);
+        diag::workloads::rodiniaSuite(), 0.95, 1.20, jobs);
     return 0;
 }

@@ -4,14 +4,21 @@
  * baseline and a set of DiAG configurations and prints relative
  * performance / energy-efficiency series the way the paper's figures
  * report them (baseline = 1.0).
+ *
+ * All engine runs fan out through harness::runMatrix /
+ * harness::validateBoundMany onto host worker threads (--jobs N,
+ * default one per hardware thread); results merge in cell order, so
+ * the printed tables are byte-identical for any job count.
  */
 #ifndef DIAG_BENCH_FIG_COMMON_HPP
 #define DIAG_BENCH_FIG_COMMON_HPP
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "harness/runner.hpp"
 #include "harness/table.hpp"
 #include "harness/validate.hpp"
@@ -19,9 +26,37 @@
 namespace diag::bench
 {
 
+using harness::BoundCell;
 using harness::EngineRun;
+using harness::MatrixCell;
 using harness::RunSpec;
 using harness::Table;
+
+/**
+ * Parse the shared bench command line: `[--jobs N]`. Returns the host
+ * job count (0 = one per hardware thread, the default).
+ */
+inline unsigned
+parseJobs(int argc, char **argv)
+{
+    unsigned jobs = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs") {
+            fatal_if(i + 1 >= argc, "missing value for --jobs");
+            jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--jobs N]\n  --jobs N   host "
+                        "threads (default: hardware concurrency)\n",
+                        argv[0]);
+            std::exit(0);
+        } else {
+            fatal("unknown option '%s' (benches take only --jobs N)",
+                  arg.c_str());
+        }
+    }
+    return jobs;
+}
 
 /** Relative performance of single-threaded DiAG configs vs the
  *  1-core baseline (Fig. 9a / Fig. 10a shape). */
@@ -29,34 +64,55 @@ inline void
 relPerfSingleThread(const std::string &title,
                     const std::vector<workloads::Workload> &suite,
                     double paper_avg_32, double paper_avg_256,
-                    double paper_avg_512)
+                    double paper_avg_512, unsigned jobs = 0)
 {
     const auto cfgs = harness::diagSingleThreadConfigs();
+    // One matrix cell per (workload, engine config), stride
+    // 1 + cfgs.size() per workload: baseline first, then each DiAG
+    // config. Bound validation runs per workload on the largest config.
+    const size_t stride = 1 + cfgs.size();
+    std::vector<MatrixCell> cells;
+    std::vector<BoundCell> bounds;
+    for (const auto &w : suite) {
+        cells.push_back({.w = &w,
+                         .spec = {1, false},
+                         .on_diag = false,
+                         .diag_cfg = {},
+                         .ooo_cfg = ooo::OooConfig::baseline8()});
+        for (const auto &cfg : cfgs)
+            cells.push_back({.w = &w,
+                             .spec = {1, false},
+                             .on_diag = true,
+                             .diag_cfg = cfg,
+                             .ooo_cfg = {}});
+        bounds.push_back({.cfg = cfgs.back(), .w = &w,
+                          .use_simt = false});
+    }
+    const std::vector<EngineRun> runs = harness::runMatrix(cells, jobs);
+    const std::vector<harness::ValidationReport> reps =
+        harness::validateBoundMany(bounds, jobs);
+
     Table t(title);
     t.header({"benchmark", "DiAG-32PE", "DiAG-256PE", "DiAG-512PE",
               "meas/bound", "baseline IPC"});
     std::vector<std::vector<double>> rels(cfgs.size());
-    for (const auto &w : suite) {
-        const EngineRun base =
-            harness::runOnOoo(ooo::OooConfig::baseline8(), w, {1, false});
-        std::vector<std::string> cells{w.name};
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const EngineRun &base = runs[i * stride];
+        std::vector<std::string> cells_out{suite[i].name};
         for (size_t c = 0; c < cfgs.size(); ++c) {
-            const EngineRun run = harness::runOnDiag(cfgs[c], w,
-                                                     {1, false});
+            const EngineRun &run = runs[i * stride + 1 + c];
             const double rel = static_cast<double>(base.stats.cycles) /
                                static_cast<double>(run.stats.cycles);
             rels[c].push_back(rel);
-            cells.push_back(Table::num(rel, 2) + "x");
+            cells_out.push_back(Table::num(rel, 2) + "x");
         }
         // Measured cycles over the analyzer's provable lower bound on
         // the largest config: >= 1.0 by construction, and how close to
         // 1.0 says how much of the runtime the static model explains.
-        const harness::ValidationReport rep = harness::validateBound(
-            cfgs.back(), w, /*use_simt=*/false);
-        cells.push_back(Table::num(
-            rep.measured_cycles / rep.program_lower_bound, 2));
-        cells.push_back(Table::num(base.stats.ipc(), 2));
-        t.row(cells);
+        cells_out.push_back(Table::num(
+            reps[i].measured_cycles / reps[i].program_lower_bound, 2));
+        cells_out.push_back(Table::num(base.stats.ipc(), 2));
+        t.row(cells_out);
     }
     t.row({"geomean", Table::num(harness::geomean(rels[0]), 2) + "x",
            Table::num(harness::geomean(rels[1]), 2) + "x",
@@ -73,29 +129,60 @@ relPerfSingleThread(const std::string &title,
 inline void
 relPerfMultiThread(const std::string &title,
                    const std::vector<workloads::Workload> &suite,
-                   double paper_avg_mt, double paper_avg_simt)
+                   double paper_avg_mt, double paper_avg_simt,
+                   unsigned jobs = 0)
 {
+    // Cells per workload: baseline, DiAG MT, then (simt workloads
+    // only) the MT+SIMT run; bound validation only for simt variants.
+    std::vector<MatrixCell> cells;
+    std::vector<BoundCell> bounds;
+    std::vector<size_t> first_cell(suite.size());
+    std::vector<int> bound_of(suite.size(), -1);
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const auto &w = suite[i];
+        first_cell[i] = cells.size();
+        cells.push_back({.w = &w,
+                         .spec = {harness::kOooMtThreads, false},
+                         .on_diag = false,
+                         .diag_cfg = {},
+                         .ooo_cfg = ooo::OooConfig::multicore12()});
+        cells.push_back({.w = &w,
+                         .spec = {harness::kDiagMtThreads, false},
+                         .on_diag = true,
+                         .diag_cfg = harness::diagMultiThreadConfig(),
+                         .ooo_cfg = {}});
+        if (!w.asm_simt.empty()) {
+            cells.push_back({.w = &w,
+                             .spec = {harness::kDiagMtSimtThreads, true},
+                             .on_diag = true,
+                             .diag_cfg = harness::diagMtSimtConfig(),
+                             .ooo_cfg = {}});
+            bound_of[i] = static_cast<int>(bounds.size());
+            bounds.push_back({.cfg = harness::diagMtSimtConfig(),
+                              .w = &w,
+                              .use_simt = true});
+        }
+    }
+    const std::vector<EngineRun> runs = harness::runMatrix(cells, jobs);
+    const std::vector<harness::ValidationReport> reps =
+        harness::validateBoundMany(bounds, jobs);
+
     Table t(title);
     t.header({"benchmark", "DiAG MT(16x2)", "DiAG MT+SIMT(8x4)",
               "meas/bound", "threads"});
     std::vector<double> mt_rels;
     std::vector<double> simt_rels;
-    for (const auto &w : suite) {
-        const EngineRun base = harness::runOnOoo(
-            ooo::OooConfig::multicore12(), w,
-            {harness::kOooMtThreads, false});
-        const EngineRun mt = harness::runOnDiag(
-            harness::diagMultiThreadConfig(), w,
-            {harness::kDiagMtThreads, false});
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const auto &w = suite[i];
+        const EngineRun &base = runs[first_cell[i]];
+        const EngineRun &mt = runs[first_cell[i] + 1];
         const double rel_mt = static_cast<double>(base.stats.cycles) /
                               static_cast<double>(mt.stats.cycles);
         mt_rels.push_back(rel_mt);
         std::string simt_cell = "-";
         std::string bound_cell = "-";
         if (!w.asm_simt.empty()) {
-            const EngineRun st = harness::runOnDiag(
-                harness::diagMtSimtConfig(), w,
-                {harness::kDiagMtSimtThreads, true});
+            const EngineRun &st = runs[first_cell[i] + 2];
             const double rel =
                 static_cast<double>(base.stats.cycles) /
                 static_cast<double>(st.stats.cycles);
@@ -104,9 +191,8 @@ relPerfMultiThread(const std::string &title,
             // Single-thread simt run vs the analyzer's provable lower
             // bound (>= 1.0 by construction; near 1.0 means the
             // static model explains most of the runtime).
-            const harness::ValidationReport rep =
-                harness::validateBound(harness::diagMtSimtConfig(), w,
-                                       /*use_simt=*/true);
+            const harness::ValidationReport &rep =
+                reps[static_cast<size_t>(bound_of[i])];
             bound_cell = Table::num(
                 rep.measured_cycles / rep.program_lower_bound, 2);
         } else {

@@ -1,26 +1,41 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
 
 namespace diag
 {
 
 namespace
 {
-bool g_verbose = false;
+
+/** Relaxed is enough: verbosity is configured before any host worker
+ *  threads exist, and a stale read only mislabels one line. */
+std::atomic<bool> g_verbose{false};
+
+/** Serializes stderr writes so host-parallel workers (fault-campaign
+ *  trials, sweep cells) emit whole lines, never interleaved bytes. */
+std::mutex &
+ioMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 } // namespace
 
 void
 setVerbose(bool verbose)
 {
-    g_verbose = verbose;
+    g_verbose.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return g_verbose;
+    return g_verbose.load(std::memory_order_relaxed);
 }
 
 namespace detail
@@ -47,6 +62,9 @@ vformat(const char *fmt, ...)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    // Deliberately no unlock: the process dies holding the mutex, and
+    // that is fine — nothing after abort() prints.
+    ioMutex().lock();
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
 }
@@ -54,6 +72,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const std::string &msg)
 {
+    ioMutex().lock();
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     std::exit(1);
 }
@@ -61,14 +80,17 @@ fatalImpl(const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    const std::lock_guard<std::mutex> lk(ioMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (g_verbose)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (!verbose())
+        return;
+    const std::lock_guard<std::mutex> lk(ioMutex());
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 } // namespace detail

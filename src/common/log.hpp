@@ -3,6 +3,12 @@
  * Status and error reporting in the gem5 style: panic() for internal
  * invariant violations, fatal() for user/configuration errors, warn()
  * and inform() for non-fatal diagnostics.
+ *
+ * Thread safety: every macro may be called from host worker threads
+ * (see src/host). Lines are emitted atomically (never interleaved
+ * mid-line), but the relative order of lines from concurrent workers
+ * is unspecified — deterministic artifacts (JSON reports, tables)
+ * must go through their renderers, never through this logger.
  */
 #ifndef DIAG_COMMON_LOG_HPP
 #define DIAG_COMMON_LOG_HPP
@@ -27,7 +33,10 @@ void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 } // namespace detail
 
-/** Global verbosity switch for inform(); warnings always print. */
+/** Global verbosity switch for inform(); warnings always print.
+ *  Configure it before spawning host workers — flipping it while
+ *  workers log is safe (the flag is atomic) but which in-flight lines
+ *  see the change is unspecified. */
 void setVerbose(bool verbose);
 bool verbose();
 

@@ -20,6 +20,14 @@ namespace diag
  * A flat collection of named double-valued statistics. Counters default
  * to zero; reading a missing counter returns zero so consumers do not
  * need to know the full set in advance.
+ *
+ * Concurrency contract (host execution layer, DESIGN.md §10): a
+ * StatGroup is deliberately unsynchronized — inc() sits on the
+ * simulators' per-event hot path where a mutex or atomic would
+ * dominate the cost. Every group must therefore stay confined to the
+ * host worker that owns its simulator instance; cross-worker
+ * aggregation happens after the owning tasks complete, on the merging
+ * thread, via merge(). There are no process-global StatGroups.
  */
 class StatGroup
 {

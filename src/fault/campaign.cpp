@@ -8,6 +8,7 @@
 #include "diag/processor.hpp"
 #include "fault/controller.hpp"
 #include "fault/lockstep.hpp"
+#include "host/parallel.hpp"
 #include "sim/golden.hpp"
 #include "workloads/workload.hpp"
 
@@ -115,6 +116,102 @@ summaryJson(const SiteSummary &sum)
         static_cast<unsigned long long>(sum.hang));
 }
 
+/**
+ * Everything a trial reads. Shared across host workers strictly
+ * read-only; each trial builds its own processor, oracle, and
+ * controller on top (worker confinement, DESIGN.md §10).
+ */
+struct TrialContext
+{
+    const CampaignSpec &spec;
+    const workloads::Workload &w;
+    const Program &prog;
+    const SparseMemory &ref_mem;
+    core::DiagConfig cfg;
+    DetectConfig det;
+    PlanSpec pspec;
+    u64 inst_budget = 0;
+    bool verbose = false;
+};
+
+/** One seeded injection trial, confined to the calling host worker. */
+TrialRecord
+runTrial(const TrialContext &ctx, unsigned t)
+{
+    TrialRecord rec;
+    rec.index = t;
+    rec.seed = trialSeed(ctx.spec.seed, t);
+
+    const FaultPlan plan = FaultPlan::random(rec.seed, ctx.pspec);
+    rec.site = plan.events[0].site;
+    rec.planned = describeEvent(plan.events[0]);
+
+    FaultController fc(plan, ctx.det);
+    if (ctx.spec.lockstep) {
+        sim::GoldenSim oracle(ctx.prog);
+        ctx.w.init(oracle.memory());
+        oracle.setReg(isa::RegId{10}, 0);
+        oracle.setReg(isa::RegId{11}, 1);
+        fc.attachOracle(
+            std::make_unique<LockstepOracle>(std::move(oracle)));
+    }
+
+    core::DiagProcessor proc(ctx.cfg);
+    proc.loadProgram(ctx.prog);
+    ctx.w.init(proc.memory());
+    proc.warmCaches();
+    proc.attachFaults(&fc);
+    const std::vector<core::ThreadSpec> specs{
+        {ctx.prog.entry, {{isa::RegId{10}, 0}, {isa::RegId{11}, 1}}}};
+    const sim::RunStats stats =
+        proc.runThreads(ctx.prog, specs, ctx.inst_budget);
+
+    const FaultTally &tally = fc.tally();
+    rec.fired = tally.injected > 0;
+    for (const EventLog &log : fc.eventLog()) {
+        if (!log.note.empty())
+            rec.observed += rec.observed.empty() ? log.note
+                                                 : "; " + log.note;
+    }
+    rec.cycles = stats.cycles;
+    rec.instructions = stats.instructions;
+    rec.recoveries = tally.recoveries;
+    rec.clusters_disabled = tally.clusters_disabled;
+
+    const u64 detections =
+        tally.parity_detections + tally.lockstep_detections;
+    const bool mem_ok = memoryMatches(proc.memory(), ctx.ref_mem);
+    if (stats.timed_out) {
+        rec.outcome = Outcome::Hang;
+        rec.detector = "watchdog";
+    } else if (stats.aborted) {
+        rec.outcome = Outcome::Detected;
+        rec.detector = tally.lockstep_detections ? "lockstep"
+                                                 : "parity";
+    } else if (detections > 0) {
+        rec.outcome = Outcome::Detected;
+        rec.detector = tally.parity_detections ? "parity"
+                                               : "lockstep";
+        rec.recovered = stats.halted && mem_ok;
+    } else if (stats.faulted) {
+        rec.outcome = Outcome::Detected;
+        rec.detector = "trap";
+    } else if (stats.halted && mem_ok) {
+        rec.outcome = Outcome::Masked;
+    } else {
+        rec.outcome = Outcome::Sdc;
+    }
+
+    if (ctx.verbose) {
+        inform("trial %u seed 0x%llx: %s -> %s%s%s", t,
+               static_cast<unsigned long long>(rec.seed),
+               rec.planned.c_str(), outcomeName(rec.outcome),
+               rec.detector.empty() ? "" : " by ",
+               rec.detector.c_str());
+    }
+    return rec;
+}
+
 } // namespace
 
 const char *
@@ -127,6 +224,17 @@ outcomeName(Outcome o)
       case Outcome::Hang: return "hang";
     }
     return "unknown";
+}
+
+u64
+trialCycleBudget(u64 user_max_cycles, Cycle baseline_cycles)
+{
+    // max, not min: a large user ceiling must never *shrink* the
+    // budget, or slow degraded-but-recovering trials misclassify as
+    // timeouts. Runaway trials are still bounded by the instruction
+    // budget and the forward-progress watchdog.
+    return std::max<u64>(user_max_cycles,
+                         baseline_cycles * 8 + 100'000);
 }
 
 CampaignReport
@@ -169,99 +277,41 @@ runCampaign(const CampaignSpec &spec, bool verbose)
     // Trial configuration: generous cycle/instruction budgets so a
     // degraded (slower) ring can still finish, lint off (the program
     // image is identical every trial; one strict pass above suffices).
-    core::DiagConfig cfg = spec.config;
-    cfg.lint_enabled = false;
-    cfg.max_cycles =
-        std::min(cfg.max_cycles, report.baseline_cycles * 8 + 100'000);
-    const u64 inst_budget = gres.inst_count * 8 + 10'000;
+    TrialContext ctx{.spec = spec,
+                     .w = w,
+                     .prog = prog,
+                     .ref_mem = ref_mem,
+                     .cfg = spec.config,
+                     .det = {},
+                     .pspec = {},
+                     .inst_budget = 0,
+                     .verbose = verbose};
+    ctx.cfg.lint_enabled = false;
+    ctx.cfg.max_cycles =
+        trialCycleBudget(spec.config.max_cycles, report.baseline_cycles);
+    ctx.inst_budget = gres.inst_count * 8 + 10'000;
+    ctx.det.parity = spec.parity;
+    ctx.det.lockstep = spec.lockstep;
+    ctx.pspec.site_mask = spec.site_mask;
+    ctx.pspec.max_trigger = gres.inst_count ? gres.inst_count - 1 : 0;
+    ctx.pspec.clusters = ctx.cfg.clustersPerRing();
+    ctx.pspec.pes_per_cluster = ctx.cfg.pes_per_cluster;
 
-    DetectConfig det;
-    det.parity = spec.parity;
-    det.lockstep = spec.lockstep;
+    // Fan trials out across host workers. Every per-trial random
+    // choice derives from (spec.seed, trial index) inside runTrial, and
+    // parallelMap returns records in trial order, so the report is
+    // byte-identical for any spec.jobs.
+    report.trials = host::parallelMap<TrialRecord>(
+        spec.jobs, spec.trials,
+        [&ctx](size_t t) {
+            return runTrial(ctx, static_cast<unsigned>(t));
+        });
 
-    PlanSpec pspec;
-    pspec.site_mask = spec.site_mask;
-    pspec.max_trigger = gres.inst_count ? gres.inst_count - 1 : 0;
-    pspec.clusters = cfg.clustersPerRing();
-    pspec.pes_per_cluster = cfg.pes_per_cluster;
-
-    for (unsigned t = 0; t < spec.trials; ++t) {
-        TrialRecord rec;
-        rec.index = t;
-        rec.seed = trialSeed(spec.seed, t);
-
-        const FaultPlan plan = FaultPlan::random(rec.seed, pspec);
-        rec.site = plan.events[0].site;
-        rec.planned = describeEvent(plan.events[0]);
-
-        FaultController fc(plan, det);
-        if (spec.lockstep) {
-            sim::GoldenSim oracle(prog);
-            w.init(oracle.memory());
-            oracle.setReg(isa::RegId{10}, 0);
-            oracle.setReg(isa::RegId{11}, 1);
-            fc.attachOracle(std::make_unique<LockstepOracle>(
-                std::move(oracle)));
-        }
-
-        core::DiagProcessor proc(cfg);
-        proc.loadProgram(prog);
-        w.init(proc.memory());
-        proc.warmCaches();
-        proc.attachFaults(&fc);
-        const std::vector<core::ThreadSpec> specs{
-            {prog.entry, {{isa::RegId{10}, 0}, {isa::RegId{11}, 1}}}};
-        const sim::RunStats stats =
-            proc.runThreads(prog, specs, inst_budget);
-
-        const FaultTally &tally = fc.tally();
-        rec.fired = tally.injected > 0;
-        for (const EventLog &log : fc.eventLog()) {
-            if (!log.note.empty())
-                rec.observed += rec.observed.empty() ? log.note
-                                                     : "; " + log.note;
-        }
-        rec.cycles = stats.cycles;
-        rec.instructions = stats.instructions;
-        rec.recoveries = tally.recoveries;
-        rec.clusters_disabled = tally.clusters_disabled;
-
-        const u64 detections =
-            tally.parity_detections + tally.lockstep_detections;
-        const bool mem_ok = memoryMatches(proc.memory(), ref_mem);
-        if (stats.timed_out) {
-            rec.outcome = Outcome::Hang;
-            rec.detector = "watchdog";
-        } else if (stats.aborted) {
-            rec.outcome = Outcome::Detected;
-            rec.detector = tally.lockstep_detections ? "lockstep"
-                                                     : "parity";
-        } else if (detections > 0) {
-            rec.outcome = Outcome::Detected;
-            rec.detector = tally.parity_detections ? "parity"
-                                                   : "lockstep";
-            rec.recovered = stats.halted && mem_ok;
-        } else if (stats.faulted) {
-            rec.outcome = Outcome::Detected;
-            rec.detector = "trap";
-        } else if (stats.halted && mem_ok) {
-            rec.outcome = Outcome::Masked;
-        } else {
-            rec.outcome = Outcome::Sdc;
-        }
-
-        if (verbose) {
-            inform("trial %u seed 0x%llx: %s -> %s%s%s", t,
-                   static_cast<unsigned long long>(rec.seed),
-                   rec.planned.c_str(), outcomeName(rec.outcome),
-                   rec.detector.empty() ? "" : " by ",
-                   rec.detector.c_str());
-        }
-
+    // Order-dependent aggregation stays on the merging thread.
+    for (const TrialRecord &rec : report.trials) {
         tallyOutcome(report.total, rec);
         tallyOutcome(
             report.by_site[static_cast<unsigned>(rec.site)], rec);
-        report.trials.push_back(std::move(rec));
     }
     return report;
 }

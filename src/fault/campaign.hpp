@@ -4,8 +4,14 @@
  * workload on the DiAG model, each classified AVF-style against the
  * golden reference (masked / detected / SDC / hang), aggregated into a
  * JSON report. Campaigns are bit-reproducible from the seed: every
- * random choice derives from it, and no wall-clock state leaks into
- * the report.
+ * random choice derives from (seed, trial index), and no wall-clock
+ * state leaks into the report.
+ *
+ * Trials dispatch across host worker threads (CampaignSpec::jobs, see
+ * DESIGN.md §10). Each trial owns its entire simulator state — DiAG
+ * processor, golden lockstep oracle, fault controller, stat counters —
+ * and results merge indexed by trial, so the report (and its JSON) is
+ * byte-identical for any job count.
  */
 #ifndef DIAG_FAULT_CAMPAIGN_HPP
 #define DIAG_FAULT_CAMPAIGN_HPP
@@ -29,7 +35,18 @@ struct CampaignSpec
     u32 site_mask = kAllSites;
     bool parity = true;
     bool lockstep = true;
+    /** Host threads running trials: 1 = serial, 0 = one per hardware
+     *  thread. Never affects the report contents, only wall-clock. */
+    unsigned jobs = 1;
 };
+
+/**
+ * Cycle budget for faulty trials: at least 8x the fault-free baseline
+ * plus slack so a degraded (slower but recovering) ring can still
+ * finish, and never below the user's configured ceiling. The
+ * forward-progress watchdog still stops genuine livelocks early.
+ */
+u64 trialCycleBudget(u64 user_max_cycles, Cycle baseline_cycles);
 
 /** AVF outcome classes. */
 enum class Outcome : u8

@@ -6,6 +6,7 @@
 #include "diag/processor.hpp"
 #include "energy/diag_energy.hpp"
 #include "energy/ooo_energy.hpp"
+#include "host/parallel.hpp"
 #include "ooo/processor.hpp"
 
 namespace diag::harness
@@ -119,6 +120,19 @@ runOnOoo(const ooo::OooConfig &cfg, const Workload &w,
              "ooo run of %s failed its output check", w.name.c_str());
     run.energy = energy::oooEnergy(cfg, run.stats);
     return run;
+}
+
+std::vector<EngineRun>
+runMatrix(const std::vector<MatrixCell> &cells, unsigned jobs)
+{
+    return host::parallelMap<EngineRun>(
+        jobs, cells.size(), [&cells](size_t i) {
+            const MatrixCell &c = cells[i];
+            panic_if(c.w == nullptr, "matrix cell %zu has no workload",
+                     i);
+            return c.on_diag ? runOnDiag(c.diag_cfg, *c.w, c.spec)
+                             : runOnOoo(c.ooo_cfg, *c.w, c.spec);
+        });
 }
 
 std::vector<core::DiagConfig>

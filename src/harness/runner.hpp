@@ -45,6 +45,29 @@ EngineRun runOnDiag(const core::DiagConfig &cfg,
 EngineRun runOnOoo(const ooo::OooConfig &cfg,
                    const workloads::Workload &w, const RunSpec &spec);
 
+/**
+ * One cell of a host-parallel execution matrix: a (workload, engine
+ * configuration, run spec) triple. The workload pointer must outlive
+ * runMatrix(); cells share it read-only.
+ */
+struct MatrixCell
+{
+    const workloads::Workload *w = nullptr;
+    RunSpec spec;
+    bool on_diag = true;        //!< false = OoO baseline
+    core::DiagConfig diag_cfg;  //!< engine config when on_diag
+    ooo::OooConfig ooo_cfg;     //!< engine config when !on_diag
+};
+
+/**
+ * Execute every cell on up to @p jobs host threads (0 = one per
+ * hardware thread), each cell on its own simulator instance, and
+ * return results in cell order regardless of the job count. This is
+ * the fan-out path of the figure benches and sweep drivers.
+ */
+std::vector<EngineRun> runMatrix(const std::vector<MatrixCell> &cells,
+                                 unsigned jobs);
+
 // ---- configuration presets used by the figures ----
 
 /** DiAG single-thread configs for Fig. 9a/10a: F4C2/F4C16/F4C32. */

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic fan-out/merge on top of host::ThreadPool.
+ *
+ * parallelMap() is the result-merge layer every multi-run driver
+ * (campaigns, validation sweeps, figure benches) goes through: task i
+ * writes only slot i of the output, so the merged vector is in task
+ * order no matter which worker ran what when. Combined with per-task
+ * seeding by index, a driver's output is byte-identical for any job
+ * count — `--jobs N` may only change wall-clock time.
+ */
+#ifndef DIAG_HOST_PARALLEL_HPP
+#define DIAG_HOST_PARALLEL_HPP
+
+#include <cstddef>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "host/thread_pool.hpp"
+
+namespace diag::host
+{
+
+/** Resolve a --jobs request: 0 means "one per hardware thread". */
+inline unsigned
+resolveJobs(unsigned requested)
+{
+    return requested ? requested : ThreadPool::hardwareJobs();
+}
+
+/**
+ * Evaluate fn(0..n-1) on up to @p jobs host threads and return the
+ * results indexed by input. jobs==1 (or n<=1) runs inline with no
+ * threads at all — the serial reference path. Otherwise the calling
+ * thread participates as one of the @p jobs executors. If any call
+ * throws, every task still settles, then the exception of the
+ * lowest-indexed failing task is rethrown.
+ */
+template <class T, class Fn>
+std::vector<T>
+parallelMap(unsigned jobs, size_t n, Fn fn)
+{
+    std::vector<T> out(n);
+    if (resolveJobs(jobs) <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            out[i] = fn(i);
+        return out;
+    }
+    const size_t executors =
+        std::min<size_t>(resolveJobs(jobs), n);
+    ThreadPool pool(static_cast<unsigned>(executors) - 1);
+    std::vector<std::future<void>> pending;
+    pending.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        pending.push_back(
+            pool.submit([&out, &fn, i]() { out[i] = fn(i); }));
+    // Settle everything first (helping), then collect exceptions in
+    // index order; rethrowing early would unwind `out` under the
+    // feet of still-running tasks.
+    using namespace std::chrono_literals;
+    for (std::future<void> &f : pending) {
+        while (f.wait_for(0s) != std::future_status::ready) {
+            if (!pool.runOne())
+                f.wait_for(1ms);
+        }
+    }
+    for (std::future<void> &f : pending)
+        f.get();
+    return out;
+}
+
+/** parallelMap for side-effect-only bodies. */
+template <class Fn>
+void
+parallelFor(unsigned jobs, size_t n, Fn fn)
+{
+    struct Unit
+    {
+    };
+    parallelMap<Unit>(jobs, n, [&fn](size_t i) {
+        fn(i);
+        return Unit{};
+    });
+}
+
+} // namespace diag::host
+
+#endif // DIAG_HOST_PARALLEL_HPP

@@ -1,0 +1,147 @@
+#include "host/thread_pool.hpp"
+
+namespace diag::host
+{
+
+namespace
+{
+
+/** Which pool (if any) owns the current thread, and which of its
+ *  queues nested submissions should land on. */
+thread_local ThreadPool *tl_pool = nullptr;
+thread_local unsigned tl_queue = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    queues_.reserve(threads + 1);
+    for (unsigned q = 0; q < threads + 1; ++q)
+        queues_.push_back(std::make_unique<TaskQueue>());
+    workers_.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w)
+        workers_.emplace_back([this, w]() { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    stop_.store(true, std::memory_order_release);
+    {
+        // Empty critical section: a worker between its predicate check
+        // and cv_.wait() now either sees stop_ or receives the notify.
+        std::lock_guard<std::mutex> lk(sleep_m_);
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+    // A well-behaved caller waited on every future, but if tasks are
+    // still queued (e.g. unwinding after an exception), run them here
+    // rather than dropping their promises.
+    while (runOne()) {
+    }
+}
+
+unsigned
+ThreadPool::hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> fn)
+{
+    const unsigned qi = (tl_pool == this) ? tl_queue : kInjector;
+    {
+        std::lock_guard<std::mutex> lk(queues_[qi]->m);
+        queues_[qi]->tasks.push_back(std::move(fn));
+    }
+    queued_.fetch_add(1, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lk(sleep_m_);
+    }
+    cv_.notify_one();
+}
+
+bool
+ThreadPool::take(unsigned self, std::function<void()> &out)
+{
+    if (queued_.load(std::memory_order_acquire) == 0)
+        return false;
+    // Own queue first. Workers pop their deque newest-first (LIFO:
+    // nested fan-out stays on the worker that created it while it is
+    // hot); the injector's owner is whatever foreign thread is helping
+    // and drains oldest-first, so a single-worker pool preserves
+    // external submission order.
+    {
+        TaskQueue &q = *queues_[self];
+        std::lock_guard<std::mutex> lk(q.m);
+        if (!q.tasks.empty()) {
+            if (self == kInjector) {
+                out = std::move(q.tasks.front());
+                q.tasks.pop_front();
+            } else {
+                out = std::move(q.tasks.back());
+                q.tasks.pop_back();
+            }
+            queued_.fetch_sub(1, std::memory_order_release);
+            return true;
+        }
+    }
+    // Steal oldest-first from the other queues, starting just past our
+    // own slot so thieves spread instead of all hitting queue 0.
+    const unsigned n = static_cast<unsigned>(queues_.size());
+    for (unsigned k = 1; k <= n; ++k) {
+        const unsigned qi = (self + k) % n;
+        if (qi == self)
+            continue;
+        TaskQueue &q = *queues_[qi];
+        std::lock_guard<std::mutex> lk(q.m);
+        if (!q.tasks.empty()) {
+            out = std::move(q.tasks.front());
+            q.tasks.pop_front();
+            queued_.fetch_sub(1, std::memory_order_release);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ThreadPool::runOne()
+{
+    // From a foreign thread, behave like the injector owner (steal
+    // FIFO from everywhere); from one of our workers, keep its queue.
+    const unsigned self = (tl_pool == this) ? tl_queue : kInjector;
+    std::function<void()> task;
+    if (!take(self, task))
+        return false;
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(unsigned index)
+{
+    tl_pool = this;
+    tl_queue = index + 1;
+    for (;;) {
+        std::function<void()> task;
+        if (take(tl_queue, task)) {
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(sleep_m_);
+        // The 1 ms timeout bounds any lost-wakeup window; tasks here
+        // are whole simulator runs, so the poll cost is noise.
+        cv_.wait_for(lk, std::chrono::milliseconds(1), [this]() {
+            return stop_.load(std::memory_order_acquire) ||
+                   queued_.load(std::memory_order_acquire) > 0;
+        });
+        if (stop_.load(std::memory_order_acquire) &&
+            queued_.load(std::memory_order_acquire) == 0)
+            return;
+    }
+}
+
+} // namespace diag::host

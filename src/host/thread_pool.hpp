@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Host-side work-stealing thread pool for fan-out drivers (fault
+ * campaigns, validation sweeps, figure benches). This is *host*
+ * parallelism — it never touches simulated time; each task owns its
+ * whole simulator instance and the pool only distributes tasks across
+ * host cores.
+ *
+ * Design:
+ *  - one FIFO injector queue for external submissions plus one deque
+ *    per worker; owners pop their own deque LIFO (good locality for
+ *    nested fan-out), thieves and the injector drain FIFO;
+ *  - a single-worker pool therefore executes externally submitted
+ *    tasks in submission order;
+ *  - tasks may submit nested tasks; a task (or the submitting caller)
+ *    that needs a result must block through ThreadPool::wait(), which
+ *    keeps executing pending tasks instead of sleeping, so nested
+ *    waits cannot deadlock the pool;
+ *  - exceptions thrown by a task are captured in its std::future and
+ *    rethrown at wait()/get() on the waiting thread.
+ *
+ * Determinism contract: the pool guarantees nothing about execution
+ * order across workers. Callers that need reproducible output must
+ * (a) derive any per-task randomness from the task *index*, never
+ * from shared mutable state, and (b) merge results indexed by task,
+ * as host::parallelMap() does.
+ */
+#ifndef DIAG_HOST_THREAD_POOL_HPP
+#define DIAG_HOST_THREAD_POOL_HPP
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace diag::host
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p threads worker threads (0 is valid: tasks then only run
+     * inside wait()/runOne() on the calling thread).
+     */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains every remaining task (on this thread if the workers are
+     *  already gone), then joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of spawned worker threads. */
+    unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Schedule @p fn. From a worker thread the task lands on that
+     * worker's own deque (LIFO); from any other thread it lands on the
+     * FIFO injector queue. The future carries @p fn's result or its
+     * exception. Wait through ThreadPool::wait(), not future::get(),
+     * whenever the waiting thread might itself be a pool worker.
+     */
+    template <class Fn, class R = std::invoke_result_t<Fn &>>
+    std::future<R>
+    submit(Fn fn)
+    {
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::move(fn));
+        std::future<R> fut = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return fut;
+    }
+
+    /**
+     * Block until @p fut is ready, executing pending pool tasks on
+     * this thread in the meantime; then return the result (rethrowing
+     * the task's exception if it threw).
+     */
+    template <class R>
+    R
+    wait(std::future<R> fut)
+    {
+        using namespace std::chrono_literals;
+        while (fut.wait_for(0s) != std::future_status::ready) {
+            if (!runOne())
+                fut.wait_for(1ms);
+        }
+        return fut.get();
+    }
+
+    /** Execute one pending task on the calling thread, if any. */
+    bool runOne();
+
+    /** max(1, std::thread::hardware_concurrency()). */
+    static unsigned hardwareJobs();
+
+  private:
+    struct TaskQueue
+    {
+        std::mutex m;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void enqueue(std::function<void()> fn);
+    /** Dequeue for the queue owner @p self (kInjector = no own deque):
+     *  own deque back first, then steal round-robin from the front of
+     *  the others (injector included). */
+    bool take(unsigned self, std::function<void()> &out);
+    void workerLoop(unsigned index);
+
+    static constexpr unsigned kInjector = 0;
+
+    /** queues_[0] is the injector; queues_[1 + i] belongs to worker i. */
+    std::vector<std::unique_ptr<TaskQueue>> queues_;
+    std::vector<std::thread> workers_;
+    std::mutex sleep_m_;
+    std::condition_variable cv_;
+    std::atomic<bool> stop_{false};
+    /** Tasks enqueued but not yet dequeued (wake-up predicate only;
+     *  completion is tracked through the futures). */
+    std::atomic<size_t> queued_{0};
+};
+
+} // namespace diag::host
+
+#endif // DIAG_HOST_THREAD_POOL_HPP

@@ -1,0 +1,146 @@
+/** Host execution layer tests: work-stealing pool ordering and
+ *  lifetime, nested submits, exception propagation, and the
+ *  parallelMap determinism/merge contract (DESIGN.md §10). */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "host/parallel.hpp"
+#include "host/thread_pool.hpp"
+
+using namespace diag;
+using namespace diag::host;
+
+TEST(ThreadPool, HardwareJobsAndResolve)
+{
+    EXPECT_GE(ThreadPool::hardwareJobs(), 1u);
+    EXPECT_EQ(resolveJobs(0), ThreadPool::hardwareJobs());
+    EXPECT_EQ(resolveJobs(1), 1u);
+    EXPECT_EQ(resolveJobs(7), 7u);
+}
+
+TEST(ThreadPool, SingleWorkerRunsExternalTasksInSubmissionOrder)
+{
+    // One worker draining the FIFO injector queue: external
+    // submissions must execute in submission order.
+    ThreadPool pool(1);
+    std::mutex m;
+    std::vector<int> order;
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 64; ++i)
+        futs.push_back(pool.submit([&m, &order, i]() {
+            std::lock_guard<std::mutex> lk(m);
+            order.push_back(i);
+        }));
+    for (auto &f : futs)
+        f.wait();  // main thread must not help, or order interleaves
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPool, EveryTaskRunsExactlyOnce)
+{
+    std::atomic<unsigned> ran{0};
+    std::vector<std::future<void>> futs;
+    {
+        ThreadPool pool(4);
+        for (unsigned i = 0; i < 1000; ++i)
+            futs.push_back(pool.submit([&ran]() { ++ran; }));
+        for (auto &f : futs)
+            pool.wait(std::move(f));
+    }
+    EXPECT_EQ(ran.load(), 1000u);
+}
+
+TEST(ThreadPool, DestructorDrainsUnwaitedTasks)
+{
+    // Dropping the pool without waiting any future still runs every
+    // submitted task before ~ThreadPool returns.
+    std::atomic<unsigned> ran{0};
+    {
+        ThreadPool pool(2);
+        for (unsigned i = 0; i < 200; ++i)
+            pool.submit([&ran]() { ++ran; });
+    }
+    EXPECT_EQ(ran.load(), 200u);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsTasksInWait)
+{
+    // threads==0 is valid: tasks execute on the waiting thread.
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threads(), 0u);
+    auto fut = pool.submit([]() { return 42; });
+    EXPECT_EQ(pool.wait(std::move(fut)), 42);
+}
+
+TEST(ThreadPool, NestedSubmitWaitDoesNotDeadlock)
+{
+    // A task that submits subtasks and blocks on them must make
+    // progress even when it occupies the pool's only worker: wait()
+    // executes pending tasks instead of sleeping.
+    ThreadPool pool(1);
+    auto outer = pool.submit([&pool]() {
+        int sum = 0;
+        for (int i = 1; i <= 8; ++i)
+            sum += pool.wait(pool.submit([i]() { return i; }));
+        return sum;
+    });
+    EXPECT_EQ(pool.wait(std::move(outer)), 36);
+}
+
+TEST(ThreadPool, ExceptionReachesTheWaiter)
+{
+    ThreadPool pool(2);
+    auto fut = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(std::move(fut)), std::runtime_error);
+    // The pool survives a throwing task and keeps executing.
+    auto ok = pool.submit([]() { return 7; });
+    EXPECT_EQ(pool.wait(std::move(ok)), 7);
+}
+
+TEST(ParallelMap, MatchesSerialForAnyJobCount)
+{
+    const auto fn = [](size_t i) {
+        // Index-derived value: the only legal randomness source for
+        // deterministic fan-out.
+        return static_cast<int>((i * 2654435761u) % 1000);
+    };
+    const std::vector<int> serial = parallelMap<int>(1, 100, fn);
+    for (unsigned jobs : {2u, 4u, 16u})
+        EXPECT_EQ(parallelMap<int>(jobs, 100, fn), serial)
+            << "jobs=" << jobs;
+}
+
+TEST(ParallelMap, RethrowsLowestIndexedFailure)
+{
+    const auto fn = [](size_t i) -> int {
+        if (i == 3)
+            throw std::runtime_error("first");
+        if (i == 11)
+            throw std::logic_error("second");
+        return static_cast<int>(i);
+    };
+    for (unsigned jobs : {1u, 4u}) {
+        try {
+            parallelMap<int>(jobs, 16, fn);
+            FAIL() << "expected a throw, jobs=" << jobs;
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "first") << "jobs=" << jobs;
+        }
+    }
+}
+
+TEST(ParallelMap, ParallelForTouchesEachIndexOnce)
+{
+    std::vector<std::atomic<int>> hits(64);
+    parallelFor(8, hits.size(),
+                [&hits](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}

@@ -1,0 +1,70 @@
+/** Host-parallel harness sweeps: runMatrix / validateBoundMany must
+ *  produce results identical to the serial path for any job count
+ *  (the figure benches rely on this for byte-stable tables). */
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "harness/validate.hpp"
+#include "workloads/workload.hpp"
+
+using namespace diag;
+using namespace diag::harness;
+
+TEST(ParallelHarness, RunMatrixMatchesSerial)
+{
+    const workloads::Workload lud = workloads::findWorkload("lud");
+    const workloads::Workload bfs = workloads::findWorkload("bfs");
+    std::vector<MatrixCell> cells;
+    for (const workloads::Workload *w : {&lud, &bfs}) {
+        cells.push_back({.w = w,
+                         .spec = {1, false},
+                         .on_diag = false,
+                         .diag_cfg = {},
+                         .ooo_cfg = ooo::OooConfig::baseline8()});
+        cells.push_back({.w = w,
+                         .spec = {1, false},
+                         .on_diag = true,
+                         .diag_cfg = core::DiagConfig::f4c16(),
+                         .ooo_cfg = {}});
+    }
+    const std::vector<EngineRun> serial = runMatrix(cells, 1);
+    const std::vector<EngineRun> par = runMatrix(cells, 4);
+    ASSERT_EQ(serial.size(), cells.size());
+    ASSERT_EQ(par.size(), cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_TRUE(serial[i].checked) << "cell " << i;
+        EXPECT_TRUE(par[i].checked) << "cell " << i;
+        EXPECT_EQ(par[i].stats.cycles, serial[i].stats.cycles)
+            << "cell " << i;
+        EXPECT_EQ(par[i].stats.instructions,
+                  serial[i].stats.instructions)
+            << "cell " << i;
+        EXPECT_DOUBLE_EQ(par[i].energy.totalPj(),
+                         serial[i].energy.totalPj())
+            << "cell " << i;
+    }
+}
+
+TEST(ParallelHarness, ValidateBoundManyMatchesSerial)
+{
+    const workloads::Workload lud = workloads::findWorkload("lud");
+    const workloads::Workload nn = workloads::findWorkload("nn");
+    const std::vector<BoundCell> cells{
+        {.cfg = core::DiagConfig::f4c32(), .w = &lud,
+         .use_simt = false},
+        {.cfg = core::DiagConfig::f4c32(), .w = &nn,
+         .use_simt = !nn.asm_simt.empty()},
+    };
+    const auto serial = validateBoundMany(cells, 1);
+    const auto par = validateBoundMany(cells, 4);
+    ASSERT_EQ(serial.size(), cells.size());
+    ASSERT_EQ(par.size(), cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+        // Rendered JSON covers every field, including per-region
+        // floating-point values, byte for byte.
+        EXPECT_EQ(renderValidationJson(par[i]),
+                  renderValidationJson(serial[i]))
+            << "cell " << i;
+        EXPECT_TRUE(serial[i].ok()) << "cell " << i;
+    }
+}

@@ -12,6 +12,9 @@
  *     --sarif                emit SARIF 2.1.0 (findings only)
  *     --validate             simulate and cross-check the bound model
  *     --slack FRAC           allowed prediction error (default 0.15)
+ *     --jobs N               host threads for the sweep (default: one
+ *                            per hardware thread); output stays
+ *                            byte-identical for any N
  *     --werror               treat warnings as errors (exit status)
  *
  * Analysis mode prints the diag-lint findings (including the memdep
@@ -39,6 +42,7 @@
 #include "common/log.hpp"
 #include "diag/config.hpp"
 #include "harness/validate.hpp"
+#include "host/parallel.hpp"
 #include "workloads/workload.hpp"
 
 using namespace diag;
@@ -52,6 +56,7 @@ struct Options
     std::string workload;
     std::vector<std::string> files;
     unsigned rings = 0;  //!< 0 = keep the preset's ring count
+    unsigned jobs = 0;   //!< host threads for the sweep (0 = auto)
     double slack = 0.15;
     bool all_workloads = false;
     bool json = false;
@@ -73,6 +78,8 @@ usage()
         "  --sarif              emit SARIF 2.1.0 (findings only)\n"
         "  --validate           simulate and cross-check the model\n"
         "  --slack FRAC         allowed prediction error (0.15)\n"
+        "  --jobs N             host threads (default: hardware "
+        "concurrency)\n"
         "  --werror             treat warnings as errors\n");
 }
 
@@ -131,38 +138,6 @@ renderBoundText(const analysis::BoundResult &b)
     return out;
 }
 
-struct Unit
-{
-    std::string label;
-    analysis::ProgramAnalysis analysis;
-};
-
-/** Analyze one unit; prints per-unit output unless SARIF. */
-Unit
-analyzeUnit(const std::string &label, const std::string &source,
-            const Options &opt, bool abi_entry)
-{
-    const Program prog = assembler::assemble(source);
-    analysis::LintOptions lo =
-        harness::lintOptionsFor(engineConfig(opt));
-    if (!abi_entry)
-        lo.entry_defined = analysis::RegSet{};
-    Unit u{label, analysis::analyzeProgram(prog, lo)};
-    if (opt.sarif)
-        return u;  // collected and rendered in one document at exit
-    if (opt.json) {
-        std::printf("{\"unit\": \"%s\",\n\"lint\": %s,\n\"bound\": %s}\n",
-                    label.c_str(),
-                    analysis::renderJson(u.analysis.lint).c_str(),
-                    analysis::renderBoundJson(u.analysis.bound).c_str());
-    } else {
-        std::printf("== %s ==\n%s%s", label.c_str(),
-                    analysis::renderText(u.analysis.lint).c_str(),
-                    renderBoundText(u.analysis.bound).c_str());
-    }
-    return u;
-}
-
 /** True when @p res fails the exit bar of @p opt. */
 bool
 fails(const analysis::LintResult &res, const Options &opt)
@@ -170,34 +145,66 @@ fails(const analysis::LintResult &res, const Options &opt)
     return res.errors() > 0 || (opt.werror && res.warnings() > 0);
 }
 
-int
-boundWorkload(const workloads::Workload &w, const Options &opt,
-              std::vector<std::pair<std::string, analysis::LintResult>>
-                  &sarif_units)
+/**
+ * One analysis unit of the sweep: a (label, source) pair, plus the
+ * owning workload when the unit may also be simulated for --validate.
+ */
+struct UnitSpec
 {
+    std::string label;
+    std::string source;
+    workloads::Workload w;  //!< empty name = plain file, no validation
+    bool simt = false;
+    bool abi_entry = true;
+};
+
+/** What one unit produces: its printed block (exactly what the serial
+ *  sweep would print), its lint result for SARIF, and its fail count. */
+struct UnitResult
+{
+    std::string printed;
+    analysis::LintResult lint;
     int bad = 0;
-    const auto run = [&](const std::string &label,
-                         const std::string &source, bool simt) {
-        Unit u = analyzeUnit(label, source, opt, /*abi_entry=*/true);
-        bad += fails(u.analysis.lint, opt);
-        if (opt.sarif)
-            sarif_units.emplace_back(label,
-                                     std::move(u.analysis.lint));
-        if (opt.validate && !fails(u.analysis.lint, opt)) {
-            const harness::ValidationReport rep = harness::validateBound(
-                engineConfig(opt), w, simt, opt.slack);
-            if (!opt.json && !opt.sarif)
-                std::printf("%s", harness::renderValidation(rep).c_str());
-            else if (opt.json)
-                std::printf("%s",
-                            harness::renderValidationJson(rep).c_str());
-            bad += rep.ok() ? 0 : 1;
+};
+
+/** Analyze (and under --validate simulate) one unit. Pure: all output
+ *  is returned, so units can run on host workers in any order. */
+UnitResult
+processUnit(const UnitSpec &u, const Options &opt)
+{
+    UnitResult r;
+    const Program prog = assembler::assemble(u.source);
+    analysis::LintOptions lo =
+        harness::lintOptionsFor(engineConfig(opt));
+    if (!u.abi_entry)
+        lo.entry_defined = analysis::RegSet{};
+    analysis::ProgramAnalysis an = analysis::analyzeProgram(prog, lo);
+    if (!opt.sarif) {
+        if (opt.json) {
+            r.printed = detail::vformat(
+                "{\"unit\": \"%s\",\n\"lint\": %s,\n\"bound\": %s}\n",
+                u.label.c_str(),
+                analysis::renderJson(an.lint).c_str(),
+                analysis::renderBoundJson(an.bound).c_str());
+        } else {
+            r.printed = detail::vformat(
+                "== %s ==\n%s%s", u.label.c_str(),
+                analysis::renderText(an.lint).c_str(),
+                renderBoundText(an.bound).c_str());
         }
-    };
-    run(w.name + " (serial)", w.asm_serial, false);
-    if (!w.asm_simt.empty())
-        run(w.name + " (simt)", w.asm_simt, true);
-    return bad;
+    }
+    r.bad += fails(an.lint, opt);
+    if (opt.validate && !u.w.name.empty() && !fails(an.lint, opt)) {
+        const harness::ValidationReport rep = harness::validateBound(
+            engineConfig(opt), u.w, u.simt, opt.slack);
+        if (!opt.json && !opt.sarif)
+            r.printed += harness::renderValidation(rep);
+        else if (opt.json)
+            r.printed += harness::renderValidationJson(rep);
+        r.bad += rep.ok() ? 0 : 1;
+    }
+    r.lint = std::move(an.lint);
+    return r;
 }
 
 } // namespace
@@ -223,6 +230,8 @@ main(int argc, char **argv)
             opt.rings = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--slack") {
             opt.slack = std::stod(next());
+        } else if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--json") {
             opt.json = true;
         } else if (arg == "--sarif") {
@@ -242,33 +251,55 @@ main(int argc, char **argv)
         }
     }
 
-    std::vector<std::pair<std::string, analysis::LintResult>> sarif_units;
-    int bad = 0;
-    const auto doWorkload = [&](const workloads::Workload &w) {
-        bad += boundWorkload(w, opt, sarif_units);
+    if (!opt.all_workloads && opt.workload.empty() &&
+        opt.files.empty()) {
+        usage();
+        return 2;
+    }
+
+    // Collect every unit first (cheap), then fan the analysis +
+    // validation out over host workers; printing the returned blocks
+    // in unit order keeps the output byte-identical for any --jobs.
+    std::vector<UnitSpec> units;
+    const auto addWorkload = [&](const workloads::Workload &w) {
+        units.push_back({w.name + " (serial)", w.asm_serial, w,
+                         /*simt=*/false, /*abi_entry=*/true});
+        if (!w.asm_simt.empty())
+            units.push_back({w.name + " (simt)", w.asm_simt, w,
+                             /*simt=*/true, /*abi_entry=*/true});
     };
     if (opt.all_workloads) {
         for (const auto &w : workloads::rodiniaSuite())
-            doWorkload(w);
+            addWorkload(w);
         for (const auto &w : workloads::specSuite())
-            doWorkload(w);
+            addWorkload(w);
     } else if (!opt.workload.empty()) {
-        doWorkload(workloads::findWorkload(opt.workload));
+        addWorkload(workloads::findWorkload(opt.workload));
     }
     for (const std::string &file : opt.files) {
         std::ifstream in(file);
         fatal_if(!in.good(), "cannot open '%s'", file.c_str());
         std::stringstream ss;
         ss << in.rdbuf();
-        Unit u = analyzeUnit(file, ss.str(), opt, /*abi_entry=*/false);
-        bad += fails(u.analysis.lint, opt);
-        if (opt.sarif)
-            sarif_units.emplace_back(file, std::move(u.analysis.lint));
+        units.push_back({file, ss.str(), workloads::Workload{},
+                         /*simt=*/false, /*abi_entry=*/false});
     }
-    if (!opt.all_workloads && opt.workload.empty() &&
-        opt.files.empty()) {
-        usage();
-        return 2;
+
+    std::vector<UnitResult> results =
+        host::parallelMap<UnitResult>(
+            opt.jobs, units.size(),
+            [&units, &opt](size_t i) {
+                return processUnit(units[i], opt);
+            });
+
+    std::vector<std::pair<std::string, analysis::LintResult>> sarif_units;
+    int bad = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        std::fputs(results[i].printed.c_str(), stdout);
+        bad += results[i].bad;
+        if (opt.sarif)
+            sarif_units.emplace_back(units[i].label,
+                                     std::move(results[i].lint));
     }
     if (opt.sarif)
         std::printf("%s\n",

@@ -10,9 +10,13 @@
  *                         memlane,memdata,cache (default all)
  *     --no-parity         disable the lane-parity detector
  *     --no-lockstep       disable the golden-lockstep oracle
+ *     --jobs N            host threads running trials (default: one
+ *                         per hardware thread; 1 = serial). The JSON
+ *                         report is byte-identical for any N.
  *     --json FILE         write the JSON report to FILE ("-" = stdout)
  *     --assert-no-sdc     exit 1 if any undetected SDC occurred
- *     --verbose           narrate every trial
+ *     --verbose           narrate every trial (line order may vary
+ *                         across workers when --jobs > 1)
  *
  * Exit codes: 0 campaign ran (and --assert-no-sdc held), 1 usage
  * error or SDC assertion failure.
@@ -42,6 +46,8 @@ usage()
         "                       memdata,cache,all (default all)\n"
         "  --no-parity          disable lane parity\n"
         "  --no-lockstep        disable the golden-lockstep oracle\n"
+        "  --jobs N             host threads (default: hardware "
+        "concurrency)\n"
         "  --json FILE          write JSON report (\"-\" = stdout)\n"
         "  --assert-no-sdc      exit 1 on any undetected SDC\n"
         "  --verbose            narrate every trial\n");
@@ -103,6 +109,7 @@ int
 main(int argc, char **argv)
 {
     fault::CampaignSpec spec;
+    spec.jobs = 0;  // CLI default: one host worker per hardware thread
     std::string json_path;
     bool assert_no_sdc = false;
     bool verbose = false;
@@ -131,6 +138,8 @@ main(int argc, char **argv)
             spec.parity = false;
         } else if (arg == "--no-lockstep") {
             spec.lockstep = false;
+        } else if (arg == "--jobs") {
+            spec.jobs = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--json") {
             json_path = next();
         } else if (arg == "--assert-no-sdc") {

@@ -41,6 +41,7 @@
 #include "common/log.hpp"
 #include "diag/processor.hpp"
 #include "harness/runner.hpp"
+#include "host/parallel.hpp"
 #include "harness/validate.hpp"
 #include "isa/disasm.hpp"
 #include "ooo/processor.hpp"
@@ -67,7 +68,8 @@ struct Options
     u64 max_insts = 500'000'000;
     u64 max_cycles = 0;  //!< 0 = keep the config's default
     unsigned diff_fuzz = 0;
-    u64 seed = 1;  //!< base seed for --diff-fuzz
+    u64 seed = 1;   //!< base seed for --diff-fuzz
+    unsigned jobs = 0;  //!< host threads for --diff-fuzz (0 = auto)
 };
 
 void
@@ -87,6 +89,8 @@ usage()
         "  --max-cycles N             cycle ceiling (timeout)\n"
         "  --golden-diff              diff final state vs golden\n"
         "  --diff-fuzz N              differential fuzz N seeds\n"
+        "  --jobs N                   host threads for --diff-fuzz\n"
+        "                             (default: hardware concurrency)\n"
         "  --validate                 cross-check vs the static bound\n"
         "  --seed S                   base seed for --diff-fuzz\n"
         "exit codes: 0 pass, 1 error, 2 wrong result (SDC), "
@@ -273,37 +277,39 @@ runProgram(const Options &opt, const Program &prog,
 /**
  * Compare an engine run against the functional golden reference:
  * every unified register plus the full memory image. Returns true
- * when architecturally identical.
+ * when architecturally identical; appends its report to @p out (so
+ * host-parallel fuzz workers can emit whole per-seed blocks).
  */
 bool
 goldenDiff(const Program &prog, u64 max_insts,
            const u32 final_regs[isa::kNumRegs],
-           const SparseMemory &mem, bool verbose_pass)
+           const SparseMemory &mem, bool verbose_pass,
+           std::string &out)
 {
     sim::GoldenSim gold(prog);
     const sim::RunResult gr = gold.run(max_insts);
     if (!gr.halted) {
-        warn("golden reference did not halt; diff skipped");
+        out += "golden-diff: golden reference did not halt; diff "
+               "skipped\n";
         return false;
     }
     bool ok = true;
     for (unsigned i = 0; i < isa::kNumRegs; ++i) {
         const u32 want = gold.reg(static_cast<isa::RegId>(i));
         if (final_regs[i] != want) {
-            std::printf("golden-diff: %s = 0x%08x, golden has "
-                        "0x%08x\n",
-                        isa::regName(static_cast<isa::RegId>(i))
-                            .c_str(),
-                        final_regs[i], want);
+            out += detail::vformat(
+                "golden-diff: %s = 0x%08x, golden has 0x%08x\n",
+                isa::regName(static_cast<isa::RegId>(i)).c_str(),
+                final_regs[i], want);
             ok = false;
         }
     }
     if (!memEqual(mem, gold.memory())) {
-        std::printf("golden-diff: final memory image differs\n");
+        out += "golden-diff: final memory image differs\n";
         ok = false;
     }
     if (ok && verbose_pass)
-        std::printf("golden-diff: architectural state matches\n");
+        out += "golden-diff: architectural state matches\n";
     return ok;
 }
 
@@ -331,9 +337,15 @@ runFile(const Options &opt)
         }
     }
     int rc = classify(rs, true);
-    if (rc == 0 && opt.golden_diff && opt.engine != "golden" &&
-        !goldenDiff(prog, opt.max_insts, final_regs, mem, true))
-        rc = 2;  // silent data corruption vs the reference
+    if (rc == 0 && opt.golden_diff && opt.engine != "golden") {
+        std::string diff;
+        const bool ok =
+            goldenDiff(prog, opt.max_insts, final_regs, mem, true,
+                       diff);
+        std::fputs(diff.c_str(), stdout);
+        if (!ok)
+            rc = 2;  // silent data corruption vs the reference
+    }
     if (rc != 0)
         std::printf("FAIL (exit %d): %s\n", rc,
                     rs.stop_reason.empty()
@@ -346,7 +358,10 @@ runFile(const Options &opt)
 /**
  * Differential fuzzing: N seeded random programs, each executed on the
  * selected engine and on the golden reference, with full architectural
- * state compared at the end. Any divergence exits 2.
+ * state compared at the end. Any divergence exits 2. Seeds fan out
+ * over host workers (--jobs); each seed derives its program from
+ * opt.seed + index and reports are printed in seed order, so the
+ * output is byte-identical for any job count.
  */
 int
 runDiffFuzz(const Options &opt)
@@ -354,29 +369,44 @@ runDiffFuzz(const Options &opt)
     fatal_if(opt.engine == "golden",
              "--diff-fuzz compares an engine against golden; pick "
              "--engine diag or ooo");
-    unsigned mismatches = 0;
-    for (unsigned n = 0; n < opt.diff_fuzz; ++n) {
-        sim::FuzzOptions fo;
-        fo.seed = opt.seed + n;
-        const std::string src = sim::generateFuzzProgram(fo);
-        const Program prog = assembler::assemble(src);
-        u32 final_regs[isa::kNumRegs] = {};
-        SparseMemory mem;
-        const sim::RunStats rs =
-            runProgram(opt, prog, final_regs, &mem);
-        bool ok = rs.halted && !rs.faulted && !rs.timed_out;
-        if (!ok) {
-            std::printf("diff-fuzz seed %llu: engine stopped: %s\n",
+    struct SeedResult
+    {
+        bool ok = false;
+        std::string report;
+    };
+    const std::vector<SeedResult> results =
+        host::parallelMap<SeedResult>(
+            opt.jobs, opt.diff_fuzz, [&opt](size_t n) {
+                SeedResult res;
+                sim::FuzzOptions fo;
+                fo.seed = opt.seed + n;
+                const std::string src = sim::generateFuzzProgram(fo);
+                const Program prog = assembler::assemble(src);
+                u32 final_regs[isa::kNumRegs] = {};
+                SparseMemory mem;
+                const sim::RunStats rs =
+                    runProgram(opt, prog, final_regs, &mem);
+                res.ok = rs.halted && !rs.faulted && !rs.timed_out;
+                if (!res.ok) {
+                    res.report = detail::vformat(
+                        "diff-fuzz seed %llu: engine stopped: %s\n",
                         static_cast<unsigned long long>(fo.seed),
-                        rs.stop_reason.empty() ? "did not halt"
-                                               : rs.stop_reason.c_str());
-        } else if (!goldenDiff(prog, opt.max_insts, final_regs, mem,
-                               false)) {
-            std::printf("diff-fuzz seed %llu: MISMATCH vs golden\n",
+                        rs.stop_reason.empty()
+                            ? "did not halt"
+                            : rs.stop_reason.c_str());
+                } else if (!goldenDiff(prog, opt.max_insts, final_regs,
+                                       mem, false, res.report)) {
+                    res.report += detail::vformat(
+                        "diff-fuzz seed %llu: MISMATCH vs golden\n",
                         static_cast<unsigned long long>(fo.seed));
-            ok = false;
-        }
-        if (!ok)
+                    res.ok = false;
+                }
+                return res;
+            });
+    unsigned mismatches = 0;
+    for (const SeedResult &res : results) {
+        std::fputs(res.report.c_str(), stdout);
+        if (!res.ok)
             ++mismatches;
     }
     std::printf("diff-fuzz: %u/%u seeds matched golden\n",
@@ -424,6 +454,8 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--seed") {
             opt.seed = std::stoull(next());
+        } else if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--list-workloads") {
             listWorkloads();
             return 0;
