@@ -1,6 +1,9 @@
 #include "common/stats.hpp"
 
+#include <cmath>
 #include <iomanip>
+
+#include "common/log.hpp"
 
 namespace diag
 {
@@ -12,6 +15,56 @@ StatGroup::dump(std::ostream &os) const
         os << name_ << '.' << kv.first << ' ' << std::setprecision(12)
            << kv.second << '\n';
     }
+}
+
+namespace
+{
+
+/** Byte-stable JSON number: counters are mostly exact integral counts,
+ *  which render without a fraction; anything else uses %.12g (enough
+ *  digits that equal doubles render equal bytes, and unequal ones
+ *  almost surely do not). */
+std::string
+jsonNumber(double v)
+{
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::fabs(v) < 9.007199254740992e15)  // 2^53: exactly integral
+        return detail::vformat("%lld", static_cast<long long>(v));
+    return detail::vformat("%.12g", v);
+}
+
+/** Counter keys are ASCII identifiers, but escape defensively so a
+ *  hostile key cannot break the document. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\', out += c;
+        else if (static_cast<unsigned char>(c) < 0x20)
+            out += detail::vformat("\\u%04x", c);
+        else
+            out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{\"group\": \"" << jsonEscape(name_)
+       << "\", \"counters\": {";
+    bool first = true;
+    for (const auto &kv : values_) {
+        os << (first ? "" : ", ") << '"' << jsonEscape(kv.first)
+           << "\": " << jsonNumber(kv.second);
+        first = false;
+    }
+    os << "}}\n";
 }
 
 } // namespace diag

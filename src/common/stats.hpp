@@ -67,10 +67,22 @@ class StatGroup
         return values_.find(key) != values_.end();
     }
 
-    /** Reset every counter to zero (keys are retained). */
+    /**
+     * Reset the group. With @p retain_keys (the default) every counter
+     * is zeroed but stays registered, so a later dump() still lists it
+     * — the mode reset-between-runs callers want, since dumps keep a
+     * stable schema across runs. With retain_keys = false the key set
+     * itself is dropped (has() turns false), for reusing one group
+     * across unrelated programs without leaking per-PC counters such
+     * as simt_region_* between them.
+     */
     void
-    clear()
+    clear(bool retain_keys = true)
     {
+        if (!retain_keys) {
+            values_.clear();
+            return;
+        }
         for (auto &kv : values_)
             kv.second = 0.0;
     }
@@ -88,6 +100,16 @@ class StatGroup
 
     /** Pretty-print "group.key value" lines. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Machine-readable dump: one JSON object with the group name and a
+     * key-sorted "counters" object. Byte-stable — the same counters
+     * always render the same bytes (std::map iteration order plus a
+     * fixed number format: integers without a fraction, everything
+     * else with %.12g), so golden-file diffs and artifact comparisons
+     * across runs are exact.
+     */
+    void dumpJson(std::ostream &os) const;
 
   private:
     std::string name_;

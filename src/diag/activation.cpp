@@ -46,6 +46,10 @@ ActivationEngine::serveLoad(Cluster &cl, ThreadMemCtx &tmc, Addr ea,
         const Cycle earliest = *std::min_element(q.begin(), q.end());
         stats_.inc("mem_queue_stall_cycles",
                    static_cast<double>(earliest - issue));
+        if (trc_)
+            trc_->lsuQueue(ring_, static_cast<u16>(cl.index),
+                           cl.line_base + 4 * pe, issue,
+                           earliest - issue, q.size());
         issue = earliest;
         std::erase_if(q, [&](Cycle done) { return done <= issue; });
     }
@@ -59,6 +63,10 @@ ActivationEngine::serveLoad(Cluster &cl, ThreadMemCtx &tmc, Addr ea,
         const Cycle fwd = tmc.forwardProbe(ea, size);
         if (fwd != kNeverCycle) {
             stats_.inc("memlane_fwd");
+            if (trc_)
+                trc_->memLaneHit(
+                    ring_, cl.line_base + 4 * pe, std::max(grant, fwd),
+                    static_cast<u16>(tmc.entries().size()));
             return std::max(grant, fwd) + cfg_.mem_lane_latency;
         }
     }
@@ -267,6 +275,8 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
             lane[di.rd] = {value, done, seg};
             if (fc_ && fc_->parityEnabled())
                 lane[di.rd].parity = laneParity(value);
+            if (trc_)
+                trc_->laneWrite(ring_, di.rd, addr, done, value);
             stats_.inc("lane_writes");
             stats_.inc("lane_hops",
                        static_cast<double>(last_seg - seg + 1));
@@ -284,8 +294,12 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
                     store_ea, store_size,
                     tmc.mem().read(store_ea, store_size));
             tmc.mem().write(store_ea, store_val, store_size);
-            tmc.recordStore(store_ea, store_size, store_addr_ready,
-                            done);
+            if (tmc.recordStore(store_ea, store_size,
+                                store_addr_ready, done) &&
+                trc_)
+                trc_->memLaneEvict(
+                    ring_, addr, done,
+                    static_cast<u16>(tmc.entries().size()));
             commitStore(cl, store_ea, pc_leave);
         }
         ++out.retired;

@@ -16,6 +16,7 @@
 #include "diag/lanes.hpp"
 #include "diag/thread_ctx.hpp"
 #include "mem/hierarchy.hpp"
+#include "trace/tracer.hpp"
 
 namespace diag::fault
 {
@@ -93,6 +94,16 @@ class ActivationEngine
      *  in the hot path is a single null check when detached. */
     void setFaultController(fault::FaultController *fc) { fc_ = fc; }
 
+    /** Attach (or detach with nullptr) a tracer for lane-write,
+     *  memory-lane, and LSU-queue events; @p ring labels the track.
+     *  Same hot-path contract: one null check when detached. */
+    void
+    setTracer(trace::Tracer *t, unsigned ring)
+    {
+        trc_ = t;
+        ring_ = static_cast<u8>(ring);
+    }
+
   private:
     /** Cycles until a load's data is available, with full accounting.
      *  @p pe is the issuing PE slot (keys the stride prefetcher). */
@@ -108,6 +119,8 @@ class ActivationEngine
     StatGroup &stats_;
     u32 line_bytes_;
     fault::FaultController *fc_ = nullptr; //!< null = injection off
+    trace::Tracer *trc_ = nullptr;         //!< null = tracing off
+    u8 ring_ = 0;                          //!< ring id for trace tracks
 };
 
 } // namespace diag::core

@@ -36,6 +36,17 @@ DiagProcessor::attachFaults(fault::FaultController *fc)
 }
 
 void
+DiagProcessor::attachTrace(trace::Tracer *t)
+{
+    trc_ = t;
+    for (auto &ring : rings_)
+        ring->setTracer(t);
+    mh_.setTracer(t);
+    if (t)
+        t->setClusters(cfg_.total_clusters);
+}
+
+void
 DiagProcessor::lintStrict(const Program &prog,
                           const std::vector<ThreadSpec> &threads) const
 {
@@ -92,8 +103,12 @@ DiagProcessor::runThreads(const Program &prog,
         }
         const unsigned r = t % rings_.size();
         Ring &ring = *rings_[r];
+        const Cycle launch = ring_free[r];
         const ThreadResult tr = ring.runThread(spec.entry, regs, mem_,
                                                ring_free[r], max_insts);
+        if (trc_)
+            trc_->thread(static_cast<u8>(r), static_cast<u16>(t),
+                         spec.entry, launch, tr.finish, tr.retired);
         ring_free[r] = tr.finish;
         if (tr.faulted)
             warn("thread %u faulted at pc 0x%x", t, tr.stop_pc);

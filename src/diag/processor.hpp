@@ -72,6 +72,17 @@ class DiagProcessor
     void attachFaults(fault::FaultController *fc);
 
     /**
+     * Attach (or detach with nullptr) a tracer: every ring, the
+     * activation engine, and the L1D banks emit typed events into it.
+     * Purely observational — attaching a tracer never changes any
+     * cycle the model computes. The caller keeps ownership and must
+     * keep the tracer alive across the run; like the StatGroup, a
+     * tracer is unsynchronized and must stay confined to the worker
+     * that owns this processor (DESIGN.md §11).
+     */
+    void attachTrace(trace::Tracer *t);
+
+    /**
      * Run @p prog single-threaded on ring 0. Loads the program image
      * into memory first.
      */
@@ -107,6 +118,7 @@ class DiagProcessor
     std::vector<ThreadResult> results_;
     bool program_loaded_ = false;
     fault::FaultController *faults_ = nullptr;
+    trace::Tracer *trc_ = nullptr;  //!< null = tracing off
 };
 
 } // namespace diag::core

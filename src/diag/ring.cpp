@@ -48,6 +48,13 @@ Ring::setFaultController(fault::FaultController *fc)
     engine_.setFaultController(fc);
 }
 
+void
+Ring::setTracer(trace::Tracer *t)
+{
+    trc_ = t;
+    engine_.setTracer(t, index_);
+}
+
 unsigned
 Ring::enabledClusters() const
 {
@@ -232,6 +239,9 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
             faults_->undoLog().clear();
             faults_->oracleMark();
             faults_->onBoundary(regs, tmc, mem, mh_, retired);
+            if (trc_)
+                trc_->checkpoint(static_cast<u8>(index_), pc,
+                                 std::max(pc_enter, min_start), retired);
             if (faults_->parityEnabled()) {
                 const int bad = faults_->paritySweep(regs);
                 if (bad >= 0) {
@@ -255,6 +265,10 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
                         faults_->detect().recovery_penalty;
                     pc_enter = resume;
                     min_start = resume;
+                    if (trc_)
+                        trc_->rollback(static_cast<u8>(index_), pc,
+                                       resume,
+                                       faults_->tally().recoveries);
                 }
             }
         }
@@ -297,6 +311,10 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
             prefetch(line + line_bytes_, in.min_start, mem);
 
         const ActivationOutput act = engine_.run(in, tmc);
+        if (trc_)
+            trc_->activation(static_cast<u8>(index_),
+                             static_cast<u16>(cl.index), pc, in.min_start,
+                             act.end_cycle, got.reused, act.retired);
         inform("ring%u act cl%u pc=0x%x..0x%x start=%llu done=%llu "
                "retired=%llu exit=%d%s",
                index_, cl.index, pc, act.exit_pc,
@@ -335,6 +353,9 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
                 act.end_cycle + faults_->detect().recovery_penalty;
             pc_enter = resume;
             min_start = resume;
+            if (trc_)
+                trc_->rollback(static_cast<u8>(index_), pc, resume,
+                               faults_->tally().recoveries);
             faults_->oracleRewind();
             faults_->clearDivergence();
             if (faults_->strike(cl.index) && enabledClusters() > 2)
@@ -393,6 +414,12 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
                     std::max(act.exit_resolve, got.ready);
                 again.trap_on_simt = false;
                 const ActivationOutput act2 = engine_.run(again, tmc);
+                if (trc_)
+                    trc_->activation(static_cast<u8>(index_),
+                                     static_cast<u16>(cl.index),
+                                     simt_s_pc, again.min_start,
+                                     act2.end_cycle, false,
+                                     act2.retired);
                 cl.free_at = act2.end_cycle;
                 if (faults_ && faults_->divergencePending()) {
                     // Same recovery as the main path: the whole loop
@@ -421,6 +448,10 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
                         faults_->detect().recovery_penalty;
                     pc_enter = resume;
                     min_start = resume;
+                    if (trc_)
+                        trc_->rollback(static_cast<u8>(index_), pc,
+                                       resume,
+                                       faults_->tally().recoveries);
                     faults_->oracleRewind();
                     faults_->clearDivergence();
                     if (faults_->strike(cl.index) &&
@@ -474,6 +505,10 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
                 l.ready += cfg_.inter_cluster_latch;
             break;
           case ActExit::Redirect: {
+            if (trc_)
+                trc_->pcRedirect(static_cast<u8>(index_),
+                                 static_cast<u16>(cl.index), pc,
+                                 act.exit_resolve, act.exit_pc);
             pc = act.exit_pc;
             const Addr target_line = alignDown(pc, line_bytes_);
             const auto res_it = resident_.find(target_line);
@@ -493,6 +528,12 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
                 min_start = act.branch_done + latch;
                 pc_enter = act.exit_resolve + latch;
                 stats_.inc("reuse_redirects");
+                if (trc_)
+                    trc_->reuseHit(
+                        static_cast<u8>(index_),
+                        static_cast<u16>(
+                            clusters_[res_it->second].index),
+                        pc, pc_enter);
             } else if (pc == line + line_bytes_) {
                 // Taken forward branch to the immediately next line:
                 // lanes hand over through the inter-cluster latch; the
@@ -595,6 +636,9 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
     stats_.inc(detail::vformat("simt_region_%08x_entries", simt_s_pc));
     stats_.inc(detail::vformat("simt_region_%08x_threads", simt_s_pc),
                static_cast<double>(trips));
+    if (trc_)
+        trc_->regionEnter(static_cast<u8>(index_), simt_s_pc, resolve,
+                          trips);
 
     // Region lines; pin them so stage clusters are never evicted.
     const Addr first_line = alignDown(simt_s_pc + 4, line_bytes_);
@@ -670,6 +714,12 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
             in.mode = ActMode::SimtStage;
             in.simt_step = step;
             const ActivationOutput act = engine_.run(in, tmc);
+            if (trc_) {
+                trc_->simtStage(static_cast<u8>(index_),
+                                static_cast<u16>(cl.index), tpc,
+                                in.min_start, act.end_cycle, k);
+                trc_->retired(act.end_cycle, act.retired);
+            }
             inform("simt thread %llu stage cl%u: launch=%llu "
                    "min_start=%llu end=%llu exit=%d",
                    static_cast<unsigned long long>(k), cl.index,
@@ -720,6 +770,9 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
     stats_.inc(detail::vformat("simt_region_%08x_cycles", simt_s_pc),
                static_cast<double>(last_exit_resolve +
                                    cfg_.inter_cluster_latch - resolve));
+    if (trc_)
+        trc_->regionExit(static_cast<u8>(index_), simt_s_pc, resolve,
+                         last_exit_resolve + cfg_.inter_cluster_latch);
     pc_enter = last_exit_resolve + cfg_.inter_cluster_latch;
     min_start = 0;
     for (LaneState &l : regs)

@@ -57,6 +57,12 @@ class Ring
      *  the activation engine's per-instruction hooks. */
     void setFaultController(fault::FaultController *fc);
 
+    /** Attach (or detach with nullptr) a tracer; forwards to the
+     *  activation engine. Every hook is one null check when off and
+     *  never alters timing — a traced run retires on the same cycle
+     *  as an untraced one. */
+    void setTracer(trace::Tracer *t);
+
     /** Pre-validate a simt region starting at @p simt_s_pc. Public so
      *  tests can check it agrees with the static analyzer. */
     struct SimtRegion
@@ -127,6 +133,7 @@ class Ring
     u64 use_counter_ = 0;
     u32 line_bytes_;
     fault::FaultController *faults_ = nullptr; //!< null = no injection
+    trace::Tracer *trc_ = nullptr;             //!< null = tracing off
 };
 
 } // namespace diag::core

@@ -68,7 +68,14 @@ runOnDiag(const core::DiagConfig &cfg, const Workload &w,
                          {{isa::RegId{10}, t},
                           {isa::RegId{11}, threads}}});
     EngineRun run;
+    if (spec.trace) {
+        // Created here, inside the worker that owns `proc`, so the
+        // unsynchronized tracer never crosses a thread (DESIGN.md §11).
+        run.trace = std::make_shared<trace::Tracer>(*spec.trace);
+        proc.attachTrace(run.trace.get());
+    }
     run.stats = proc.runThreads(prog, specs, w.max_insts);
+    proc.attachTrace(nullptr);
     if (!run.stats.halted) {
         const char *why = run.stats.stop_reason.empty()
                               ? "did not halt"

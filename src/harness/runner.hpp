@@ -7,6 +7,7 @@
 #ifndef DIAG_HARNESS_RUNNER_HPP
 #define DIAG_HARNESS_RUNNER_HPP
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "energy/report.hpp"
 #include "ooo/config.hpp"
 #include "sim/run_stats.hpp"
+#include "trace/tracer.hpp"
 #include "workloads/workload.hpp"
 
 namespace diag::harness
@@ -27,6 +29,13 @@ struct RunSpec
     /** Return failed runs (timeout/trap/check miss) to the caller
      *  instead of fatal()ing — campaign/CLI drivers classify them. */
     bool tolerate_failures = false;
+    /** When set, runOnDiag creates a Tracer with this configuration
+     *  inside the owning worker, attaches it for the run, and returns
+     *  it in EngineRun::trace — the confinement pattern that keeps
+     *  traces byte-identical for any --jobs value (DESIGN.md §11).
+     *  The pointee must outlive the run. Ignored by the OoO baseline
+     *  (no trace hooks). */
+    const trace::TraceConfig *trace = nullptr;
 };
 
 /** One engine execution result. */
@@ -35,6 +44,10 @@ struct EngineRun
     sim::RunStats stats;
     energy::EnergyReport energy;
     bool checked = false;  //!< output check passed
+    /** The run's tracer when RunSpec::trace was set (else null). Only
+     *  read it after the owning worker completed — i.e. after
+     *  runOnDiag/runMatrix returned. */
+    std::shared_ptr<trace::Tracer> trace;
 };
 
 /** Run @p w on a DiAG configuration. */

@@ -48,11 +48,15 @@ CacheLookup
 Cache::access(Addr addr, bool is_write, Cycle now)
 {
     CacheLookup res;
-    res.grant =
-        bank_busy_[bankOf(addr)].reserve(now, params_.bank_occupancy);
-    if (res.grant > now)
+    const u32 bank = bankOf(addr);
+    res.grant = bank_busy_[bank].reserve(now, params_.bank_occupancy);
+    if (res.grant > now) {
         stats_.inc("bank_conflict_cycles",
                    static_cast<double>(res.grant - now));
+        if (tracer_)
+            tracer_->bankConflict(static_cast<u16>(bank), addr, now,
+                                  res.grant - now);
+    }
     stats_.inc(is_write ? "writes" : "reads");
 
     const u32 set = setIndex(addr);

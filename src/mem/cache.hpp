@@ -14,6 +14,7 @@
 #include "common/calendar.hpp"
 #include "common/stats.hpp"
 #include "mem/params.hpp"
+#include "trace/tracer.hpp"
 
 namespace diag::mem
 {
@@ -68,6 +69,10 @@ class Cache
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** Attach (or detach with nullptr) a tracer: bank-conflict events
+     *  are emitted from access(); one null check when detached. */
+    void setTracer(trace::Tracer *t) { tracer_ = t; }
+
   private:
     struct Way
     {
@@ -90,6 +95,7 @@ class Cache
     std::vector<BusyCalendar> bank_busy_;  // per bank
     u64 use_counter_ = 0;
     StatGroup stats_;
+    trace::Tracer *tracer_ = nullptr;  //!< null = tracing off
 };
 
 } // namespace diag::mem

@@ -84,6 +84,19 @@ class MemHierarchy
      */
     void warmLine(Addr addr) { l2_->warmFill(addr); }
 
+    /**
+     * Attach (or detach with nullptr) a tracer to the data-side L1s:
+     * bank-conflict events become visible on the trace's memory
+     * tracks. The instruction L1s and L2 stay untraced (their
+     * contention already shows up as fetch-wait on the ring tracks).
+     */
+    void
+    setTracer(trace::Tracer *t)
+    {
+        for (auto &c : l1d_)
+            c->setTracer(t);
+    }
+
     unsigned ports() const { return static_cast<unsigned>(l1i_.size()); }
     Cache &l1i(unsigned port) { return *l1i_[port]; }
     Cache &l1d(unsigned port) { return *l1d_[port]; }

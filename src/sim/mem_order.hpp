@@ -42,15 +42,20 @@ class StoreTracker
     /** Latest cycle at which any older store's address resolved. */
     Cycle storeAddrGate() const { return store_addr_gate_; }
 
-    /** Record a store in program order. */
-    void
+    /** Record a store in program order. Returns true when the CAM
+     *  window was full and the oldest entry was displaced (the trace
+     *  layer reports these as memory-lane evictions). */
+    bool
     recordStore(Addr addr, u8 size, Cycle addr_ready, Cycle data_ready)
     {
         if (addr_ready > store_addr_gate_)
             store_addr_gate_ = addr_ready;
         stores_.push_back({addr, size, data_ready});
-        if (stores_.size() > entries_)
+        if (stores_.size() > entries_) {
             stores_.pop_front();
+            return true;
+        }
+        return false;
     }
 
     /**

@@ -1,0 +1,63 @@
+#include "trace/events.hpp"
+
+namespace diag::trace
+{
+
+namespace
+{
+
+const char *const kNames[kNumEventKinds] = {
+    "activation",   "lane-write",    "pc-redirect",  "reuse-hit",
+    "simt-stage",   "lsu-queue",     "memlane-hit",  "memlane-evict",
+    "bank-conflict", "checkpoint",   "rollback",     "region-enter",
+    "region-exit",  "thread",
+};
+
+} // namespace
+
+const char *
+eventName(EventKind k)
+{
+    const auto i = static_cast<unsigned>(k);
+    return i < kNumEventKinds ? kNames[i] : "unknown";
+}
+
+bool
+parseEventMask(const std::string &list, u32 &mask, std::string &bad)
+{
+    u32 out = 0;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string tok = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok.empty())
+            continue;
+        if (tok == "all") {
+            out |= kAllEvents;
+            continue;
+        }
+        if (tok == "default") {
+            out |= kDefaultEvents;
+            continue;
+        }
+        bool found = false;
+        for (unsigned i = 0; i < kNumEventKinds; ++i) {
+            if (tok == kNames[i]) {
+                out |= u32{1} << i;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            bad = tok;
+            return false;
+        }
+    }
+    mask = out;
+    return true;
+}
+
+} // namespace diag::trace

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Typed cycle-level trace events. The taxonomy mirrors the places the
+ * DiAG model makes a scheduling decision: cluster activations, lane
+ * writes, PC-lane rewrites, datapath-reuse hits, thread-pipeline stage
+ * advances, LSU queue pressure, memory-lane CAM behaviour, L1D bank
+ * conflicts, and checkpoint/rollback recovery. Events are fixed-size
+ * PODs so the ring-buffer recorder is a plain array with no per-event
+ * allocation on the simulators' hot path.
+ */
+#ifndef DIAG_TRACE_EVENTS_HPP
+#define DIAG_TRACE_EVENTS_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace diag::trace
+{
+
+/** Every traceable event class, in stable wire order. */
+enum class EventKind : u8
+{
+    Activation = 0,  //!< one PC-lane pass through a cluster
+    LaneWrite,       //!< destination register-lane write
+    PcRedirect,      //!< PC-lane branch rewrite (taken control flow)
+    ReuseHit,        //!< backward branch into a resident datapath
+    SimtStage,       //!< thread-pipeline stage advance (simt mode)
+    LsuQueue,        //!< cluster LSU request-queue admission stall
+    MemLaneHit,      //!< memory-lane CAM store-to-load forwarding hit
+    MemLaneEvict,    //!< memory-lane CAM entry displaced (window full)
+    BankConflict,    //!< L1D bank busy at access time
+    Checkpoint,      //!< activation-boundary checkpoint taken
+    Rollback,        //!< fault recovery restored a checkpoint
+    RegionEnter,     //!< simt region pipeline entry
+    RegionExit,      //!< simt region pipeline exit (serial resume)
+    Thread,          //!< one software thread's whole lifetime
+    Count            //!< number of kinds (not an event)
+};
+
+inline constexpr unsigned kNumEventKinds =
+    static_cast<unsigned>(EventKind::Count);
+
+/** Bit for @p k in an event mask. */
+inline constexpr u32
+eventBit(EventKind k)
+{
+    return u32{1} << static_cast<unsigned>(k);
+}
+
+/** Mask with every event kind enabled. */
+inline constexpr u32 kAllEvents = (u32{1} << kNumEventKinds) - 1;
+
+/**
+ * Default mask: everything except the per-instruction LaneWrite
+ * firehose (a 16-PE cluster writes a lane nearly every instruction;
+ * opt in with --trace-events=...,lane-write when needed).
+ */
+inline constexpr u32 kDefaultEvents =
+    kAllEvents & ~eventBit(EventKind::LaneWrite);
+
+/** Stable lowercase-kebab name of @p k ("pc-redirect", ...). */
+const char *eventName(EventKind k);
+
+/**
+ * Parse a comma-separated event list ("activation,reuse-hit", "all",
+ * "default") into a mask. Returns false (mask untouched) when any
+ * name is unknown; @p bad then holds the offending token.
+ */
+bool parseEventMask(const std::string &list, u32 &mask,
+                    std::string &bad);
+
+/**
+ * One recorded event. Semantics of the generic fields per kind:
+ *  - unit: cluster index (Activation/SimtStage/LsuQueue/ReuseHit),
+ *    destination lane (LaneWrite), CAM entry count (MemLane*),
+ *    L1D bank (BankConflict), ring-local thread slot (Thread).
+ *  - pc: the instruction or region address the event is about.
+ *  - start/dur: cycle span ([start, start+dur)); instant events
+ *    record dur = 0.
+ *  - arg: payload — retired instructions (Activation/Thread), value
+ *    written (LaneWrite), redirect target (PcRedirect), pipelined
+ *    thread index (SimtStage), queue depth (LsuQueue), thread count
+ *    (RegionEnter), recovery count (Rollback).
+ */
+struct TraceEvent
+{
+    EventKind kind = EventKind::Activation;
+    u8 ring = 0;
+    u16 unit = 0;
+    Addr pc = 0;
+    Cycle start = 0;
+    Cycle dur = 0;
+    u64 arg = 0;
+};
+
+} // namespace diag::trace
+
+#endif // DIAG_TRACE_EVENTS_HPP

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Trace exporters: Chrome trace-event / Perfetto-compatible JSON and
+ * time-series metrics. Both renderers are deterministic — events are
+ * written in record order with fixed formatting, so a trace of the
+ * same run is byte-identical regardless of host job count.
+ */
+#ifndef DIAG_TRACE_EXPORT_HPP
+#define DIAG_TRACE_EXPORT_HPP
+
+#include <ostream>
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace diag::trace
+{
+
+/** Free-form run description stamped into the trace's otherData. */
+struct TraceMeta
+{
+    std::string workload;  //!< workload or program name
+    std::string config;    //!< engine configuration name
+    bool simt = false;     //!< simt-annotated variant
+};
+
+/**
+ * Render the recorded events as Chrome trace-event JSON (the object
+ * form: {"traceEvents": [...], ...}), loadable in Perfetto and
+ * chrome://tracing. Timestamps are simulated cycles presented as
+ * microseconds (1 cycle = 1 us in the viewer). Track layout: one
+ * process per ring with one thread-track per cluster, plus per-ring
+ * "control", "lsu", and "mem-lanes" tracks; L1D bank conflicts land
+ * in a shared "memory" process with one track per bank.
+ */
+void writeChromeTrace(std::ostream &os, const Tracer &tracer,
+                      const TraceMeta &meta);
+
+/**
+ * Render the bucketed time series as JSON: per-bucket retired
+ * instructions (→ IPC), summed cluster-busy cycles (→ occupancy when
+ * divided by stride * clusters), lane writes, and the simt region
+ * live in the bucket.
+ */
+void writeMetricsJson(std::ostream &os, const Tracer &tracer,
+                      const TraceMeta &meta);
+
+} // namespace diag::trace
+
+#endif // DIAG_TRACE_EXPORT_HPP

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validate a diag-run/diag-trace Chrome trace-event JSON file.
+
+Stdlib-only schema check used by the CI trace-smoke job (and handy
+before loading a trace into Perfetto): the file must parse as JSON,
+carry a traceEvents array, and every event must be one of the phases
+the exporter emits with the fields that phase requires. Exits 0 on a
+valid trace, 1 with a diagnostic otherwise.
+
+usage: check_trace.py trace.json [--min-events N]
+"""
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(i, ev):
+    if not isinstance(ev, dict):
+        fail(f"event {i} is not an object")
+    ph = ev.get("ph")
+    if ph not in ("X", "i", "M"):
+        fail(f"event {i}: unexpected phase {ph!r}")
+    if "pid" not in ev:
+        fail(f"event {i}: missing pid")
+    if ph == "M":
+        if ev.get("name") not in ("process_name", "thread_name"):
+            fail(f"event {i}: metadata name {ev.get('name')!r}")
+        if "name" not in ev.get("args", {}):
+            fail(f"event {i}: metadata without args.name")
+        return
+    if not isinstance(ev.get("name"), str) or not ev["name"]:
+        fail(f"event {i}: missing name")
+    if not isinstance(ev.get("ts"), int) or ev["ts"] < 0:
+        fail(f"event {i}: bad ts {ev.get('ts')!r}")
+    if "tid" not in ev:
+        fail(f"event {i}: missing tid")
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, int) or dur < 0:
+            fail(f"event {i}: complete event with bad dur {dur!r}")
+    if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+        fail(f"event {i}: instant event with bad scope")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="require at least N non-metadata events")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("no traceEvents array")
+    real = 0
+    tracks = set()
+    for i, ev in enumerate(events):
+        check_event(i, ev)
+        if ev.get("ph") == "M":
+            tracks.add((ev["pid"], ev.get("tid")))
+        else:
+            real += 1
+            if (ev["pid"], ev.get("tid")) not in tracks and \
+               (ev["pid"], None) not in tracks:
+                fail(f"event {i} on unnamed track "
+                     f"pid={ev['pid']} tid={ev.get('tid')}")
+    if real < args.min_events:
+        fail(f"only {real} events (< {args.min_events})")
+    other = doc.get("otherData", {})
+    print(f"check_trace: OK: {real} events on {len(tracks)} named "
+          f"tracks, workload={other.get('workload', '?')}, "
+          f"dropped={other.get('dropped', '?')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -47,6 +48,8 @@
 #include "ooo/processor.hpp"
 #include "sim/fuzz.hpp"
 #include "sim/golden.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
 
 using namespace diag;
 
@@ -70,7 +73,68 @@ struct Options
     unsigned diff_fuzz = 0;
     u64 seed = 1;   //!< base seed for --diff-fuzz
     unsigned jobs = 0;  //!< host threads for --diff-fuzz (0 = auto)
+    std::string trace_file;    //!< Chrome trace JSON output
+    std::string metrics_file;  //!< time-series samples JSON output
+    std::string stats_json;    //!< byte-stable counter dump output
+    u32 trace_events = trace::kDefaultEvents;
+    u64 metrics_stride = 0;    //!< 0 = no time-series sampling
+
+    bool wantsTrace() const
+    {
+        return !trace_file.empty() || !metrics_file.empty();
+    }
+
+    trace::TraceConfig
+    traceConfig() const
+    {
+        trace::TraceConfig tc;
+        tc.event_mask = trace_events;
+        // --metrics without an explicit stride samples every 1k cycles.
+        tc.metrics_stride = metrics_stride
+                                ? metrics_stride
+                                : (metrics_file.empty() ? 0 : 1000);
+        return tc;
+    }
 };
+
+/** Write the Chrome trace and/or metrics series a run collected. */
+void
+writeTraceOutputs(const Options &opt, const trace::Tracer &trc,
+                  const trace::TraceMeta &meta)
+{
+    if (!opt.trace_file.empty()) {
+        std::ofstream os(opt.trace_file);
+        fatal_if(!os.good(), "cannot write '%s'",
+                 opt.trace_file.c_str());
+        trace::writeChromeTrace(os, trc, meta);
+        std::printf("trace         %s (%zu events, %llu dropped)\n",
+                    opt.trace_file.c_str(), trc.sink().events().size(),
+                    static_cast<unsigned long long>(
+                        trc.sink().dropped()));
+    }
+    if (!opt.metrics_file.empty()) {
+        std::ofstream os(opt.metrics_file);
+        fatal_if(!os.good(), "cannot write '%s'",
+                 opt.metrics_file.c_str());
+        trace::writeMetricsJson(os, trc, meta);
+        std::printf("metrics       %s (%zu samples, stride %llu)\n",
+                    opt.metrics_file.c_str(),
+                    trc.metrics().samples().size(),
+                    static_cast<unsigned long long>(
+                        trc.metrics().stride()));
+    }
+}
+
+/** Satellite of the trace subsystem: byte-stable counters-to-file. */
+void
+writeStatsJson(const Options &opt, const sim::RunStats &rs)
+{
+    if (opt.stats_json.empty())
+        return;
+    std::ofstream os(opt.stats_json);
+    fatal_if(!os.good(), "cannot write '%s'", opt.stats_json.c_str());
+    rs.counters.dumpJson(os);
+}
 
 void
 usage()
@@ -93,6 +157,15 @@ usage()
         "                             (default: hardware concurrency)\n"
         "  --validate                 cross-check vs the static bound\n"
         "  --seed S                   base seed for --diff-fuzz\n"
+        "  --trace FILE               write a Chrome/Perfetto trace\n"
+        "                             (diag engine only)\n"
+        "  --trace-events LIST        comma list of event kinds, or\n"
+        "                             'all'/'default' (default skips\n"
+        "                             lane-write)\n"
+        "  --metrics FILE             write IPC/occupancy time series\n"
+        "  --metrics-stride N         sample bucket width in cycles\n"
+        "                             (default 1000 with --metrics)\n"
+        "  --stats-json FILE          byte-stable JSON counter dump\n"
         "exit codes: 0 pass, 1 error, 2 wrong result (SDC), "
         "3 timeout, 4 trap\n");
 }
@@ -179,6 +252,12 @@ runWorkload(const Options &opt)
     const workloads::Workload w = workloads::findWorkload(opt.workload);
     harness::RunSpec spec{opt.threads, opt.simt,
                           /*tolerate_failures=*/true};
+    const trace::TraceConfig tc = opt.traceConfig();
+    if (opt.wantsTrace()) {
+        fatal_if(opt.engine != "diag",
+                 "--trace/--metrics hook the diag engine only");
+        spec.trace = &tc;
+    }
     harness::EngineRun run;
     if (opt.engine == "diag") {
         core::DiagConfig cfg = configByName(opt.config);
@@ -199,6 +278,10 @@ runWorkload(const Options &opt)
     printStats(run.stats, opt);
     std::printf("energy        %.3f uJ\n",
                 run.energy.totalJoules() * 1e6);
+    if (run.trace)
+        writeTraceOutputs(opt, *run.trace,
+                          {w.name, opt.config, opt.simt});
+    writeStatsJson(opt, run.stats);
     int rc = classify(run.stats, run.checked);
     if (rc == 0 && opt.validate) {
         fatal_if(opt.engine != "diag",
@@ -229,7 +312,8 @@ runWorkload(const Options &opt)
  */
 sim::RunStats
 runProgram(const Options &opt, const Program &prog,
-           u32 final_regs[isa::kNumRegs], SparseMemory *mem_out)
+           u32 final_regs[isa::kNumRegs], SparseMemory *mem_out,
+           trace::Tracer *trc = nullptr)
 {
     sim::RunStats rs;
     if (opt.engine == "golden") {
@@ -264,7 +348,9 @@ runProgram(const Options &opt, const Program &prog,
         if (opt.max_cycles)
             cfg.max_cycles = opt.max_cycles;
         core::DiagProcessor proc(cfg);
+        proc.attachTrace(trc);
         rs = proc.run(prog, opt.max_insts);
+        proc.attachTrace(nullptr);
         for (unsigned i = 0; i < isa::kNumRegs; ++i)
             final_regs[i] =
                 proc.finalReg(0, static_cast<isa::RegId>(i));
@@ -325,9 +411,19 @@ runFile(const Options &opt)
     u32 final_regs[isa::kNumRegs] = {};
     SparseMemory mem;
     const bool want_mem = opt.golden_diff;
+    std::unique_ptr<trace::Tracer> trc;
+    if (opt.wantsTrace()) {
+        fatal_if(opt.engine != "diag",
+                 "--trace/--metrics hook the diag engine only");
+        trc = std::make_unique<trace::Tracer>(opt.traceConfig());
+    }
     const sim::RunStats rs = runProgram(opt, prog, final_regs,
-                                        want_mem ? &mem : nullptr);
+                                        want_mem ? &mem : nullptr,
+                                        trc.get());
     printStats(rs, opt);
+    if (trc)
+        writeTraceOutputs(opt, *trc, {opt.file, opt.config, false});
+    writeStatsJson(opt, rs);
     if (opt.regs) {
         std::printf("-- registers --\n");
         for (unsigned i = 0; i < isa::kNumIntRegs; ++i) {
@@ -421,8 +517,21 @@ main(int argc, char **argv)
 {
     Options opt;
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        // Accept both "--opt value" and "--opt=value".
+        std::string inline_val;
+        bool has_inline = false;
+        if (arg.rfind("--", 0) == 0) {
+            const size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_val = arg.substr(eq + 1);
+                arg.resize(eq);
+                has_inline = true;
+            }
+        }
         auto next = [&]() -> std::string {
+            if (has_inline)
+                return inline_val;
             fatal_if(i + 1 >= argc, "missing value for %s",
                      arg.c_str());
             return argv[++i];
@@ -456,6 +565,19 @@ main(int argc, char **argv)
             opt.seed = std::stoull(next());
         } else if (arg == "--jobs") {
             opt.jobs = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--trace") {
+            opt.trace_file = next();
+        } else if (arg == "--trace-events") {
+            std::string bad;
+            fatal_if(!trace::parseEventMask(next(), opt.trace_events,
+                                            bad),
+                     "unknown trace event kind '%s'", bad.c_str());
+        } else if (arg == "--metrics") {
+            opt.metrics_file = next();
+        } else if (arg == "--metrics-stride") {
+            opt.metrics_stride = std::stoull(next());
+        } else if (arg == "--stats-json") {
+            opt.stats_json = next();
         } else if (arg == "--list-workloads") {
             listWorkloads();
             return 0;
