@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Abstract interpretation over the recovered CFG: a forward fixpoint
+ * that tracks, per register lane, an unsigned interval plus a
+ * known-bits (bit-level constant/alignment) domain. The fixpoint is
+ * the value foundation of diag-verify: it resolves divisors, effective
+ * addresses, and simt_s operand registers to provable facts, and it
+ * computes which blocks *must* execute (dominate every halt) so that
+ * a violated property can be refuted rather than merely suspected.
+ *
+ * Soundness contract: every abstract value over-approximates the set
+ * of concrete values the lane can hold at that point on any execution
+ * that follows the CFG (call edges clobber to top, indirect-jump
+ * blocks propagate nothing they cannot see). Widening only ever grows
+ * intervals, so a converged fixpoint stays an over-approximation.
+ */
+#ifndef DIAG_ANALYSIS_ABSINT_HPP
+#define DIAG_ANALYSIS_ABSINT_HPP
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace diag::analysis
+{
+
+/**
+ * Abstract value of one 32-bit lane: the unsigned interval [lo, hi]
+ * intersected with the bit-level constraint "bits in kmask equal the
+ * corresponding bits of kval". lo > hi encodes bottom (unreachable).
+ * The two components are kept mutually normalized: a full kmask pins
+ * the interval to the constant, and known leading/trailing bits
+ * tighten the interval bounds.
+ */
+struct AbsVal
+{
+    u64 lo = 0;            //!< unsigned lower bound (inclusive)
+    u64 hi = 0xffffffffull; //!< unsigned upper bound (inclusive)
+    u32 kmask = 0;         //!< bit i known iff kmask bit i set
+    u32 kval = 0;          //!< value of known bits (subset of kmask)
+
+    static AbsVal top() { return {}; }
+    static AbsVal
+    constant(u32 c)
+    {
+        return {c, c, 0xffffffffu, c};
+    }
+    static AbsVal
+    bottom()
+    {
+        return {1, 0, 0, 0};
+    }
+    /** [lo, hi] with no bit knowledge (normalized on use). */
+    static AbsVal
+    interval(u64 lo, u64 hi)
+    {
+        AbsVal v{lo, hi, 0, 0};
+        v.normalize();
+        return v;
+    }
+
+    bool isBottom() const { return lo > hi; }
+    bool isConst() const { return !isBottom() && lo == hi; }
+    u32 constVal() const { return static_cast<u32>(lo); }
+
+    /** True when @p v is outside the abstraction (proven never held). */
+    bool
+    excludes(u32 v) const
+    {
+        if (isBottom())
+            return true;
+        if (v < lo || v > hi)
+            return true;
+        return (v & kmask) != kval;
+    }
+
+    /**
+     * The value modulo @p m (a power of two, <= 4096) when the low
+     * bits are all known; -1 when unprovable.
+     */
+    int
+    remainder(u32 m) const
+    {
+        if (isBottom() || m == 0 || (m & (m - 1)) != 0)
+            return -1;
+        const u32 low = m - 1;
+        if ((kmask & low) != low)
+            return -1;
+        return static_cast<int>(kval & low);
+    }
+
+    /** Re-establish interval<->bits consistency (may produce bottom). */
+    void normalize();
+    /** In-place join (least upper bound); true when this changed. */
+    bool join(const AbsVal &o);
+    /** In-place widening join: growing bounds jump to the extremes. */
+    bool widen(const AbsVal &o);
+    /** In-place meet (intersection); may produce bottom. */
+    void meet(const AbsVal &o);
+
+    bool
+    operator==(const AbsVal &o) const
+    {
+        return lo == o.lo && hi == o.hi && kmask == o.kmask &&
+               kval == o.kval;
+    }
+};
+
+// Transfer helpers over the combined domain (exposed for unit tests).
+AbsVal absAdd(const AbsVal &a, const AbsVal &b);
+AbsVal absSub(const AbsVal &a, const AbsVal &b);
+AbsVal absAnd(const AbsVal &a, const AbsVal &b);
+AbsVal absOr(const AbsVal &a, const AbsVal &b);
+AbsVal absXor(const AbsVal &a, const AbsVal &b);
+AbsVal absShl(const AbsVal &a, unsigned sh);
+AbsVal absShr(const AbsVal &a, unsigned sh);
+AbsVal absMul(const AbsVal &a, const AbsVal &b);
+
+/** One abstract register file (unified x/f space; x0 is constant 0). */
+using AbsRegs = std::array<AbsVal, isa::kNumRegs>;
+
+/**
+ * Facts proven at one instruction of interest, evaluated in the
+ * converged fixpoint state on entry to that instruction.
+ */
+struct SiteInfo
+{
+    Addr pc = 0;
+    bool is_mem = false;
+    bool is_store = false;
+    bool is_div = false;        //!< DIV/DIVU/REM/REMU
+    u8 mem_bytes = 0;           //!< access size for mem sites
+    AbsVal addr;                //!< rs1 + imm for mem sites
+    AbsVal divisor;             //!< rs2 for divide sites
+    /** The site's block lies on every entry->halt path. */
+    bool must_execute = false;
+};
+
+/** Result of one whole-program fixpoint. */
+struct AbsIntResult
+{
+    /** Memory and divide sites, keyed by pc. */
+    std::map<Addr, SiteInfo> sites;
+    /** Abstract register file on entry to each simt_s (by its pc). */
+    std::map<Addr, AbsRegs> simt_entry;
+    /** Per block id: the block dominates every halting block. */
+    std::vector<bool> block_must_execute;
+    /** False when the iteration cap was hit; all states are then top. */
+    bool converged = true;
+};
+
+/** Run the fixpoint over @p cfg (entry state: x0 = 0, all else top). */
+AbsIntResult runAbsInt(const Cfg &cfg);
+
+} // namespace diag::analysis
+
+#endif // DIAG_ANALYSIS_ABSINT_HPP

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/lint.hpp"
+#include "analysis/verify.hpp"
 #include "common/log.hpp"
 #include "fault/controller.hpp"
 
@@ -73,6 +74,28 @@ DiagProcessor::lintStrict(const Program &prog,
     }
 }
 
+void
+DiagProcessor::verifyStrict(const Program &prog,
+                            const std::vector<ThreadSpec> &threads) const
+{
+    analysis::VerifyOptions opt;
+    opt.lint.line_bytes = cfg_.pes_per_cluster * 4;
+    opt.lint.clusters_per_ring = cfg_.clustersPerRing();
+    opt.lint.simt_enabled = cfg_.simt_enabled;
+    opt.lint.entry_defined.set();
+    for (const ThreadSpec &spec : threads) {
+        analysis::RegSet regs;
+        for (const auto &[reg, value] : spec.init_regs)
+            regs.set(reg);
+        opt.lint.entry_defined &= regs;
+    }
+    const analysis::VerifyResult res =
+        analysis::verifyProgram(prog, opt);
+    if (!res.clean())
+        fatal("program rejected by the verifier:\n%s",
+              analysis::renderVerifyText(res).c_str());
+}
+
 sim::RunStats
 DiagProcessor::runThreads(const Program &prog,
                           const std::vector<ThreadSpec> &threads,
@@ -80,6 +103,8 @@ DiagProcessor::runThreads(const Program &prog,
 {
     if (cfg_.lint_enabled)
         lintStrict(prog, threads);
+    if (cfg_.verify_enabled)
+        verifyStrict(prog, threads);
     fatal_if(faults_ && faults_->lockstepEnabled() &&
                  threads.size() > 1,
              "golden-lockstep checking shadows a single retirement "

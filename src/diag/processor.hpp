@@ -109,6 +109,11 @@ class DiagProcessor
     void lintStrict(const Program &prog,
                     const std::vector<ThreadSpec> &threads) const;
 
+    /** Strict-mode verification (cfg.verify_enabled): fatal() when
+     *  diag-verify refutes a safety property or proves a race. */
+    void verifyStrict(const Program &prog,
+                      const std::vector<ThreadSpec> &threads) const;
+
     DiagConfig cfg_;
     SparseMemory mem_;
     mem::MemHierarchy mh_;

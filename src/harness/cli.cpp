@@ -1,0 +1,221 @@
+#include "harness/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace diag::harness
+{
+
+ArgParser::ArgParser(std::string tool, std::string operands_name)
+    : tool_(std::move(tool)), operands_name_(std::move(operands_name))
+{
+}
+
+ArgParser &
+ArgParser::add(std::string name, Flag::Kind kind, void *target,
+               std::string metavar, std::string help)
+{
+    flags_.push_back({std::move(name), kind, target,
+                      std::move(metavar), std::move(help)});
+    return *this;
+}
+
+ArgParser &
+ArgParser::flag(std::string name, bool *target, std::string help)
+{
+    return add(std::move(name), Flag::Kind::Bool, target, "",
+               std::move(help));
+}
+
+ArgParser &
+ArgParser::option(std::string name, std::string *target,
+                  std::string metavar, std::string help)
+{
+    return add(std::move(name), Flag::Kind::String, target,
+               std::move(metavar), std::move(help));
+}
+
+ArgParser &
+ArgParser::option(std::string name, unsigned *target,
+                  std::string metavar, std::string help)
+{
+    return add(std::move(name), Flag::Kind::Unsigned, target,
+               std::move(metavar), std::move(help));
+}
+
+ArgParser &
+ArgParser::option(std::string name, u64 *target, std::string metavar,
+                  std::string help)
+{
+    return add(std::move(name), Flag::Kind::U64, target,
+               std::move(metavar), std::move(help));
+}
+
+ArgParser &
+ArgParser::option(std::string name, double *target,
+                  std::string metavar, std::string help)
+{
+    return add(std::move(name), Flag::Kind::Double, target,
+               std::move(metavar), std::move(help));
+}
+
+ArgParser &
+ArgParser::operands(std::vector<std::string> *target)
+{
+    operands_ = target;
+    return *this;
+}
+
+ArgParser &
+ArgParser::configFlag(std::string *target)
+{
+    return option("--config", target, "I4C2|F4C2|F4C16|F4C32",
+                  "DiAG preset (default " + *target + ")");
+}
+
+ArgParser &
+ArgParser::jobsFlag(unsigned *target)
+{
+    return option("--jobs", target, "N",
+                  "host threads (default: hardware concurrency); "
+                  "output is byte-identical for any N");
+}
+
+ArgParser &
+ArgParser::seedFlag(u64 *target)
+{
+    return option("--seed", target, "S",
+                  "base seed; reruns are bit-identical");
+}
+
+ArgParser &
+ArgParser::jsonFlag(bool *target)
+{
+    return flag("--json", target, "emit machine-readable JSON");
+}
+
+ArgParser &
+ArgParser::sarifFlag(bool *target)
+{
+    return flag("--sarif", target,
+                "emit SARIF 2.1.0 (findings only)");
+}
+
+ArgParser &
+ArgParser::werrorFlag(bool *target)
+{
+    return flag("--werror", target,
+                "treat warnings as errors (exit status)");
+}
+
+void
+ArgParser::usage() const
+{
+    std::printf("usage: %s [options]%s%s\n", tool_.c_str(),
+                operands_name_.empty() ? "" : " ",
+                operands_name_.c_str());
+    for (const Flag &f : flags_) {
+        std::string head = "  " + f.name;
+        if (!f.metavar.empty())
+            head += " " + f.metavar;
+        if (head.size() < 24)
+            head.resize(24, ' ');
+        else
+            head += " ";
+        std::printf("%s%s\n", head.c_str(), f.help.c_str());
+    }
+}
+
+ArgParser::Status
+ArgParser::parse(int argc, char **argv) const
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return Status::Help;
+        }
+        if (!arg.empty() && arg[0] != '-') {
+            if (operands_ == nullptr) {
+                usage();
+                return Status::Usage;
+            }
+            operands_->push_back(arg);
+            continue;
+        }
+        // Both "--flag VALUE" and "--flag=VALUE" are accepted.
+        std::string inline_val;
+        bool has_inline = false;
+        if (const size_t eq = arg.find('=');
+            eq != std::string::npos) {
+            inline_val = arg.substr(eq + 1);
+            arg.resize(eq);
+            has_inline = true;
+        }
+        const Flag *match = nullptr;
+        for (const Flag &f : flags_)
+            if (f.name == arg) {
+                match = &f;
+                break;
+            }
+        if (match == nullptr) {
+            usage();
+            return Status::Usage;
+        }
+        if (match->kind == Flag::Kind::Bool) {
+            fatal_if(has_inline, "flag %s takes no value",
+                     arg.c_str());
+            *static_cast<bool *>(match->target) = true;
+            continue;
+        }
+        fatal_if(!has_inline && i + 1 >= argc,
+                 "missing value for %s", arg.c_str());
+        const std::string value =
+            has_inline ? inline_val : argv[++i];
+        switch (match->kind) {
+          case Flag::Kind::String:
+            *static_cast<std::string *>(match->target) = value;
+            break;
+          case Flag::Kind::Unsigned:
+            *static_cast<unsigned *>(match->target) =
+                static_cast<unsigned>(std::stoul(value));
+            break;
+          case Flag::Kind::U64:
+            *static_cast<u64 *>(match->target) = std::stoull(value);
+            break;
+          case Flag::Kind::Double:
+            *static_cast<double *>(match->target) = std::stod(value);
+            break;
+          case Flag::Kind::Bool:
+            break;
+        }
+    }
+    return Status::Run;
+}
+
+core::DiagConfig
+configByName(const std::string &name)
+{
+    if (name == "I4C2")
+        return core::DiagConfig::i4c2();
+    if (name == "F4C2")
+        return core::DiagConfig::f4c2();
+    if (name == "F4C16")
+        return core::DiagConfig::f4c16();
+    if (name == "F4C32")
+        return core::DiagConfig::f4c32();
+    fatal("unknown DiAG configuration '%s'", name.c_str());
+}
+
+core::DiagConfig
+configWithRings(const std::string &name, unsigned rings)
+{
+    core::DiagConfig cfg = configByName(name);
+    if (rings != 0)
+        cfg.num_rings = rings;
+    return cfg;
+}
+
+} // namespace diag::harness

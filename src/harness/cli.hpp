@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared command-line parsing for the tools/diag_*.cpp CLIs.
+ *
+ * Every tool used to hand-roll the same argv loop (--jobs, --seed,
+ * --json, --sarif, --config, "missing value for X", usage-on-unknown).
+ * ArgParser is the declarative replacement: a tool registers its flags
+ * against the fields of its options struct, and parse() handles value
+ * fetching, numeric conversion, --help, unknown-flag diagnostics, and
+ * the usage text — keeping the flag name, its help line, and its
+ * target in one place.
+ */
+#ifndef DIAG_HARNESS_CLI_HPP
+#define DIAG_HARNESS_CLI_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "diag/config.hpp"
+
+namespace diag::harness
+{
+
+/** Declarative argv parser; see the file comment for the contract. */
+class ArgParser
+{
+  public:
+    /** What main() should do after parse(). */
+    enum class Status
+    {
+        Run,    //!< arguments consumed; run the tool
+        Help,   //!< --help: usage printed, exit 0
+        Usage,  //!< bad invocation: usage printed, exit 2
+    };
+
+    /**
+     * @p tool is the program name for the synopsis line and
+     * @p operands_name, when nonempty, names the bare (non-dash)
+     * operands in the synopsis (e.g. "[program.s ...]").
+     */
+    ArgParser(std::string tool, std::string operands_name = "");
+
+    /** --name (no value). */
+    ArgParser &flag(std::string name, bool *target, std::string help);
+    /** --name VALUE variants. */
+    ArgParser &option(std::string name, std::string *target,
+                      std::string metavar, std::string help);
+    ArgParser &option(std::string name, unsigned *target,
+                      std::string metavar, std::string help);
+    ArgParser &option(std::string name, u64 *target,
+                      std::string metavar, std::string help);
+    ArgParser &option(std::string name, double *target,
+                      std::string metavar, std::string help);
+    /** Collect bare operands (file paths) into @p target; without
+     *  this registration a bare operand is a usage error. */
+    ArgParser &operands(std::vector<std::string> *target);
+
+    // The flags every tool spells identically, help text included.
+    ArgParser &configFlag(std::string *target);
+    ArgParser &jobsFlag(unsigned *target);
+    ArgParser &seedFlag(u64 *target);
+    ArgParser &jsonFlag(bool *target);
+    ArgParser &sarifFlag(bool *target);
+    ArgParser &werrorFlag(bool *target);
+
+    /** Print the synopsis and one help line per registered flag. */
+    void usage() const;
+
+    /** Consume argv. Prints usage itself for Help/Usage outcomes. */
+    Status parse(int argc, char **argv) const;
+
+  private:
+    struct Flag
+    {
+        enum class Kind : u8
+        {
+            Bool,
+            String,
+            Unsigned,
+            U64,
+            Double,
+        };
+        std::string name;
+        Kind kind;
+        void *target;
+        std::string metavar;
+        std::string help;
+    };
+
+    std::string tool_;
+    std::string operands_name_;
+    std::vector<Flag> flags_;
+    std::vector<std::string> *operands_ = nullptr;
+
+    ArgParser &add(std::string name, Flag::Kind kind, void *target,
+                   std::string metavar, std::string help);
+};
+
+/**
+ * The DiAG preset named on a --config flag (I4C2, F4C2, F4C16,
+ * F4C32); fatal() on anything else. Shared by every tool.
+ */
+core::DiagConfig configByName(const std::string &name);
+
+/** @p base with its ring count overridden when @p rings != 0. */
+core::DiagConfig configWithRings(const std::string &name,
+                                 unsigned rings);
+
+} // namespace diag::harness
+
+#endif // DIAG_HARNESS_CLI_HPP

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Differential validation of the diag-verify program verifier: every
+ * verdict on a generated fuzz program is cross-checked against what
+ * actually happens when the program runs (DESIGN.md §12).
+ *
+ * The protocol, per program:
+ *  - the golden reference executes instruction by instruction while
+ *    we observe the events the verifier reasons about (a zero
+ *    divisor reaching a divide, a misaligned or out-of-map access);
+ *  - a *Proven* safety verdict contradicted by an observed event is
+ *    an unsound proof and fails the corpus;
+ *  - a *Refuted* verdict on a halting execution that never shows the
+ *    event is a bogus refutation and fails the corpus;
+ *  - race verdicts check against the generator's constructive ground
+ *    truth (FuzzProgram::racy): proven-safe on a program with an
+ *    injected overlap, or proven-racy on a program whose per-thread
+ *    footprints are disjoint by construction, both fail;
+ *  - deadlock-freedom proofs check observationally (DiAG must halt)
+ *    and the proven thread count checks against the ring's
+ *    simt_region_*_threads counter (token conservation);
+ *  - on top, the classic differential check: DiAG and OoO
+ *    architectural state must match golden (skipped for racy
+ *    programs, whose memory is timing-dependent by design).
+ */
+#ifndef DIAG_HARNESS_VALIDATE_VERIFY_HPP
+#define DIAG_HARNESS_VALIDATE_VERIFY_HPP
+
+#include <string>
+#include <vector>
+
+#include "analysis/verify.hpp"
+#include "diag/config.hpp"
+#include "sim/fuzz.hpp"
+
+namespace diag::harness
+{
+
+/** Outcome of differentially validating one generated program. */
+struct VerifyCheck
+{
+    u64 seed = 0;
+    /** Generator ground truth (copied from the FuzzProgram). */
+    bool has_simt = false;
+    bool racy = false;
+    bool injected_div0 = false;
+    bool injected_misaligned = false;
+    bool injected_oob = false;
+    /** Events observed while stepping the golden reference. */
+    bool golden_halted = false;
+    bool golden_faulted = false;
+    bool obs_div0 = false;
+    bool obs_misaligned = false;
+    bool obs_oob = false;
+    /** Compact verdict summary for the report line. */
+    std::string verdicts;
+    /** Soundness violations found (empty = verifier held up). */
+    std::vector<std::string> failures;
+    /** DiAG/OoO final architectural state matched golden (only
+     *  meaningful when compared; racy programs skip it). */
+    bool engines_match = true;
+    /** Proven + refuted verdicts this program contributed. */
+    unsigned proofs = 0;
+    unsigned refutations = 0;
+    /** The program source, kept only for failing checks so the CLI
+     *  can write it out as a CI artifact. */
+    std::string source;
+
+    bool ok() const { return failures.empty() && engines_match; }
+};
+
+/**
+ * Generate the program for @p fo and run the full cross-check above
+ * on @p cfg. Pure; safe to fan out over host workers.
+ */
+VerifyCheck validateVerify(const core::DiagConfig &cfg,
+                           const sim::FuzzOptions &fo,
+                           u64 max_insts = 2'000'000);
+
+/** Which generator profile a corpus run uses. */
+enum class FuzzProfile : u8
+{
+    Scalar,  //!< scalar programs with injected trap hazards
+    Simt,    //!< simt regions (no calls, so control verdicts prove)
+    Mixed,   //!< alternate between the two by seed
+};
+
+/** Aggregate outcome of a seeded corpus. */
+struct VerifyFuzzReport
+{
+    u64 base_seed = 0;
+    unsigned programs = 0;
+    unsigned failed = 0;      //!< checks with failures/mismatches
+    unsigned proofs = 0;      //!< Proven verdicts cross-checked
+    unsigned refutations = 0; //!< Refuted verdicts cross-checked
+    /** Per-seed results in seed order (byte-stable for any jobs). */
+    std::vector<VerifyCheck> checks;
+
+    bool ok() const { return failed == 0; }
+};
+
+/** The generator options seed @p seed gets under @p profile. */
+sim::FuzzOptions fuzzOptionsFor(u64 seed, FuzzProfile profile);
+
+/**
+ * Run seeds [base_seed, base_seed+count) through validateVerify,
+ * fanned out over up to @p jobs host threads (0 = hardware
+ * concurrency). Results come back in seed order.
+ */
+VerifyFuzzReport runVerifyFuzz(const core::DiagConfig &cfg,
+                               u64 base_seed, unsigned count,
+                               unsigned jobs, FuzzProfile profile);
+
+/** One line per failing seed plus a corpus summary. */
+std::string renderVerifyFuzz(const VerifyFuzzReport &r, bool verbose);
+
+} // namespace diag::harness
+
+#endif // DIAG_HARNESS_VALIDATE_VERIFY_HPP

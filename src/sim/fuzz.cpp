@@ -23,7 +23,7 @@ class Generator
         : opt_(opt), rng_(opt.seed ? opt.seed : 1)
     {}
 
-    std::string
+    FuzzProgram
     run()
     {
         emit(".data");
@@ -41,12 +41,27 @@ class Generator
                 emit("    fcvt.s.w f" + std::to_string(f) + ", " +
                      reg(kDataRegs[f]));
         }
-        for (unsigned s = 0; s < opt_.segments; ++s)
-            segment();
+        // Interleave simt regions among the scalar segments. Every
+        // rng draw below is gated on the option that needs it, so
+        // programs generated with the pre-simt options are
+        // byte-identical to what this generator always produced.
+        for (unsigned s = 0; s < opt_.segments; ++s) {
+            if (opt_.use_simt && meta_.regions < opt_.simt_regions &&
+                rng_.below(3) == 0)
+                simtRegion();
+            else
+                segment();
+        }
+        while (opt_.use_simt && meta_.regions < opt_.simt_regions)
+            simtRegion();
+        if (opt_.hazard_pct > 0 &&
+            rng_.below(100) < opt_.hazard_pct)
+            scalarHazard();
         emit("    ebreak");
         if (opt_.use_calls)
             helpers();
-        return out_;
+        meta_.source = std::move(out_);
+        return std::move(meta_);
     }
 
   private:
@@ -215,6 +230,89 @@ class Generator
         }
     }
 
+    /**
+     * A counted parallel loop over the scratch buffer. rc (x26)
+     * counts bytes in stride steps, so each thread owns the
+     * [rc, rc+stride) slice and per-thread footprints are disjoint
+     * by construction — unless a race is injected, in which case a
+     * load reaches into the next thread's slice (or a fixed address
+     * is shared), and FuzzProgram::racy records that ground truth.
+     * Body temporaries (x8, x24) are always written before read so
+     * the region passes the loop-carried-dependence scan.
+     */
+    void
+    simtRegion()
+    {
+        const unsigned n = 2 + static_cast<unsigned>(rng_.below(15));
+        const unsigned stride =
+            8 + 4 * static_cast<unsigned>(rng_.below(3));
+        const bool inject_race =
+            opt_.hazard_pct > 0 &&
+            rng_.below(100) < opt_.hazard_pct;
+        const std::string head = label("simt");
+        emit("    li x26, 0");
+        emit("    li x27, " + std::to_string(stride));
+        emit("    li x25, " + std::to_string(n * stride));
+        emit(head + ":");
+        emit("    simt_s x26, x27, x25, " +
+             std::to_string(1 + rng_.below(2)));
+        emit("    add x8, x29, x26");
+        emit("    sw " + dataReg() + ", 0(x8)");
+        const unsigned extra = static_cast<unsigned>(rng_.below(3));
+        for (unsigned i = 0; i < extra; ++i) {
+            const unsigned off =
+                4 * (1 + static_cast<unsigned>(
+                             rng_.below(stride / 4 - 1)));
+            if (rng_.below(2) == 0) {
+                emit("    sw " + dataReg() + ", " +
+                     std::to_string(off) + "(x8)");
+            } else {
+                emit("    lw x24, " + std::to_string(off) + "(x8)");
+                emit("    add x24, x24, " + dataReg());
+                emit("    sw x24, " + std::to_string(off) + "(x8)");
+            }
+        }
+        if (inject_race) {
+            if (rng_.below(2) == 0) {
+                // Read the next thread's slice: a definite
+                // cross-thread RAW on the store at offset 0.
+                emit("    addi x24, x26, " + std::to_string(stride));
+                emit("    add x24, x24, x29");
+                emit("    lw x24, 0(x24)");
+            } else {
+                // Every thread stores to and loads from buf[0].
+                emit("    sw " + dataReg() + ", 0(x29)");
+                emit("    lw x24, 0(x29)");
+            }
+            meta_.racy = true;
+            ++meta_.racy_regions;
+        }
+        emit("    simt_e x26, x25, " + head);
+        meta_.has_simt = true;
+        ++meta_.regions;
+    }
+
+    /** One deliberate scalar trap hazard, recorded in the metadata. */
+    void
+    scalarHazard()
+    {
+        const unsigned pick = static_cast<unsigned>(rng_.below(3));
+        if (pick == 0 && opt_.use_muldiv) {
+            emit("    li x8, 0");
+            emit("    div x24, " + dataReg() + ", x8");
+            meta_.div0 = true;
+        } else if (pick <= 1 && opt_.use_mem) {
+            emit("    lw x24, 2(x29)");
+            meta_.misaligned = true;
+        } else if (opt_.use_mem) {
+            emit("    li x8, " +
+                 std::to_string(opt_.buffer_words * 4 + 4096));
+            emit("    add x8, x8, x29");
+            emit("    sw " + dataReg() + ", 0(x8)");
+            meta_.oob = true;
+        }
+    }
+
     void
     helpers()
     {
@@ -229,6 +327,7 @@ class Generator
     const FuzzOptions &opt_;
     Rng rng_;
     std::string out_;
+    FuzzProgram meta_;
     unsigned label_counter_ = 0;
 };
 
@@ -236,6 +335,13 @@ class Generator
 
 std::string
 generateFuzzProgram(const FuzzOptions &opt)
+{
+    Generator gen(opt);
+    return gen.run().source;
+}
+
+FuzzProgram
+generateFuzzProgramEx(const FuzzOptions &opt)
 {
     Generator gen(opt);
     return gen.run();

@@ -26,10 +26,45 @@ struct FuzzOptions
     bool use_muldiv = true;     //!< RV32M operations
     bool use_calls = true;      //!< jal/jalr function calls
     unsigned buffer_words = 256; //!< scratch buffer size in words
+    /** Emit simt_s/simt_e counted parallel loops over the scratch
+     *  buffer (each thread owns a stride-disjoint slice). */
+    bool use_simt = false;
+    unsigned simt_regions = 2;  //!< parallel regions when use_simt
+    /**
+     * Percent chance of deliberately injecting one hazard of each
+     * scope: per region a cross-thread race (overlapping per-thread
+     * footprints), and per program one scalar trap hazard (constant
+     * zero divisor, misaligned word access, or an access beyond the
+     * data map). What was injected is reported in FuzzProgram, giving
+     * differential validation its ground truth. 0 = always clean.
+     */
+    unsigned hazard_pct = 0;
+};
+
+/**
+ * A generated program plus the ground truth of what the generator
+ * deliberately injected. The flags are constructive guarantees: when
+ * `racy` is false every simt region's per-thread footprints are
+ * disjoint by construction; when true, two pipelined threads touch
+ * the same bytes with at least one store.
+ */
+struct FuzzProgram
+{
+    std::string source;
+    bool has_simt = false;
+    unsigned regions = 0;      //!< simt regions emitted
+    unsigned racy_regions = 0; //!< regions with an injected race
+    bool racy = false;         //!< injected cross-thread race
+    bool div0 = false;        //!< injected constant zero divisor
+    bool misaligned = false;  //!< injected misaligned word access
+    bool oob = false;         //!< injected access beyond the data map
 };
 
 /** Generate an assembly source string per @p opt. */
 std::string generateFuzzProgram(const FuzzOptions &opt);
+
+/** Generate a program along with its injected-hazard ground truth. */
+FuzzProgram generateFuzzProgramEx(const FuzzOptions &opt);
 
 } // namespace diag::sim
 

@@ -94,6 +94,10 @@ makeBackprop()
     Workload w;
     w.name = "backprop";
     w.suite = "rodinia";
+    w.data_ranges = {{kBpW, 0x20000},
+                     {kBpInV, 0x1000},
+                     {kBpOutV, 0xf000},
+                     {kBpRes, 0x10000}};
     w.description =
         "neural-net layer forward pass: 1536x16 matrix-vector FMA with "
         "rational-sigmoid activation";
@@ -215,6 +219,9 @@ makeBfs()
     Workload w;
     w.name = "bfs";
     w.suite = "rodinia";
+    w.data_ranges = {{kBfsRow, 0x4000},
+                     {kBfsCol, 0xc000},
+                     {kBfsDist, 0x10000}};
     w.description = "level-synchronous BFS over " +
                     std::to_string(kBfsTiles) +
                     " independent CSR graph tiles (" +
@@ -330,6 +337,10 @@ makeHeartwall()
     Workload w;
     w.name = "heartwall";
     w.suite = "rodinia";
+    w.data_ranges = {{kHwImg, 0x8000},
+                     {kHwTplA, 0x1000},
+                     {kHwPosA, 0x1000},
+                     {kHwScore, 0x10000}};
     w.description = "template-matching SAD of an 8x8 template at 192 "
                     "image positions";
     w.profile = Profile::Compute;
@@ -432,6 +443,9 @@ makeHotspot()
     Workload w;
     w.name = "hotspot";
     w.suite = "rodinia";
+    w.data_ranges = {{kHsT0, 0x10000},
+                     {kHsT1, 0x10000},
+                     {kHsPow, 0x10000}};
     w.description = "5-point stencil thermal simulation, " +
                     std::to_string(kHsTiles) + " tiles of " +
                     std::to_string(kHsRows) + "x" +

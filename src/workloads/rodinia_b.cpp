@@ -82,6 +82,9 @@ makeKmeans()
     Workload w;
     w.name = "kmeans";
     w.suite = "rodinia";
+    w.data_ranges = {{kKmPts, 0x4000},
+                     {kKmCent, 0x1000},
+                     {kKmAssign, 0x10000}};
     w.description = "nearest-centroid assignment of 768 2-D points to "
                     "4 centroids (distance + argmin)";
     w.profile = Profile::Compute;
@@ -170,6 +173,7 @@ makeLavamd()
     Workload w;
     w.name = "lavamd";
     w.suite = "rodinia";
+    w.data_ranges = {{kLmPart, 0x1000}, {kLmForce, 0x10000}};
     w.description = "all-pairs particle force accumulation (" +
                     std::to_string(kLmN) +
                     " bodies, inverse-square with softening)";
@@ -281,6 +285,7 @@ makeLud()
     Workload w;
     w.name = "lud";
     w.suite = "rodinia";
+    w.data_ranges = {{kLudA, 0x10000}};
     w.description = "in-place 32x32 LU decomposition (Doolittle, "
                     "sequential dependences)";
     w.profile = Profile::Compute;
@@ -432,6 +437,9 @@ makeNn()
     Workload w;
     w.name = "nn";
     w.suite = "rodinia";
+    w.data_ranges = {{kNnRec, 0x10000},
+                     {kNnDist, 0x8000},
+                     {kNnMin, 0x8000}};
     w.description = "k-nearest-neighbor distance kernel: euclidean "
                     "distance of 1536 records to a query + min scan";
     w.profile = Profile::Mixed;

@@ -42,6 +42,7 @@ makeNw()
     Workload w;
     w.name = "nw";
     w.suite = "rodinia";
+    w.data_ranges = {{kNwSeq, 0x10000}, {kNwTab, 0x40000}};
     w.description = "Needleman-Wunsch alignment DP (" +
                     std::to_string(kNwTiles) + " independent " +
                     std::to_string(kNwN) + "x" + std::to_string(kNwN) +
@@ -208,6 +209,9 @@ makeParticlefilter()
     Workload w;
     w.name = "particlefilter";
     w.suite = "rodinia";
+    w.data_ranges = {{kPfX, 0x4000},
+                     {kPfW, 0xc000},
+                     {kPfSum, 0x10000}};
     w.description = "particle-filter likelihood weights (Cauchy "
                     "kernel) + per-thread weight sums, 768 particles";
     w.profile = Profile::Compute;
@@ -283,6 +287,9 @@ makePathfinder()
     Workload w;
     w.name = "pathfinder";
     w.suite = "rodinia";
+    w.data_ranges = {{kPfWall, 0x40000},
+                     {kPfBufA, 0x10000},
+                     {kPfBufB, 0x10000}};
     w.description = "grid dynamic programming: dst[j] = wall[r][j] + "
                     "min3(src[j-1..j+1]) over " +
                     std::to_string(kPfTiles) + " column tiles";
@@ -437,6 +444,7 @@ makeSrad()
     Workload w;
     w.name = "srad";
     w.suite = "rodinia";
+    w.data_ranges = {{kSrIn, 0x8000}, {kSrOut, 0x10000}};
     w.description = "speckle-reducing diffusion: per-pixel gradient, "
                     "diffusion coefficient, and update on a " +
                     std::to_string(kSrW) + "x" + std::to_string(kSrH) +

@@ -63,6 +63,9 @@ makeMcf()
     Workload w;
     w.name = "mcf";
     w.suite = "spec";
+    w.data_ranges = {{kMcfNext, 0x80000},
+                     {kMcfVal, 0x80000},
+                     {kMcfOut, 0x10000}};
     w.description = "network-simplex-style pointer chasing: " +
                     std::to_string(kMcfSteps) +
                     " dependent steps over " +
@@ -154,6 +157,7 @@ makeLbm()
     Workload w;
     w.name = "lbm";
     w.suite = "spec";
+    w.data_ranges = {{kLbmFIn, 0x40000}, {kLbmFOut, 0x40000}};
     w.description = "lattice-Boltzmann D2Q5 stream+collide step over a "
                     "64x98 grid (neighbor gathers, double buffered)";
     w.profile = Profile::Memory;
@@ -312,6 +316,10 @@ makeX264()
     Workload w;
     w.name = "x264";
     w.suite = "spec";
+    w.data_ranges = {{kX264Ref, 0x2000},
+                     {kX264Cur, 0x1000},
+                     {kX264Pos, 0x1000},
+                     {kX264Sad, 0x10000}};
     w.description = "video-encoder SAD motion search: 8x8 block vs " +
                     std::to_string(kX264Cands) +
                     " candidate positions in a 64x64 frame";
@@ -411,6 +419,7 @@ makeDeepsjeng()
     Workload w;
     w.name = "deepsjeng";
     w.suite = "spec";
+    w.data_ranges = {{kDsBoards, 0x10000}, {kDsScore, 0x10000}};
     w.description = "chess-engine bitboard evaluation: popcounts, "
                     "shifted attack masks, branchy scoring";
     w.profile = Profile::Control;

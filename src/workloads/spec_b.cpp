@@ -38,6 +38,7 @@ makeLeela()
     Workload w;
     w.name = "leela";
     w.suite = "spec";
+    w.data_ranges = {{kLlBoards, 0x40000}, {kLlOut, 0x10000}};
     w.description = "Go-engine Monte-Carlo playouts: xorshift RNG "
                     "driving random board mutations and scoring";
     w.profile = Profile::Control;
@@ -133,6 +134,9 @@ makeNab()
     Workload w;
     w.name = "nab";
     w.suite = "spec";
+    w.data_ranges = {{kNabPos, 0x10000},
+                     {kNabNbr, 0x10000},
+                     {kNabF, 0x10000}};
     w.description = "molecular-dynamics bonded interactions: distance "
                     "+ softened Coulomb for 2 bonds per atom";
     w.profile = Profile::Compute;
@@ -265,6 +269,9 @@ makeXz()
     Workload w;
     w.name = "xz";
     w.suite = "spec";
+    w.data_ranges = {{kXzData, 0x40000},
+                     {kXzTable, 0x10000},
+                     {kXzLen, 0x10000}};
     w.description = "LZ match finder: hash-table candidate lookup and "
                     "byte-wise match extension over 16 chunks";
     w.profile = Profile::Mixed;
@@ -385,6 +392,9 @@ makeImagick()
     Workload w;
     w.name = "imagick";
     w.suite = "spec";
+    w.data_ranges = {{kImIn, 0x8000},
+                     {kImTmp, 0x8000},
+                     {kImOut, 0x10000}};
     w.description = "image blur: two 5-tap separable convolution "
                     "passes over a " + std::to_string(kImW) + "x" +
                     std::to_string(kImH) + " float image";

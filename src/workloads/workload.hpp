@@ -50,6 +50,16 @@ struct Workload
     /** False for kernels with unbreakable sequential dependences. */
     bool partitionable = true;
 
+    /**
+     * Declared data map: (base, bytes) ranges the kernel may touch in
+     * addition to the program image chunks. Workload buffers live at
+     * fixed addresses materialized with `li` rather than .data symbols,
+     * so the verifier (diag-verify) needs this declaration to reason
+     * about out-of-bounds accesses; ranges are forwarded into
+     * analysis::VerifyOptions::extra_ranges.
+     */
+    std::vector<std::pair<Addr, u32>> data_ranges;
+
     /** Write input data into memory (after the program image loads). */
     std::function<void(SparseMemory &)> init;
     /** Validate outputs written by any correct execution. */

@@ -41,6 +41,7 @@
 #include "asm/assembler.hpp"
 #include "common/log.hpp"
 #include "diag/config.hpp"
+#include "harness/cli.hpp"
 #include "harness/validate.hpp"
 #include "host/parallel.hpp"
 #include "workloads/workload.hpp"
@@ -65,45 +66,10 @@ struct Options
     bool werror = false;
 };
 
-void
-usage()
-{
-    std::printf(
-        "usage: diag-bound [options] [program.s ...]\n"
-        "  --workload NAME      analyze a built-in benchmark kernel\n"
-        "  --all-workloads      analyze every bundled kernel\n"
-        "  --config I4C2|F4C2|F4C16|F4C32   DiAG preset\n"
-        "  --rings N            override the preset's ring count\n"
-        "  --json               emit machine-readable JSON\n"
-        "  --sarif              emit SARIF 2.1.0 (findings only)\n"
-        "  --validate           simulate and cross-check the model\n"
-        "  --slack FRAC         allowed prediction error (0.15)\n"
-        "  --jobs N             host threads (default: hardware "
-        "concurrency)\n"
-        "  --werror             treat warnings as errors\n");
-}
-
-core::DiagConfig
-configByName(const std::string &name)
-{
-    if (name == "I4C2")
-        return core::DiagConfig::i4c2();
-    if (name == "F4C2")
-        return core::DiagConfig::f4c2();
-    if (name == "F4C16")
-        return core::DiagConfig::f4c16();
-    if (name == "F4C32")
-        return core::DiagConfig::f4c32();
-    fatal("unknown DiAG configuration '%s'", name.c_str());
-}
-
 core::DiagConfig
 engineConfig(const Options &opt)
 {
-    core::DiagConfig cfg = configByName(opt.config);
-    if (opt.rings != 0)
-        cfg.num_rings = opt.rings;
-    return cfg;
+    return harness::configWithRings(opt.config, opt.rings);
 }
 
 std::string
@@ -213,47 +179,35 @@ int
 main(int argc, char **argv)
 {
     Options opt;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            fatal_if(i + 1 >= argc, "missing value for %s",
-                     arg.c_str());
-            return argv[++i];
-        };
-        if (arg == "--workload") {
-            opt.workload = next();
-        } else if (arg == "--all-workloads") {
-            opt.all_workloads = true;
-        } else if (arg == "--config") {
-            opt.config = next();
-        } else if (arg == "--rings") {
-            opt.rings = static_cast<unsigned>(std::stoul(next()));
-        } else if (arg == "--slack") {
-            opt.slack = std::stod(next());
-        } else if (arg == "--jobs") {
-            opt.jobs = static_cast<unsigned>(std::stoul(next()));
-        } else if (arg == "--json") {
-            opt.json = true;
-        } else if (arg == "--sarif") {
-            opt.sarif = true;
-        } else if (arg == "--validate") {
-            opt.validate = true;
-        } else if (arg == "--werror") {
-            opt.werror = true;
-        } else if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else if (!arg.empty() && arg[0] != '-') {
-            opt.files.push_back(arg);
-        } else {
-            usage();
-            return 2;
-        }
+    harness::ArgParser ap("diag-bound", "[program.s ...]");
+    ap.option("--workload", &opt.workload, "NAME",
+              "analyze a built-in benchmark kernel")
+        .flag("--all-workloads", &opt.all_workloads,
+              "analyze every bundled kernel")
+        .configFlag(&opt.config)
+        .option("--rings", &opt.rings, "N",
+                "override the preset's ring count")
+        .jsonFlag(&opt.json)
+        .sarifFlag(&opt.sarif)
+        .flag("--validate", &opt.validate,
+              "simulate and cross-check the model")
+        .option("--slack", &opt.slack, "FRAC",
+                "allowed prediction error (default 0.15)")
+        .jobsFlag(&opt.jobs)
+        .werrorFlag(&opt.werror)
+        .operands(&opt.files);
+    switch (ap.parse(argc, argv)) {
+    case harness::ArgParser::Status::Help:
+        return 0;
+    case harness::ArgParser::Status::Usage:
+        return 2;
+    case harness::ArgParser::Status::Run:
+        break;
     }
 
     if (!opt.all_workloads && opt.workload.empty() &&
         opt.files.empty()) {
-        usage();
+        ap.usage();
         return 2;
     }
 

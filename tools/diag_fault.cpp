@@ -28,44 +28,12 @@
 
 #include "common/log.hpp"
 #include "fault/campaign.hpp"
+#include "harness/cli.hpp"
 
 using namespace diag;
 
 namespace
 {
-
-void
-usage()
-{
-    std::printf(
-        "usage: diag-fault --workload NAME [options]\n"
-        "  --config I4C2|F4C2|F4C16|F4C32   DiAG preset (F4C16)\n"
-        "  --trials N           injections to run (default 20)\n"
-        "  --seed S             campaign seed (bit-reproducible)\n"
-        "  --sites LIST         lane,timing,pe,stuck,memlane,\n"
-        "                       memdata,cache,all (default all)\n"
-        "  --no-parity          disable lane parity\n"
-        "  --no-lockstep        disable the golden-lockstep oracle\n"
-        "  --jobs N             host threads (default: hardware "
-        "concurrency)\n"
-        "  --json FILE          write JSON report (\"-\" = stdout)\n"
-        "  --assert-no-sdc      exit 1 on any undetected SDC\n"
-        "  --verbose            narrate every trial\n");
-}
-
-core::DiagConfig
-configByName(const std::string &name)
-{
-    if (name == "I4C2")
-        return core::DiagConfig::i4c2();
-    if (name == "F4C2")
-        return core::DiagConfig::f4c2();
-    if (name == "F4C16")
-        return core::DiagConfig::f4c16();
-    if (name == "F4C32")
-        return core::DiagConfig::f4c32();
-    fatal("unknown DiAG configuration '%s'", name.c_str());
-}
 
 void
 printSummary(const fault::CampaignReport &rep)
@@ -110,52 +78,51 @@ main(int argc, char **argv)
 {
     fault::CampaignSpec spec;
     spec.jobs = 0;  // CLI default: one host worker per hardware thread
+    std::string config_name = spec.config.name;
+    std::string sites;
     std::string json_path;
+    bool no_parity = false;
+    bool no_lockstep = false;
     bool assert_no_sdc = false;
     bool verbose = false;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            fatal_if(i + 1 >= argc, "missing value for %s",
-                     arg.c_str());
-            return argv[++i];
-        };
-        if (arg == "--workload") {
-            spec.workload = next();
-        } else if (arg == "--config") {
-            spec.config = configByName(next());
-        } else if (arg == "--trials") {
-            spec.trials =
-                static_cast<unsigned>(std::stoul(next()));
-        } else if (arg == "--seed") {
-            spec.seed = std::stoull(next());
-        } else if (arg == "--sites") {
-            const std::string list = next();
-            spec.site_mask = fault::parseSiteMask(list);
-            fatal_if(spec.site_mask == 0,
-                     "bad --sites list '%s'", list.c_str());
-        } else if (arg == "--no-parity") {
-            spec.parity = false;
-        } else if (arg == "--no-lockstep") {
-            spec.lockstep = false;
-        } else if (arg == "--jobs") {
-            spec.jobs = static_cast<unsigned>(std::stoul(next()));
-        } else if (arg == "--json") {
-            json_path = next();
-        } else if (arg == "--assert-no-sdc") {
-            assert_no_sdc = true;
-        } else if (arg == "--verbose") {
-            verbose = true;
-        } else if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else {
-            usage();
-            fatal("unknown option '%s'", arg.c_str());
-        }
+    harness::ArgParser ap("diag-fault");
+    ap.option("--workload", &spec.workload, "NAME",
+              "the benchmark kernel to inject into (required)")
+        .configFlag(&config_name)
+        .option("--trials", &spec.trials, "N",
+                "injections to run (default 20)")
+        .seedFlag(&spec.seed)
+        .option("--sites", &sites, "LIST",
+                "lane,timing,pe,stuck,memlane,memdata,cache,all "
+                "(default all)")
+        .flag("--no-parity", &no_parity,
+              "disable the lane-parity detector")
+        .flag("--no-lockstep", &no_lockstep,
+              "disable the golden-lockstep oracle")
+        .jobsFlag(&spec.jobs)
+        .option("--json", &json_path, "FILE",
+                "write the JSON report to FILE (\"-\" = stdout)")
+        .flag("--assert-no-sdc", &assert_no_sdc,
+              "exit 1 on any undetected SDC")
+        .flag("--verbose", &verbose, "narrate every trial");
+    switch (ap.parse(argc, argv)) {
+    case harness::ArgParser::Status::Help:
+        return 0;
+    case harness::ArgParser::Status::Usage:
+        return 1;
+    case harness::ArgParser::Status::Run:
+        break;
     }
+    spec.config = harness::configByName(config_name);
+    if (!sites.empty()) {
+        spec.site_mask = fault::parseSiteMask(sites);
+        fatal_if(spec.site_mask == 0, "bad --sites list '%s'",
+                 sites.c_str());
+    }
+    spec.parity = !no_parity;
+    spec.lockstep = !no_lockstep;
     if (spec.workload.empty()) {
-        usage();
+        ap.usage();
         fatal("--workload is required");
     }
 

@@ -31,6 +31,7 @@
 #include "asm/assembler.hpp"
 #include "common/log.hpp"
 #include "diag/config.hpp"
+#include "harness/cli.hpp"
 #include "workloads/workload.hpp"
 
 using namespace diag;
@@ -53,40 +54,11 @@ struct Options
 /** Units accumulated for the single SARIF document. */
 std::vector<std::pair<std::string, analysis::LintResult>> g_sarif_units;
 
-void
-usage()
-{
-    std::printf(
-        "usage: diag-lint [options] [program.s ...]\n"
-        "  --workload NAME      lint a built-in benchmark kernel\n"
-        "  --all-workloads      lint every bundled kernel\n"
-        "  --config I4C2|F4C2|F4C16|F4C32   DiAG preset\n"
-        "  --rings N            override the preset's ring count\n"
-        "  --json               emit machine-readable JSON\n"
-        "  --sarif              emit SARIF 2.1.0\n"
-        "  --werror             treat warnings as errors\n");
-}
-
-core::DiagConfig
-configByName(const std::string &name)
-{
-    if (name == "I4C2")
-        return core::DiagConfig::i4c2();
-    if (name == "F4C2")
-        return core::DiagConfig::f4c2();
-    if (name == "F4C16")
-        return core::DiagConfig::f4c16();
-    if (name == "F4C32")
-        return core::DiagConfig::f4c32();
-    fatal("unknown DiAG configuration '%s'", name.c_str());
-}
-
 analysis::LintOptions
 lintOptions(const Options &opt, bool abi_entry)
 {
-    core::DiagConfig cfg = configByName(opt.config);
-    if (opt.rings != 0)
-        cfg.num_rings = opt.rings;
+    const core::DiagConfig cfg =
+        harness::configWithRings(opt.config, opt.rings);
     analysis::LintOptions lo =
         abi_entry ? analysis::LintOptions::abiEntry()
                   : analysis::LintOptions{};
@@ -142,36 +114,25 @@ int
 main(int argc, char **argv)
 {
     Options opt;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            fatal_if(i + 1 >= argc, "missing value for %s",
-                     arg.c_str());
-            return argv[++i];
-        };
-        if (arg == "--workload") {
-            opt.workload = next();
-        } else if (arg == "--all-workloads") {
-            opt.all_workloads = true;
-        } else if (arg == "--config") {
-            opt.config = next();
-        } else if (arg == "--rings") {
-            opt.rings = static_cast<unsigned>(std::stoul(next()));
-        } else if (arg == "--json") {
-            opt.json = true;
-        } else if (arg == "--sarif") {
-            opt.sarif = true;
-        } else if (arg == "--werror") {
-            opt.werror = true;
-        } else if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else if (!arg.empty() && arg[0] != '-') {
-            opt.files.push_back(arg);
-        } else {
-            usage();
-            return 2;
-        }
+    harness::ArgParser ap("diag-lint", "[program.s ...]");
+    ap.option("--workload", &opt.workload, "NAME",
+              "lint a built-in benchmark kernel")
+        .flag("--all-workloads", &opt.all_workloads,
+              "lint every bundled kernel (both variants)")
+        .configFlag(&opt.config)
+        .option("--rings", &opt.rings, "N",
+                "override the preset's ring count")
+        .jsonFlag(&opt.json)
+        .sarifFlag(&opt.sarif)
+        .werrorFlag(&opt.werror)
+        .operands(&opt.files);
+    switch (ap.parse(argc, argv)) {
+    case harness::ArgParser::Status::Help:
+        return 0;
+    case harness::ArgParser::Status::Usage:
+        return 2;
+    case harness::ArgParser::Status::Run:
+        break;
     }
 
     int bad = 0;
@@ -193,7 +154,7 @@ main(int argc, char **argv)
     }
     if (!opt.all_workloads && opt.workload.empty() &&
         opt.files.empty()) {
-        usage();
+        ap.usage();
         return 2;
     }
     if (opt.sarif)

@@ -41,6 +41,7 @@
 #include "asm/assembler.hpp"
 #include "common/log.hpp"
 #include "diag/processor.hpp"
+#include "harness/cli.hpp"
 #include "harness/runner.hpp"
 #include "host/parallel.hpp"
 #include "harness/validate.hpp"
@@ -137,54 +138,6 @@ writeStatsJson(const Options &opt, const sim::RunStats &rs)
 }
 
 void
-usage()
-{
-    std::printf(
-        "usage: diag-run [options] [program.s]\n"
-        "  --engine diag|ooo|golden   execution engine (default diag)\n"
-        "  --config I4C2|F4C2|F4C16|F4C32   DiAG preset\n"
-        "  --threads N                software threads\n"
-        "  --workload NAME            run a built-in benchmark kernel\n"
-        "  --simt                     use the simt-annotated variant\n"
-        "  --list-workloads           list the benchmark inventory\n"
-        "  --stats                    dump all model counters\n"
-        "  --regs                     dump final integer registers\n"
-        "  --max-insts N              instruction budget\n"
-        "  --max-cycles N             cycle ceiling (timeout)\n"
-        "  --golden-diff              diff final state vs golden\n"
-        "  --diff-fuzz N              differential fuzz N seeds\n"
-        "  --jobs N                   host threads for --diff-fuzz\n"
-        "                             (default: hardware concurrency)\n"
-        "  --validate                 cross-check vs the static bound\n"
-        "  --seed S                   base seed for --diff-fuzz\n"
-        "  --trace FILE               write a Chrome/Perfetto trace\n"
-        "                             (diag engine only)\n"
-        "  --trace-events LIST        comma list of event kinds, or\n"
-        "                             'all'/'default' (default skips\n"
-        "                             lane-write)\n"
-        "  --metrics FILE             write IPC/occupancy time series\n"
-        "  --metrics-stride N         sample bucket width in cycles\n"
-        "                             (default 1000 with --metrics)\n"
-        "  --stats-json FILE          byte-stable JSON counter dump\n"
-        "exit codes: 0 pass, 1 error, 2 wrong result (SDC), "
-        "3 timeout, 4 trap\n");
-}
-
-core::DiagConfig
-configByName(const std::string &name)
-{
-    if (name == "I4C2")
-        return core::DiagConfig::i4c2();
-    if (name == "F4C2")
-        return core::DiagConfig::f4c2();
-    if (name == "F4C16")
-        return core::DiagConfig::f4c16();
-    if (name == "F4C32")
-        return core::DiagConfig::f4c32();
-    fatal("unknown DiAG configuration '%s'", name.c_str());
-}
-
-void
 listWorkloads()
 {
     auto show = [](const workloads::Workload &w) {
@@ -260,7 +213,7 @@ runWorkload(const Options &opt)
     }
     harness::EngineRun run;
     if (opt.engine == "diag") {
-        core::DiagConfig cfg = configByName(opt.config);
+        core::DiagConfig cfg = harness::configByName(opt.config);
         if (opt.max_cycles)
             cfg.max_cycles = opt.max_cycles;
         run = harness::runOnDiag(cfg, w, spec);
@@ -287,7 +240,7 @@ runWorkload(const Options &opt)
         fatal_if(opt.engine != "diag",
                  "--validate checks the diag engine's timing");
         const harness::ValidationReport rep = harness::validateBound(
-            configByName(opt.config), w, opt.simt);
+            harness::configByName(opt.config), w, opt.simt);
         std::printf("%s", harness::renderValidation(rep).c_str());
         if (!rep.ok()) {
             std::printf("FAIL (exit 2): static bound validation "
@@ -344,7 +297,7 @@ runProgram(const Options &opt, const Program &prog,
         if (mem_out)
             *mem_out = proc.memory();
     } else {
-        core::DiagConfig cfg = configByName(opt.config);
+        core::DiagConfig cfg = harness::configByName(opt.config);
         if (opt.max_cycles)
             cfg.max_cycles = opt.max_cycles;
         core::DiagProcessor proc(cfg);
@@ -516,87 +469,74 @@ int
 main(int argc, char **argv)
 {
     Options opt;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        // Accept both "--opt value" and "--opt=value".
-        std::string inline_val;
-        bool has_inline = false;
-        if (arg.rfind("--", 0) == 0) {
-            const size_t eq = arg.find('=');
-            if (eq != std::string::npos) {
-                inline_val = arg.substr(eq + 1);
-                arg.resize(eq);
-                has_inline = true;
-            }
-        }
-        auto next = [&]() -> std::string {
-            if (has_inline)
-                return inline_val;
-            fatal_if(i + 1 >= argc, "missing value for %s",
-                     arg.c_str());
-            return argv[++i];
-        };
-        if (arg == "--engine") {
-            opt.engine = next();
-        } else if (arg == "--config") {
-            opt.config = next();
-        } else if (arg == "--threads") {
-            opt.threads = static_cast<unsigned>(std::stoul(next()));
-        } else if (arg == "--workload") {
-            opt.workload = next();
-        } else if (arg == "--simt") {
-            opt.simt = true;
-        } else if (arg == "--stats") {
-            opt.stats = true;
-        } else if (arg == "--regs") {
-            opt.regs = true;
-        } else if (arg == "--max-insts") {
-            opt.max_insts = std::stoull(next());
-        } else if (arg == "--max-cycles") {
-            opt.max_cycles = std::stoull(next());
-        } else if (arg == "--golden-diff") {
-            opt.golden_diff = true;
-        } else if (arg == "--validate") {
-            opt.validate = true;
-        } else if (arg == "--diff-fuzz") {
-            opt.diff_fuzz =
-                static_cast<unsigned>(std::stoul(next()));
-        } else if (arg == "--seed") {
-            opt.seed = std::stoull(next());
-        } else if (arg == "--jobs") {
-            opt.jobs = static_cast<unsigned>(std::stoul(next()));
-        } else if (arg == "--trace") {
-            opt.trace_file = next();
-        } else if (arg == "--trace-events") {
-            std::string bad;
-            fatal_if(!trace::parseEventMask(next(), opt.trace_events,
-                                            bad),
-                     "unknown trace event kind '%s'", bad.c_str());
-        } else if (arg == "--metrics") {
-            opt.metrics_file = next();
-        } else if (arg == "--metrics-stride") {
-            opt.metrics_stride = std::stoull(next());
-        } else if (arg == "--stats-json") {
-            opt.stats_json = next();
-        } else if (arg == "--list-workloads") {
-            listWorkloads();
-            return 0;
-        } else if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else if (!arg.empty() && arg[0] != '-') {
-            opt.file = arg;
-        } else {
-            usage();
-            fatal("unknown option '%s'", arg.c_str());
-        }
+    std::vector<std::string> files;
+    std::string trace_events;
+    bool list_workloads = false;
+    harness::ArgParser ap("diag-run", "[program.s]");
+    ap.option("--engine", &opt.engine, "diag|ooo|golden",
+              "execution engine (default diag)")
+        .configFlag(&opt.config)
+        .option("--threads", &opt.threads, "N", "software threads")
+        .option("--workload", &opt.workload, "NAME",
+                "run a built-in benchmark kernel")
+        .flag("--simt", &opt.simt,
+              "use the simt-annotated variant")
+        .flag("--list-workloads", &list_workloads,
+              "list the benchmark inventory")
+        .flag("--stats", &opt.stats, "dump all model counters")
+        .flag("--regs", &opt.regs, "dump final integer registers")
+        .option("--max-insts", &opt.max_insts, "N",
+                "instruction budget")
+        .option("--max-cycles", &opt.max_cycles, "N",
+                "cycle ceiling (timeout)")
+        .flag("--golden-diff", &opt.golden_diff,
+              "diff final state vs golden")
+        .option("--diff-fuzz", &opt.diff_fuzz, "N",
+                "differential fuzz N seeds")
+        .jobsFlag(&opt.jobs)
+        .flag("--validate", &opt.validate,
+              "cross-check vs the static bound")
+        .seedFlag(&opt.seed)
+        .option("--trace", &opt.trace_file, "FILE",
+                "write a Chrome/Perfetto trace (diag engine only)")
+        .option("--trace-events", &trace_events, "LIST",
+                "comma list of event kinds, or 'all'/'default' "
+                "(default skips lane-write)")
+        .option("--metrics", &opt.metrics_file, "FILE",
+                "write IPC/occupancy time series")
+        .option("--metrics-stride", &opt.metrics_stride, "N",
+                "sample bucket width in cycles (default 1000 with "
+                "--metrics)")
+        .option("--stats-json", &opt.stats_json, "FILE",
+                "byte-stable JSON counter dump")
+        .operands(&files);
+    switch (ap.parse(argc, argv)) {
+    case harness::ArgParser::Status::Help:
+        return 0;
+    case harness::ArgParser::Status::Usage:
+        return 1;
+    case harness::ArgParser::Status::Run:
+        break;
     }
+    if (list_workloads) {
+        listWorkloads();
+        return 0;
+    }
+    if (!trace_events.empty()) {
+        std::string bad;
+        fatal_if(!trace::parseEventMask(trace_events,
+                                        opt.trace_events, bad),
+                 "unknown trace event kind '%s'", bad.c_str());
+    }
+    fatal_if(files.size() > 1, "more than one program file given");
+    if (!files.empty())
+        opt.file = files.front();
     if (opt.diff_fuzz > 0)
         return runDiffFuzz(opt);
     if (!opt.workload.empty())
         return runWorkload(opt);
     if (opt.file.empty()) {
-        usage();
+        ap.usage();
         fatal("no program file or --workload given");
     }
     return runFile(opt);

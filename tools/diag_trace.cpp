@@ -32,6 +32,7 @@
 
 #include "asm/assembler.hpp"
 #include "common/log.hpp"
+#include "harness/cli.hpp"
 #include "harness/runner.hpp"
 #include "harness/validate.hpp"
 #include "host/parallel.hpp"
@@ -58,40 +59,6 @@ struct Options
     u64 metrics_stride = 0;
 };
 
-void
-usage()
-{
-    std::printf(
-        "usage: diag-trace --workload NAME [options]\n"
-        "       diag-trace --all-workloads [options]\n"
-        "  --config I4C2|F4C2|F4C16|F4C32   DiAG preset\n"
-        "  --simt                     run the simt-annotated variant\n"
-        "  --threads N                software threads\n"
-        "  --out FILE                 write a Chrome/Perfetto trace\n"
-        "  --metrics FILE             write IPC/occupancy time series\n"
-        "  --metrics-stride N         sample bucket width in cycles\n"
-        "                             (default 1000 with --metrics)\n"
-        "  --events LIST              comma list of event kinds, or\n"
-        "                             'all'/'default'\n"
-        "  --attribution-json FILE    machine-readable attribution\n"
-        "  --jobs N                   host threads (--all-workloads)\n"
-        "exit codes: 0 pass, 1 error, 2 run failed\n");
-}
-
-core::DiagConfig
-configByName(const std::string &name)
-{
-    if (name == "I4C2")
-        return core::DiagConfig::i4c2();
-    if (name == "F4C2")
-        return core::DiagConfig::f4c2();
-    if (name == "F4C16")
-        return core::DiagConfig::f4c16();
-    if (name == "F4C32")
-        return core::DiagConfig::f4c32();
-    fatal("unknown DiAG configuration '%s'", name.c_str());
-}
-
 /** One traced run plus its attribution (the per-workload work unit,
  *  self-contained so --all-workloads can fan it out per worker). */
 struct TracedRun
@@ -104,7 +71,8 @@ struct TracedRun
 TracedRun
 traceOne(const Options &opt, const workloads::Workload &w, bool simt)
 {
-    const core::DiagConfig cfg = configByName(opt.config);
+    const core::DiagConfig cfg =
+        harness::configByName(opt.config);
 
     trace::TraceConfig tc;
     tc.event_mask = opt.events;
@@ -233,61 +201,45 @@ int
 main(int argc, char **argv)
 {
     Options opt;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        std::string inline_val;
-        bool has_inline = false;
-        if (arg.rfind("--", 0) == 0) {
-            const size_t eq = arg.find('=');
-            if (eq != std::string::npos) {
-                inline_val = arg.substr(eq + 1);
-                arg.resize(eq);
-                has_inline = true;
-            }
-        }
-        auto next = [&]() -> std::string {
-            if (has_inline)
-                return inline_val;
-            fatal_if(i + 1 >= argc, "missing value for %s",
-                     arg.c_str());
-            return argv[++i];
-        };
-        if (arg == "--config") {
-            opt.config = next();
-        } else if (arg == "--workload") {
-            opt.workload = next();
-        } else if (arg == "--simt") {
-            opt.simt = true;
-        } else if (arg == "--all-workloads") {
-            opt.all_workloads = true;
-        } else if (arg == "--threads") {
-            opt.threads = static_cast<unsigned>(std::stoul(next()));
-        } else if (arg == "--jobs") {
-            opt.jobs = static_cast<unsigned>(std::stoul(next()));
-        } else if (arg == "--out") {
-            opt.out_file = next();
-        } else if (arg == "--metrics") {
-            opt.metrics_file = next();
-        } else if (arg == "--metrics-stride") {
-            opt.metrics_stride = std::stoull(next());
-        } else if (arg == "--events") {
-            std::string bad;
-            fatal_if(!trace::parseEventMask(next(), opt.events, bad),
-                     "unknown trace event kind '%s'", bad.c_str());
-        } else if (arg == "--attribution-json") {
-            opt.attribution_json = next();
-        } else if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else {
-            usage();
-            fatal("unknown option '%s'", arg.c_str());
-        }
+    std::string events;
+    harness::ArgParser ap("diag-trace");
+    ap.option("--workload", &opt.workload, "NAME",
+              "trace a built-in benchmark kernel")
+        .flag("--all-workloads", &opt.all_workloads,
+              "sweep every simt-annotated kernel")
+        .configFlag(&opt.config)
+        .flag("--simt", &opt.simt, "run the simt-annotated variant")
+        .option("--threads", &opt.threads, "N",
+                "software threads (default 1)")
+        .option("--out", &opt.out_file, "FILE",
+                "write a Chrome/Perfetto trace")
+        .option("--metrics", &opt.metrics_file, "FILE",
+                "write IPC/occupancy time series")
+        .option("--metrics-stride", &opt.metrics_stride, "N",
+                "sample bucket width in cycles (default 1000 with "
+                "--metrics)")
+        .option("--events", &events, "LIST",
+                "comma list of event kinds, or 'all'/'default'")
+        .option("--attribution-json", &opt.attribution_json, "FILE",
+                "machine-readable attribution")
+        .jobsFlag(&opt.jobs);
+    switch (ap.parse(argc, argv)) {
+    case harness::ArgParser::Status::Help:
+        return 0;
+    case harness::ArgParser::Status::Usage:
+        return 1;
+    case harness::ArgParser::Status::Run:
+        break;
+    }
+    if (!events.empty()) {
+        std::string bad;
+        fatal_if(!trace::parseEventMask(events, opt.events, bad),
+                 "unknown trace event kind '%s'", bad.c_str());
     }
     if (opt.all_workloads)
         return runAll(opt);
     if (opt.workload.empty()) {
-        usage();
+        ap.usage();
         fatal("no --workload or --all-workloads given");
     }
     return runSingle(opt);
