@@ -37,6 +37,13 @@ DiagProcessor::attachFaults(fault::FaultController *fc)
 }
 
 void
+DiagProcessor::attachCancel(const host::CancelToken *t)
+{
+    for (auto &ring : rings_)
+        ring->setCancelToken(t);
+}
+
+void
 DiagProcessor::attachTrace(trace::Tracer *t)
 {
     trc_ = t;

@@ -83,6 +83,15 @@ class DiagProcessor
     void attachTrace(trace::Tracer *t);
 
     /**
+     * Attach (or detach with nullptr) a cooperative cancellation
+     * token (host::CancelToken): every ring polls it at activation
+     * boundaries and a fired token stops the run with a structured
+     * timeout (stop_reason "host watchdog: ..."). The caller keeps
+     * ownership; the token must outlive the run.
+     */
+    void attachCancel(const host::CancelToken *t);
+
+    /**
      * Run @p prog single-threaded on ring 0. Loads the program image
      * into memory first.
      */

@@ -205,7 +205,22 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
         res.final_regs = regs;
     };
 
+    u64 activations = 0;
     while (retired < max_insts) {
+        // Cooperative host cancellation / wall-clock watchdog: the
+        // flag is one atomic load per activation; the deadline (a
+        // clock read) is consulted on the first activation and every
+        // 64th after, so an already-expired token stops before any
+        // work and a pathological seed stops within one check window.
+        if (cancel_ &&
+            (cancel_->cancelled() ||
+             ((activations++ & 63) == 0 && cancel_->expired()))) {
+            res.timed_out = true;
+            stop(std::max(pc_enter, min_start), pc,
+                 detail::vformat("host watchdog: %s",
+                                 cancel_->reason()));
+            return res;
+        }
         // Hardware trap: a misaligned PC (reachable through jalr off a
         // corrupted lane — the ISA masks only bit 0) cannot address an
         // I-line slot.

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "diag/activation.hpp"
+#include "host/cancel.hpp"
 #include "mem/bus.hpp"
 
 namespace diag::core
@@ -62,6 +63,16 @@ class Ring
      *  never alters timing — a traced run retires on the same cycle
      *  as an untraced one. */
     void setTracer(trace::Tracer *t);
+
+    /**
+     * Attach (or detach with nullptr) a cooperative cancellation
+     * token. runThread polls it at activation boundaries (the
+     * cancelled flag every activation, the wall-clock deadline every
+     * 64th) and stops with a structured timeout when it fires. Host
+     * policy only: an uncancelled run computes cycle-identical results
+     * with or without a token attached.
+     */
+    void setCancelToken(const host::CancelToken *t) { cancel_ = t; }
 
     /** Pre-validate a simt region starting at @p simt_s_pc. Public so
      *  tests can check it agrees with the static analyzer. */
@@ -134,6 +145,7 @@ class Ring
     u32 line_bytes_;
     fault::FaultController *faults_ = nullptr; //!< null = no injection
     trace::Tracer *trc_ = nullptr;             //!< null = tracing off
+    const host::CancelToken *cancel_ = nullptr; //!< null = no watchdog
 };
 
 } // namespace diag::core

@@ -96,7 +96,11 @@ tallyOutcome(SiteSummary &sum, const TrialRecord &rec)
             ++sum.recovered;
         break;
       case Outcome::Sdc: ++sum.sdc; break;
-      case Outcome::Hang: ++sum.hang; break;
+      case Outcome::Hang:
+        ++sum.hang;
+        if (rec.host_timed_out)
+            ++sum.host_timed_out;
+        break;
     }
 }
 
@@ -106,14 +110,15 @@ summaryJson(const SiteSummary &sum)
     return detail::vformat(
         "{\"trials\":%llu,\"fired\":%llu,\"masked\":%llu,"
         "\"detected\":%llu,\"recovered\":%llu,\"sdc\":%llu,"
-        "\"hang\":%llu}",
+        "\"hang\":%llu,\"host_timed_out\":%llu}",
         static_cast<unsigned long long>(sum.trials),
         static_cast<unsigned long long>(sum.fired),
         static_cast<unsigned long long>(sum.masked),
         static_cast<unsigned long long>(sum.detected),
         static_cast<unsigned long long>(sum.recovered),
         static_cast<unsigned long long>(sum.sdc),
-        static_cast<unsigned long long>(sum.hang));
+        static_cast<unsigned long long>(sum.hang),
+        static_cast<unsigned long long>(sum.host_timed_out));
 }
 
 /**
@@ -141,6 +146,10 @@ runTrial(const TrialContext &ctx, unsigned t)
     TrialRecord rec;
     rec.index = t;
     rec.seed = trialSeed(ctx.spec.seed, t);
+    // Campaign-level cancel is honoured at trial boundaries: a trial
+    // that never starts stays executed=false (tallied as skipped).
+    if (ctx.spec.cancel && ctx.spec.cancel->stopRequested())
+        return rec;
 
     const FaultPlan plan = FaultPlan::random(rec.seed, ctx.pspec);
     rec.site = plan.events[0].site;
@@ -161,10 +170,20 @@ runTrial(const TrialContext &ctx, unsigned t)
     ctx.w.init(proc.memory());
     proc.warmCaches();
     proc.attachFaults(&fc);
+    // Host watchdog: a pathological injected fault can in principle
+    // drive the model into a state the in-sim budgets bound only
+    // slowly; the wall-clock cap guarantees the campaign finishes.
+    host::CancelToken watchdog;
+    if (ctx.spec.host_trial_timeout_ms > 0) {
+        watchdog =
+            host::CancelToken::withTimeout(ctx.spec.host_trial_timeout_ms);
+        proc.attachCancel(&watchdog);
+    }
     const std::vector<core::ThreadSpec> specs{
         {ctx.prog.entry, {{isa::RegId{10}, 0}, {isa::RegId{11}, 1}}}};
     const sim::RunStats stats =
         proc.runThreads(ctx.prog, specs, ctx.inst_budget);
+    proc.attachCancel(nullptr);
 
     const FaultTally &tally = fc.tally();
     rec.fired = tally.injected > 0;
@@ -183,7 +202,13 @@ runTrial(const TrialContext &ctx, unsigned t)
     const bool mem_ok = memoryMatches(proc.memory(), ctx.ref_mem);
     if (stats.timed_out) {
         rec.outcome = Outcome::Hang;
-        rec.detector = "watchdog";
+        // Substring, not prefix: multi-thread runs wrap the reason
+        // as "thread N: host watchdog: ...".
+        rec.host_timed_out = stats.stop_reason.find(
+                                 "host watchdog") !=
+                             std::string::npos;
+        rec.detector = rec.host_timed_out ? "host-watchdog"
+                                          : "watchdog";
     } else if (stats.aborted) {
         rec.outcome = Outcome::Detected;
         rec.detector = tally.lockstep_detections ? "lockstep"
@@ -209,6 +234,7 @@ runTrial(const TrialContext &ctx, unsigned t)
                rec.detector.empty() ? "" : " by ",
                rec.detector.c_str());
     }
+    rec.executed = true;
     return rec;
 }
 
@@ -305,10 +331,17 @@ runCampaign(const CampaignSpec &spec, bool verbose)
         spec.jobs, spec.trials,
         [&ctx](size_t t) {
             return runTrial(ctx, static_cast<unsigned>(t));
-        });
+        },
+        spec.cancel);
 
-    // Order-dependent aggregation stays on the merging thread.
+    // Order-dependent aggregation stays on the merging thread. A
+    // cancelled campaign leaves default-constructed (or boundary-
+    // skipped) records behind; those count only as skipped.
     for (const TrialRecord &rec : report.trials) {
+        if (!rec.executed) {
+            ++report.skipped;
+            continue;
+        }
         tallyOutcome(report.total, rec);
         tallyOutcome(
             report.by_site[static_cast<unsigned>(rec.site)], rec);
@@ -335,6 +368,9 @@ CampaignReport::renderJson() const
         static_cast<unsigned long long>(baseline_cycles),
         static_cast<unsigned long long>(baseline_insts));
     out += "  \"summary\": " + summaryJson(total) + ",\n";
+    out += detail::vformat(
+        "  \"skipped\": %llu,\n",
+        static_cast<unsigned long long>(skipped));
     out += "  \"by_site\": {";
     bool first = true;
     for (unsigned s = 0; s < static_cast<unsigned>(FaultSite::Count);
@@ -350,13 +386,19 @@ CampaignReport::renderJson() const
     out += "\n  },\n  \"trials\": [";
     for (size_t i = 0; i < trials.size(); ++i) {
         const TrialRecord &r = trials[i];
+        if (!r.executed) {
+            out += detail::vformat(
+                "%s\n    {\"index\": %zu, \"skipped\": true}",
+                i ? "," : "", i);
+            continue;
+        }
         out += detail::vformat(
             "%s\n    {\"index\": %u, \"seed\": %llu, \"site\": \"%s\", "
             "\"planned\": \"%s\", \"observed\": \"%s\", "
             "\"fired\": %s, \"outcome\": \"%s\", \"detector\": \"%s\", "
             "\"recovered\": %s, \"cycles\": %llu, "
             "\"instructions\": %llu, \"recoveries\": %llu, "
-            "\"clusters_disabled\": %llu}",
+            "\"clusters_disabled\": %llu, \"host_timed_out\": %s}",
             i ? "," : "", r.index,
             static_cast<unsigned long long>(r.seed), siteName(r.site),
             jsonEscape(r.planned).c_str(),
@@ -366,7 +408,8 @@ CampaignReport::renderJson() const
             static_cast<unsigned long long>(r.cycles),
             static_cast<unsigned long long>(r.instructions),
             static_cast<unsigned long long>(r.recoveries),
-            static_cast<unsigned long long>(r.clusters_disabled));
+            static_cast<unsigned long long>(r.clusters_disabled),
+            r.host_timed_out ? "true" : "false");
     }
     out += "\n  ]\n}\n";
     return out;

@@ -21,6 +21,7 @@
 
 #include "diag/config.hpp"
 #include "fault/plan.hpp"
+#include "host/cancel.hpp"
 
 namespace diag::fault
 {
@@ -38,6 +39,18 @@ struct CampaignSpec
     /** Host threads running trials: 1 = serial, 0 = one per hardware
      *  thread. Never affects the report contents, only wall-clock. */
     unsigned jobs = 1;
+    /**
+     * Wall-clock cap per trial in milliseconds (0 = uncapped). A trial
+     * that exceeds it is stopped by the host watchdog and classified
+     * Hang with detector "host-watchdog" — a pathological seed can
+     * degrade one trial, never wedge the whole campaign (or CI). The
+     * default is far above any healthy trial so reports stay
+     * byte-identical across machines and job counts.
+     */
+    u64 host_trial_timeout_ms = 120000;
+    /** Optional campaign-level cancel: trials not yet started when the
+     *  token fires are recorded as skipped. Must outlive runCampaign. */
+    const host::CancelToken *cancel = nullptr;
 };
 
 /**
@@ -75,6 +88,10 @@ struct TrialRecord
     u64 instructions = 0;
     u64 recoveries = 0;
     u64 clusters_disabled = 0;
+    /** Host watchdog stopped the trial (wall-clock, not cycles). */
+    bool host_timed_out = false;
+    /** Trial ran to completion (false = skipped by campaign cancel). */
+    bool executed = false;
 };
 
 /** Per-site aggregate. */
@@ -87,6 +104,7 @@ struct SiteSummary
     u64 recovered = 0;
     u64 sdc = 0;
     u64 hang = 0;
+    u64 host_timed_out = 0; //!< hangs stopped by the host watchdog
 };
 
 /** Full campaign result. */
@@ -96,6 +114,7 @@ struct CampaignReport
     Cycle baseline_cycles = 0;  //!< fault-free DiAG run
     u64 baseline_insts = 0;     //!< golden dynamic instruction count
     std::vector<TrialRecord> trials;
+    u64 skipped = 0; //!< trials not run because the campaign cancelled
     SiteSummary total;
     SiteSummary by_site[static_cast<unsigned>(FaultSite::Count)];
 

@@ -1,7 +1,11 @@
 #include "harness/cli.hpp"
 
+#include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <stdexcept>
 
 #include "common/log.hpp"
 
@@ -129,8 +133,25 @@ ArgParser::usage() const
 }
 
 ArgParser::Status
+ArgParser::usageError(const char *fmt, ...) const
+{
+    va_list ap;
+    va_start(ap, fmt);
+    char msg[256];
+    std::vsnprintf(msg, sizeof(msg), fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "%s: error: %s\n", tool_.c_str(), msg);
+    usage();
+    return Status::Usage;
+}
+
+ArgParser::Status
 ArgParser::parse(int argc, char **argv) const
 {
+    // Flags are set-once: a duplicate is a confused invocation (a
+    // forgotten edit, a copy-pasted pair with different values) and
+    // which one wins should never be a silent coin flip.
+    std::vector<const Flag *> seen;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -138,10 +159,9 @@ ArgParser::parse(int argc, char **argv) const
             return Status::Help;
         }
         if (!arg.empty() && arg[0] != '-') {
-            if (operands_ == nullptr) {
-                usage();
-                return Status::Usage;
-            }
+            if (operands_ == nullptr)
+                return usageError("unexpected operand '%s'",
+                                  arg.c_str());
             operands_->push_back(arg);
             continue;
         }
@@ -160,53 +180,89 @@ ArgParser::parse(int argc, char **argv) const
                 match = &f;
                 break;
             }
-        if (match == nullptr) {
-            usage();
-            return Status::Usage;
-        }
+        if (match == nullptr)
+            return usageError("unknown flag '%s'", arg.c_str());
+        if (std::find(seen.begin(), seen.end(), match) != seen.end())
+            return usageError("duplicate flag %s", arg.c_str());
+        seen.push_back(match);
         if (match->kind == Flag::Kind::Bool) {
-            fatal_if(has_inline, "flag %s takes no value",
-                     arg.c_str());
+            if (has_inline)
+                return usageError("flag %s takes no value",
+                                  arg.c_str());
             *static_cast<bool *>(match->target) = true;
             continue;
         }
-        fatal_if(!has_inline && i + 1 >= argc,
-                 "missing value for %s", arg.c_str());
+        if (!has_inline && i + 1 >= argc)
+            return usageError("missing value for %s", arg.c_str());
         const std::string value =
             has_inline ? inline_val : argv[++i];
-        switch (match->kind) {
-          case Flag::Kind::String:
-            *static_cast<std::string *>(match->target) = value;
-            break;
-          case Flag::Kind::Unsigned:
-            *static_cast<unsigned *>(match->target) =
-                static_cast<unsigned>(std::stoul(value));
-            break;
-          case Flag::Kind::U64:
-            *static_cast<u64 *>(match->target) = std::stoull(value);
-            break;
-          case Flag::Kind::Double:
-            *static_cast<double *>(match->target) = std::stod(value);
-            break;
-          case Flag::Kind::Bool:
-            break;
+        // Numeric flags must consume the whole value: "12x", "", and
+        // out-of-range all get the same crisp diagnostic instead of a
+        // silent truncation or an uncaught std::invalid_argument.
+        try {
+            size_t used = 0;
+            switch (match->kind) {
+              case Flag::Kind::String:
+                *static_cast<std::string *>(match->target) = value;
+                break;
+              case Flag::Kind::Unsigned: {
+                const unsigned long v = std::stoul(value, &used);
+                if (used != value.size() ||
+                    v > std::numeric_limits<unsigned>::max())
+                    throw std::invalid_argument(value);
+                *static_cast<unsigned *>(match->target) =
+                    static_cast<unsigned>(v);
+                break;
+              }
+              case Flag::Kind::U64:
+                *static_cast<u64 *>(match->target) =
+                    std::stoull(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+                break;
+              case Flag::Kind::Double:
+                *static_cast<double *>(match->target) =
+                    std::stod(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+                break;
+              case Flag::Kind::Bool:
+                break;
+            }
+        } catch (const std::exception &) {
+            return usageError(
+                "bad value '%s' for %s (%s expected)", value.c_str(),
+                arg.c_str(),
+                match->kind == Flag::Kind::Double ? "a number"
+                                                  : "an integer");
         }
     }
     return Status::Run;
 }
 
+bool
+tryConfigByName(const std::string &name, core::DiagConfig *out)
+{
+    if (name == "I4C2")
+        *out = core::DiagConfig::i4c2();
+    else if (name == "F4C2")
+        *out = core::DiagConfig::f4c2();
+    else if (name == "F4C16")
+        *out = core::DiagConfig::f4c16();
+    else if (name == "F4C32")
+        *out = core::DiagConfig::f4c32();
+    else
+        return false;
+    return true;
+}
+
 core::DiagConfig
 configByName(const std::string &name)
 {
-    if (name == "I4C2")
-        return core::DiagConfig::i4c2();
-    if (name == "F4C2")
-        return core::DiagConfig::f4c2();
-    if (name == "F4C16")
-        return core::DiagConfig::f4c16();
-    if (name == "F4C32")
-        return core::DiagConfig::f4c32();
-    fatal("unknown DiAG configuration '%s'", name.c_str());
+    core::DiagConfig cfg;
+    fatal_if(!tryConfigByName(name, &cfg),
+             "unknown DiAG configuration '%s'", name.c_str());
+    return cfg;
 }
 
 core::DiagConfig

@@ -31,7 +31,11 @@ class ArgParser
     {
         Run,    //!< arguments consumed; run the tool
         Help,   //!< --help: usage printed, exit 0
-        Usage,  //!< bad invocation: usage printed, exit 2
+        /** Bad invocation — unknown flag, duplicate flag, missing or
+         *  malformed value, unexpected operand. parse() already
+         *  printed a one-line "error: ..." plus the usage text;
+         *  every tool exits 1 on this status. */
+        Usage,
     };
 
     /**
@@ -67,10 +71,19 @@ class ArgParser
     /** Print the synopsis and one help line per registered flag. */
     void usage() const;
 
-    /** Consume argv. Prints usage itself for Help/Usage outcomes. */
+    /**
+     * Consume argv. Prints usage itself for Help/Usage outcomes;
+     * Usage is additionally preceded by a one-line diagnostic on
+     * stderr naming the offending flag or value. Every registered
+     * flag may appear at most once (operands may repeat).
+     */
     Status parse(int argc, char **argv) const;
 
   private:
+    /** Print "tool: error: ..." + usage, and yield Status::Usage. */
+    Status usageError(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
+
     struct Flag
     {
         enum class Kind : u8
@@ -102,6 +115,14 @@ class ArgParser
  * F4C32); fatal() on anything else. Shared by every tool.
  */
 core::DiagConfig configByName(const std::string &name);
+
+/**
+ * Non-fatal preset lookup for long-running callers (the service
+ * layer) that must classify a bad name as a malformed request
+ * instead of exiting: true and *out filled when @p name is a known
+ * preset, false otherwise.
+ */
+bool tryConfigByName(const std::string &name, core::DiagConfig *out);
 
 /** @p base with its ring count overridden when @p rings != 0. */
 core::DiagConfig configWithRings(const std::string &name,

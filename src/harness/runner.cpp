@@ -74,8 +74,11 @@ runOnDiag(const core::DiagConfig &cfg, const Workload &w,
         run.trace = std::make_shared<trace::Tracer>(*spec.trace);
         proc.attachTrace(run.trace.get());
     }
+    if (spec.cancel)
+        proc.attachCancel(spec.cancel);
     run.stats = proc.runThreads(prog, specs, w.max_insts);
     proc.attachTrace(nullptr);
+    proc.attachCancel(nullptr);
     if (!run.stats.halted) {
         const char *why = run.stats.stop_reason.empty()
                               ? "did not halt"
@@ -111,7 +114,10 @@ runOnOoo(const ooo::OooConfig &cfg, const Workload &w,
                          {{isa::RegId{10}, t},
                           {isa::RegId{11}, threads}}});
     EngineRun run;
+    if (spec.cancel)
+        proc.attachCancel(spec.cancel);
     run.stats = proc.runThreads(prog, specs, w.max_insts);
+    proc.attachCancel(nullptr);
     if (!run.stats.halted) {
         const char *why = run.stats.stop_reason.empty()
                               ? "did not halt"

@@ -13,6 +13,7 @@
 
 #include "diag/config.hpp"
 #include "energy/report.hpp"
+#include "host/cancel.hpp"
 #include "ooo/config.hpp"
 #include "sim/run_stats.hpp"
 #include "trace/tracer.hpp"
@@ -36,6 +37,13 @@ struct RunSpec
      *  The pointee must outlive the run. Ignored by the OoO baseline
      *  (no trace hooks). */
     const trace::TraceConfig *trace = nullptr;
+    /** When set, the engine polls this token at activation boundaries
+     *  and a fired token (explicit cancel or expired wall-clock
+     *  deadline) stops the run with RunStats::timed_out and a
+     *  "host watchdog: ..." stop_reason. Pair with tolerate_failures
+     *  so the stop comes back to the caller instead of fatal()ing.
+     *  The pointee must outlive the run. */
+    const host::CancelToken *cancel = nullptr;
 };
 
 /** One engine execution result. */

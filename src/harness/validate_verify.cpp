@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "diag/processor.hpp"
 #include "harness/validate.hpp"
+#include "host/cancel.hpp"
 #include "host/parallel.hpp"
 #include "ooo/processor.hpp"
 #include "sim/golden.hpp"
@@ -137,8 +138,13 @@ fuzzOptionsFor(u64 seed, FuzzProfile profile)
 
 VerifyCheck
 validateVerify(const core::DiagConfig &cfg, const sim::FuzzOptions &fo,
-               u64 max_insts)
+               u64 max_insts, u64 host_timeout_ms)
 {
+    // One watchdog spans the whole check: golden stepping and both
+    // engine runs share the budget, so the sum is bounded too.
+    host::CancelToken watchdog;
+    if (host_timeout_ms > 0)
+        watchdog = host::CancelToken::withTimeout(host_timeout_ms);
     VerifyCheck c;
     c.seed = fo.seed;
     const sim::FuzzProgram fp = sim::generateFuzzProgramEx(fo);
@@ -165,6 +171,10 @@ validateVerify(const core::DiagConfig &cfg, const sim::FuzzOptions &fo,
     // step actually performed.
     sim::GoldenSim gold(prog);
     for (u64 n = 0; n < max_insts && !gold.halted(); ++n) {
+        if ((n & 4095) == 0 && watchdog.expired()) {
+            c.host_timed_out = true;
+            return c;
+        }
         const isa::DecodedInst di = gold.decodeAt(gold.pc());
         if (isDiv(di.op) && gold.reg(di.rs2) == 0)
             c.obs_div0 = true;
@@ -238,7 +248,16 @@ validateVerify(const core::DiagConfig &cfg, const sim::FuzzOptions &fo,
     dcfg.lint_enabled = false;
     dcfg.verify_enabled = false;
     core::DiagProcessor dproc(dcfg);
+    dproc.attachCancel(&watchdog);
     const sim::RunStats drs = dproc.run(prog, max_insts);
+    dproc.attachCancel(nullptr);
+    // A host-watchdog stop says nothing about the program: the check
+    // is incomplete, not a soundness failure.
+    if (drs.timed_out && drs.stop_reason.find("host watchdog") !=
+                             std::string::npos) {
+        c.host_timed_out = true;
+        return c;
+    }
     const bool diag_halted = drs.halted && !drs.timed_out;
     for (const auto &r : vr.regions) {
         if (r.deadlock != Verdict::Proven)
@@ -286,7 +305,15 @@ validateVerify(const core::DiagConfig &cfg, const sim::FuzzOptions &fo,
                 "from golden");
         }
         ooo::OooProcessor oproc(ooo::OooConfig::baseline8());
+        oproc.attachCancel(&watchdog);
         const sim::RunStats ors = oproc.run(prog, max_insts);
+        oproc.attachCancel(nullptr);
+        if (ors.timed_out && ors.stop_reason.find(
+                                 "host watchdog") !=
+                                 std::string::npos) {
+            c.host_timed_out = true;
+            return c;
+        }
         bool omatch = ors.halted && !ors.timed_out &&
                       memEqual(oproc.memory(), gold.memory());
         for (unsigned i = 0; omatch && i < isa::kNumRegs; ++i)
@@ -308,20 +335,25 @@ validateVerify(const core::DiagConfig &cfg, const sim::FuzzOptions &fo,
 
 VerifyFuzzReport
 runVerifyFuzz(const core::DiagConfig &cfg, u64 base_seed,
-              unsigned count, unsigned jobs, FuzzProfile profile)
+              unsigned count, unsigned jobs, FuzzProfile profile,
+              u64 host_timeout_ms)
 {
     VerifyFuzzReport rep;
     rep.base_seed = base_seed;
     rep.programs = count;
     rep.checks = host::parallelMap<VerifyCheck>(
-        jobs, count, [&cfg, base_seed, profile](size_t n) {
+        jobs, count,
+        [&cfg, base_seed, profile, host_timeout_ms](size_t n) {
             return validateVerify(
-                cfg, fuzzOptionsFor(base_seed + n, profile));
+                cfg, fuzzOptionsFor(base_seed + n, profile),
+                2'000'000, host_timeout_ms);
         });
     for (const VerifyCheck &c : rep.checks) {
         rep.proofs += c.proofs;
         rep.refutations += c.refutations;
-        if (!c.ok())
+        if (c.host_timed_out)
+            ++rep.host_timed_out;
+        else if (!c.ok())
             ++rep.failed;
     }
     return rep;
@@ -332,19 +364,23 @@ renderVerifyFuzz(const VerifyFuzzReport &r, bool verbose)
 {
     std::string out;
     for (const VerifyCheck &c : r.checks) {
-        if (c.ok() && !verbose)
+        if (c.ok() && !c.host_timed_out && !verbose)
             continue;
         out += detail::vformat(
             "seed %llu:%s %s\n",
             static_cast<unsigned long long>(c.seed),
-            c.ok() ? " ok" : " FAIL", c.verdicts.c_str());
+            c.host_timed_out ? " HOST-TIMEOUT"
+                             : (c.ok() ? " ok" : " FAIL"),
+            c.verdicts.c_str());
         for (const std::string &f : c.failures)
             out += "  " + f + "\n";
     }
     out += detail::vformat(
         "verify-fuzz: %u/%u programs held up (%u proofs, %u "
-        "refutations cross-checked, base seed %llu)\n",
-        r.programs - r.failed, r.programs, r.proofs, r.refutations,
+        "refutations cross-checked, %u host timeout(s), base seed "
+        "%llu)\n",
+        r.programs - r.failed - r.host_timed_out, r.programs,
+        r.proofs, r.refutations, r.host_timed_out,
         static_cast<unsigned long long>(r.base_seed));
     return out;
 }

@@ -62,6 +62,10 @@ struct VerifyCheck
     /** Proven + refuted verdicts this program contributed. */
     unsigned proofs = 0;
     unsigned refutations = 0;
+    /** The host wall-clock watchdog stopped the check before it
+     *  finished; the cross-checks above are incomplete and the seed
+     *  is tallied as timed out, neither passed nor failed. */
+    bool host_timed_out = false;
     /** The program source, kept only for failing checks so the CLI
      *  can write it out as a CI artifact. */
     std::string source;
@@ -72,10 +76,14 @@ struct VerifyCheck
 /**
  * Generate the program for @p fo and run the full cross-check above
  * on @p cfg. Pure; safe to fan out over host workers.
+ * @p host_timeout_ms caps the wall-clock time of the golden/DiAG/OoO
+ * executions (0 = uncapped); an expired check comes back with
+ * host_timed_out set instead of wedging the corpus run.
  */
 VerifyCheck validateVerify(const core::DiagConfig &cfg,
                            const sim::FuzzOptions &fo,
-                           u64 max_insts = 2'000'000);
+                           u64 max_insts = 2'000'000,
+                           u64 host_timeout_ms = 60000);
 
 /** Which generator profile a corpus run uses. */
 enum class FuzzProfile : u8
@@ -93,6 +101,9 @@ struct VerifyFuzzReport
     unsigned failed = 0;      //!< checks with failures/mismatches
     unsigned proofs = 0;      //!< Proven verdicts cross-checked
     unsigned refutations = 0; //!< Refuted verdicts cross-checked
+    /** Checks the host watchdog stopped early (incomplete, not
+     *  failed); nonzero means the corpus under-covered. */
+    unsigned host_timed_out = 0;
     /** Per-seed results in seed order (byte-stable for any jobs). */
     std::vector<VerifyCheck> checks;
 
@@ -105,11 +116,15 @@ sim::FuzzOptions fuzzOptionsFor(u64 seed, FuzzProfile profile);
 /**
  * Run seeds [base_seed, base_seed+count) through validateVerify,
  * fanned out over up to @p jobs host threads (0 = hardware
- * concurrency). Results come back in seed order.
+ * concurrency). Results come back in seed order. Each seed gets a
+ * @p host_timeout_ms wall-clock watchdog (0 = uncapped) so one
+ * pathological program cannot wedge a CI job; the default is far
+ * above any healthy check, keeping reports byte-identical.
  */
 VerifyFuzzReport runVerifyFuzz(const core::DiagConfig &cfg,
                                u64 base_seed, unsigned count,
-                               unsigned jobs, FuzzProfile profile);
+                               unsigned jobs, FuzzProfile profile,
+                               u64 host_timeout_ms = 60000);
 
 /** One line per failing seed plus a corpus summary. */
 std::string renderVerifyFuzz(const VerifyFuzzReport &r, bool verbose);

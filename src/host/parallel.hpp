@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "host/cancel.hpp"
 #include "host/thread_pool.hpp"
 
 namespace diag::host
@@ -36,15 +37,28 @@ resolveJobs(unsigned requested)
  * thread participates as one of the @p jobs executors. If any call
  * throws, every task still settles, then the exception of the
  * lowest-indexed failing task is rethrown.
+ *
+ * @p cancel, when non-null, is polled before each task starts: once
+ * it fires, tasks that have not begun are skipped and their output
+ * slots stay default-constructed (tasks already running finish — the
+ * cancellation is cooperative; bodies that want to stop mid-task must
+ * poll the token themselves). Skipping is a pure subset operation:
+ * slots that did run hold exactly the bytes an uncancelled run would
+ * have produced, so callers can tell skipped from executed by any
+ * task-set marker of their own (an index, a nonzero field).
  */
 template <class T, class Fn>
 std::vector<T>
-parallelMap(unsigned jobs, size_t n, Fn fn)
+parallelMap(unsigned jobs, size_t n, Fn fn,
+            const CancelToken *cancel = nullptr)
 {
     std::vector<T> out(n);
     if (resolveJobs(jobs) <= 1 || n <= 1) {
-        for (size_t i = 0; i < n; ++i)
+        for (size_t i = 0; i < n; ++i) {
+            if (cancel && cancel->stopRequested())
+                break;
             out[i] = fn(i);
+        }
         return out;
     }
     const size_t executors =
@@ -53,8 +67,11 @@ parallelMap(unsigned jobs, size_t n, Fn fn)
     std::vector<std::future<void>> pending;
     pending.reserve(n);
     for (size_t i = 0; i < n; ++i)
-        pending.push_back(
-            pool.submit([&out, &fn, i]() { out[i] = fn(i); }));
+        pending.push_back(pool.submit([&out, &fn, i, cancel]() {
+            if (cancel && cancel->stopRequested())
+                return;
+            out[i] = fn(i);
+        }));
     // Settle everything first (helping), then collect exceptions in
     // index order; rethrowing early would unwind `out` under the
     // feet of still-running tasks.

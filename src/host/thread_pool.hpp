@@ -36,6 +36,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -78,6 +79,31 @@ class ThreadPool
         std::future<R> fut = task->get_future();
         enqueue([task]() { (*task)(); });
         return fut;
+    }
+
+    /**
+     * Bounded submit with explicit backpressure: schedule @p fn only
+     * if fewer than @p max_pending tasks are enqueued-but-unstarted,
+     * else return nullopt and run nothing. This is the saturation
+     * probe service layers use to reject instead of buffering without
+     * limit; the count is advisory (concurrent submitters may briefly
+     * overshoot by the number of racing threads), which is fine for a
+     * watermark but not for an exact cap.
+     */
+    template <class Fn, class R = std::invoke_result_t<Fn &>>
+    std::optional<std::future<R>>
+    trySubmit(Fn fn, size_t max_pending)
+    {
+        if (pending() >= max_pending)
+            return std::nullopt;
+        return submit(std::move(fn));
+    }
+
+    /** Tasks enqueued but not yet started (running tasks excluded). */
+    size_t
+    pending() const
+    {
+        return queued_.load(std::memory_order_acquire);
     }
 
     /**

@@ -98,6 +98,19 @@ OooCore::runThread(Addr entry,
     };
 
     for (u64 i = 0; i < max_insts; ++i) {
+        // Cooperative host cancellation / wall-clock watchdog (same
+        // contract as Ring::runThread): flag every instruction, clock
+        // on the first and every 64th.
+        if (cancel_ &&
+            (cancel_->cancelled() ||
+             ((i & 63) == 0 && cancel_->expired()))) {
+            res.timed_out = true;
+            res.stop_pc = pc;
+            res.finish = last_commit;
+            res.stop_reason = detail::vformat("host watchdog: %s",
+                                              cancel_->reason());
+            break;
+        }
         if (pc & 3u) {
             // A misaligned PC (jalr masks only bit 0) cannot be
             // fetched; trap instead of decoding garbage.

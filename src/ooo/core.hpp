@@ -17,6 +17,7 @@
 
 #include "common/calendar.hpp"
 #include "common/stats.hpp"
+#include "host/cancel.hpp"
 #include "isa/inst.hpp"
 #include "mem/hierarchy.hpp"
 #include "ooo/config.hpp"
@@ -52,6 +53,11 @@ class OooCore
                              &init_regs,
                          SparseMemory &mem, Cycle start_cycle,
                          u64 max_insts);
+
+    /** Attach (or detach with nullptr) a cooperative cancellation
+     *  token polled every 64 instructions; a fired token stops the
+     *  run as a structured timeout (same contract as DiAG's rings). */
+    void setCancelToken(const host::CancelToken *t) { cancel_ = t; }
 
   private:
     /**
@@ -94,6 +100,7 @@ class OooCore
     StatGroup &stats_;
     std::unordered_map<Addr, isa::DecodedInst> icache_;
     FuPool alu_, mul_, div_, fpu_, fpdiv_, memport_;
+    const host::CancelToken *cancel_ = nullptr; //!< null = no watchdog
 };
 
 } // namespace diag::ooo

@@ -52,6 +52,15 @@ class OooProcessor
         });
     }
 
+    /** Attach (or detach with nullptr) a cooperative cancellation
+     *  token; forwards to every core (same contract as DiAG). */
+    void
+    attachCancel(const host::CancelToken *t)
+    {
+        for (auto &core : cores_)
+            core->setCancelToken(t);
+    }
+
     /** Run single-threaded on core 0. */
     sim::RunStats run(const Program &prog, u64 max_insts = 500'000'000);
 

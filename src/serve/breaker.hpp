@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Restart-budget circuit breaker for crash-isolated workers.
+ *
+ * Each worker crash consumes one unit of restart budget. While budget
+ * remains the breaker stays Closed and the supervisor restarts freely.
+ * When the budget is exhausted the breaker Opens for a cooldown: new
+ * attempts are refused (classified Saturated, which is retryable, so
+ * well-behaved clients back off rather than hammering a crashing
+ * binary). After the cooldown the breaker goes HalfOpen: one probe
+ * attempt is allowed; success refills the budget and Closes, another
+ * crash re-Opens.
+ *
+ * Time is an explicit parameter (milliseconds on whatever clock the
+ * caller runs — real for the threaded service, virtual for the soak
+ * DES), which is what keeps the DES byte-deterministic.
+ */
+#ifndef DIAG_SERVE_BREAKER_HPP
+#define DIAG_SERVE_BREAKER_HPP
+
+#include "common/types.hpp"
+
+namespace diag::serve
+{
+
+class CircuitBreaker
+{
+  public:
+    enum class State : u8
+    {
+        Closed,
+        Open,
+        HalfOpen,
+    };
+
+    CircuitBreaker(unsigned restart_budget, u64 cooldown_ms)
+        : budget_(restart_budget), remaining_(restart_budget),
+          cooldown_ms_(cooldown_ms)
+    {
+    }
+
+    /** May an attempt start now? Transitions Open->HalfOpen when the
+     *  cooldown has elapsed (and lets exactly one probe through). */
+    bool
+    allow(u64 now_ms)
+    {
+        if (state_ == State::Closed)
+            return true;
+        if (state_ == State::Open) {
+            if (now_ms < open_until_ms_)
+                return false;
+            state_ = State::HalfOpen;
+            probe_inflight_ = false;
+        }
+        // HalfOpen: one probe at a time.
+        if (probe_inflight_)
+            return false;
+        probe_inflight_ = true;
+        return true;
+    }
+
+    /** A crash-isolated attempt died; consume budget. */
+    void
+    recordCrash(u64 now_ms)
+    {
+        ++crashes_;
+        if (state_ == State::HalfOpen) {
+            open(now_ms);
+            return;
+        }
+        if (remaining_ > 0)
+            --remaining_;
+        if (remaining_ == 0)
+            open(now_ms);
+    }
+
+    /** An attempt completed without crashing. */
+    void
+    recordSuccess()
+    {
+        if (state_ == State::HalfOpen) {
+            state_ = State::Closed;
+            remaining_ = budget_;
+            probe_inflight_ = false;
+        }
+    }
+
+    State state() const { return state_; }
+    u64 crashes() const { return crashes_; }
+    u64 trips() const { return trips_; }
+
+    const char *
+    stateName() const
+    {
+        switch (state_) {
+          case State::Closed: return "closed";
+          case State::Open: return "open";
+          case State::HalfOpen: return "half-open";
+        }
+        return "unknown";
+    }
+
+  private:
+    void
+    open(u64 now_ms)
+    {
+        state_ = State::Open;
+        open_until_ms_ = now_ms + cooldown_ms_;
+        probe_inflight_ = false;
+        ++trips_;
+    }
+
+    unsigned budget_;
+    unsigned remaining_;
+    u64 cooldown_ms_;
+    State state_ = State::Closed;
+    u64 open_until_ms_ = 0;
+    bool probe_inflight_ = false;
+    u64 crashes_ = 0;
+    u64 trips_ = 0;
+};
+
+} // namespace diag::serve
+
+#endif // DIAG_SERVE_BREAKER_HPP

@@ -1,0 +1,67 @@
+#include "serve/cache.hpp"
+
+#include <utility>
+
+#include "serve/hash.hpp"
+
+namespace diag::serve
+{
+
+bool
+ResultCache::get(u64 key, std::string *payload)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    if (fnv1a(it->second.payload) != it->second.checksum) {
+        // Verification failed: degrade to recompute. Dropping the
+        // entry means the recomputed payload re-inserts cleanly.
+        map_.erase(it);
+        ++stats_.integrity_drops;
+        ++stats_.misses;
+        return false;
+    }
+    *payload = it->second.payload;
+    ++stats_.hits;
+    return true;
+}
+
+void
+ResultCache::put(u64 key, std::string payload)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    Entry e;
+    e.checksum = fnv1a(payload);
+    e.payload = std::move(payload);
+    map_[key] = std::move(e);
+    ++stats_.inserts;
+}
+
+void
+ResultCache::corrupt(u64 key)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = map_.find(key);
+    if (it == map_.end() || it->second.payload.empty())
+        return;
+    it->second.payload[it->second.payload.size() / 2] ^= 0x20;
+}
+
+size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return map_.size();
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return stats_;
+}
+
+} // namespace diag::serve

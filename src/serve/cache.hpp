@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Content-addressed result cache with integrity verification.
+ *
+ * Keys are FNV-1a 64 hashes of everything that determines a run's
+ * output: the workload's assembly source (which fully determines the
+ * program image), the engine configuration name, the thread count,
+ * and the variant selector. Payloads are the byte-stable stats JSON
+ * of a successful run; identical keys therefore imply identical
+ * payloads, which is what makes serving from cache sound.
+ *
+ * Every entry stores a checksum taken at insert time and re-verified
+ * on every read. A mismatch (bit rot, a fault-plan corruption, a bug)
+ * silently *degrades* — the entry is dropped and the caller
+ * recomputes — but can never serve wrong bytes. Integrity failures
+ * are counted so soak runs can prove the path was exercised.
+ *
+ * Thread safety: all operations take an internal mutex. This is the
+ * service control plane, not the simulator hot path; one lock per
+ * whole-simulation request is noise (cf. the StatGroup confinement
+ * rule, which exists for per-event counters).
+ */
+#ifndef DIAG_SERVE_CACHE_HPP
+#define DIAG_SERVE_CACHE_HPP
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace diag::serve
+{
+
+class ResultCache
+{
+  public:
+    /** Stable counters, readable at any time. */
+    struct Stats
+    {
+        u64 hits = 0;
+        u64 misses = 0;
+        u64 inserts = 0;
+        u64 integrity_drops = 0; //!< reads that failed verification
+    };
+
+    /**
+     * Look @p key up; on a verified hit copy the payload into
+     * @p payload and return true. A checksum mismatch drops the entry,
+     * counts an integrity_drop, and reports a miss.
+     */
+    bool get(u64 key, std::string *payload);
+
+    /** Insert (or overwrite) the payload for @p key. */
+    void put(u64 key, std::string payload);
+
+    /**
+     * Corrupt the stored payload for @p key by flipping one bit, if
+     * present. Fault-injection hook: the next get() must detect the
+     * damage and degrade to recompute, never return the bytes.
+     */
+    void corrupt(u64 key);
+
+    size_t size() const;
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::string payload;
+        u64 checksum = 0;
+    };
+
+    mutable std::mutex m_;
+    std::unordered_map<u64, Entry> map_;
+    Stats stats_;
+};
+
+} // namespace diag::serve
+
+#endif // DIAG_SERVE_CACHE_HPP

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ServiceFaultPlan: seeded injection of *service-layer* failures, the
+ * robustness analogue of fault::FaultPlan (which injects into the
+ * simulated hardware). A plan decides, purely from (seed, request id,
+ * attempt), whether an execution attempt crashes its worker, stalls
+ * past the watchdog, or whether a cache entry gets corrupted after a
+ * write — so a soak run under injection is exactly reproducible, and
+ * every recovery path (supervisor restart, stall kill, checksum
+ * degrade) can be exercised and *asserted* rather than hoped for.
+ *
+ * Decisions are order-independent: any interleaving of requests and
+ * attempts sees the same verdict for the same (id, attempt) pair,
+ * which is what keeps shed/retry tallies byte-identical for any
+ * --jobs value.
+ */
+#ifndef DIAG_SERVE_FAULT_PLAN_HPP
+#define DIAG_SERVE_FAULT_PLAN_HPP
+
+#include "common/types.hpp"
+#include "serve/hash.hpp"
+
+namespace diag::serve
+{
+
+struct ServiceFaultPlan
+{
+    u64 seed = 0;
+    double crash_pct = 0.0;   //!< P(worker crash) per attempt, 0..100
+    double stall_pct = 0.0;   //!< P(worker stall) per attempt, 0..100
+    double corrupt_pct = 0.0; //!< P(cache corruption) per insert
+
+    bool
+    any() const
+    {
+        return crash_pct > 0 || stall_pct > 0 || corrupt_pct > 0;
+    }
+
+    /** Does attempt @p attempt of request @p id crash its worker? */
+    bool
+    crashes(u64 id, unsigned attempt) const
+    {
+        return crash_pct > 0 &&
+               mixUniform(seed ^ 0xc5a5ull, id, attempt) * 100.0 <
+                   crash_pct;
+    }
+
+    /** Does it stall (stop making progress) instead? Crash wins when
+     *  both fire, so one attempt has exactly one injected fate. */
+    bool
+    stalls(u64 id, unsigned attempt) const
+    {
+        return stall_pct > 0 && !crashes(id, attempt) &&
+               mixUniform(seed ^ 0x57a1ull, id, attempt) * 100.0 <
+                   stall_pct;
+    }
+
+    /** Is the cache entry for @p key corrupted after this insert?
+     *  @p insert_no distinguishes re-inserts of the same key. */
+    bool
+    corrupts(u64 key, u64 insert_no) const
+    {
+        return corrupt_pct > 0 &&
+               mixUniform(seed ^ 0xc0dell, key, insert_no) * 100.0 <
+                   corrupt_pct;
+    }
+};
+
+} // namespace diag::serve
+
+#endif // DIAG_SERVE_FAULT_PLAN_HPP

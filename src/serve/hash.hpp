@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tiny deterministic hashing helpers shared across the service layer:
+ * FNV-1a 64 for content keys and payload checksums, and a
+ * splitmix-style mixer for seeded per-(request, attempt) decisions
+ * (backoff jitter, fault-plan rolls). All pure functions of their
+ * inputs — no wall clock, no global state — so every consumer stays
+ * byte-reproducible.
+ */
+#ifndef DIAG_SERVE_HASH_HPP
+#define DIAG_SERVE_HASH_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace diag::serve
+{
+
+inline constexpr u64 kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr u64 kFnvPrime = 0x100000001b3ull;
+
+/** FNV-1a 64 over @p bytes, continuing from @p h. */
+inline u64
+fnv1a(const std::string &bytes, u64 h = kFnvOffset)
+{
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** FNV-1a 64 over the 8 bytes of @p v, continuing from @p h. */
+inline u64
+fnv1a64(u64 v, u64 h = kFnvOffset)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** Splitmix-style finalizer: one well-mixed sample from three ids. */
+inline u64
+mix64(u64 a, u64 b, u64 c)
+{
+    u64 z = a + 0x9e3779b97f4a7c15ull * (b + 1) +
+            0x94d049bb133111ebull * (c + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** mix64 as a uniform sample in [0, 1): for seeded percentage rolls. */
+inline double
+mixUniform(u64 a, u64 b, u64 c)
+{
+    return static_cast<double>(mix64(a, b, c) >> 11) * 0x1.0p-53;
+}
+
+} // namespace diag::serve
+
+#endif // DIAG_SERVE_HASH_HPP

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Bounded multi-priority admission queue with explicit backpressure.
+ *
+ * The admission policy, applied at submit time:
+ *  - at capacity, every request is Rejected (queue full) with a
+ *    retry-after hint — the service never buffers without limit;
+ *  - at or above the high watermark the queue enters shedding mode
+ *    and Low-priority requests are Shed until depth sinks back under
+ *    the low watermark (hysteresis, so the shed decision does not
+ *    flap around one boundary);
+ *  - otherwise the request is Admitted.
+ *
+ * Pops serve the highest priority first and FIFO within a priority,
+ * so High traffic overtakes backlog but nothing starves within its
+ * class (a starving class is shed explicitly instead).
+ *
+ * The queue is deliberately *not* self-synchronizing: every operation
+ * is plain and O(1)-ish, and callers wrap it in their own lock (the
+ * threaded service) or run it single-threaded on a virtual timeline
+ * (the soak DES). One policy implementation, two drivers — which is
+ * exactly what makes the DES a faithful model of the service.
+ */
+#ifndef DIAG_SERVE_QUEUE_HPP
+#define DIAG_SERVE_QUEUE_HPP
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/types.hpp"
+#include "serve/request.hpp"
+
+namespace diag::serve
+{
+
+/** Queue shape. Watermarks default from the capacity. */
+struct QueueConfig
+{
+    size_t capacity = 64;
+    /** Depth at which Low-priority shedding starts (0 = 3/4 cap). */
+    size_t high_watermark = 0;
+    /** Depth below which shedding stops again (0 = 1/2 cap). */
+    size_t low_watermark = 0;
+
+    size_t
+    high() const
+    {
+        return high_watermark ? high_watermark : capacity * 3 / 4;
+    }
+    size_t
+    low() const
+    {
+        return low_watermark ? low_watermark : capacity / 2;
+    }
+};
+
+/** Outcome of an admission attempt. */
+enum class Admission : u8
+{
+    Admitted,
+    Shed,     //!< load-shed by priority at the high watermark
+    Rejected, //!< queue at capacity
+};
+
+template <class T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(QueueConfig cfg = {}) : cfg_(cfg) {}
+
+    /**
+     * Apply the admission policy. Only an Admitted item is moved
+     * into the queue; on Shed/Rejected @p item is left untouched so
+     * the caller can still respond through it.
+     */
+    Admission
+    tryPush(T &item, Priority prio)
+    {
+        if (size_ >= cfg_.capacity)
+            return Admission::Rejected;
+        if (shedding_ && size_ < cfg_.low())
+            shedding_ = false;
+        if (size_ >= cfg_.high())
+            shedding_ = true;
+        if (shedding_ && prio == Priority::Low)
+            return Admission::Shed;
+        lanes_[static_cast<unsigned>(prio)].push_back(
+            std::move(item));
+        ++size_;
+        return Admission::Admitted;
+    }
+
+    /** Highest priority first, FIFO within a priority. */
+    std::optional<T>
+    tryPop()
+    {
+        for (int p = 2; p >= 0; --p) {
+            auto &lane = lanes_[p];
+            if (lane.empty())
+                continue;
+            T item = std::move(lane.front());
+            lane.pop_front();
+            --size_;
+            return item;
+        }
+        return std::nullopt;
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool shedding() const { return shedding_; }
+    const QueueConfig &config() const { return cfg_; }
+
+  private:
+    QueueConfig cfg_;
+    std::deque<T> lanes_[3];
+    size_t size_ = 0;
+    bool shedding_ = false;
+};
+
+} // namespace diag::serve
+
+#endif // DIAG_SERVE_QUEUE_HPP

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Request/response vocabulary of the diag-serve simulation service.
+ *
+ * A SimRequest names a bundled workload plus the engine configuration
+ * and run options; a SimResponse carries either the byte-stable stats
+ * payload of a successful run or a classified failure. The
+ * classification (FailKind) is the service's failure taxonomy, mapped
+ * from the simulator's RunStats flags:
+ *
+ *   retryable — the *host* got in the way, a repeat may succeed:
+ *     Timeout     the request's wall-clock deadline (or the service
+ *                 watchdog) expired mid-run
+ *     WorkerCrash the isolated worker process died (signal/abort)
+ *     WorkerStall the worker stopped making progress and was killed
+ *     Saturated   no capacity (queue full past the watermark, or the
+ *                 crash-restart circuit breaker is open)
+ *
+ *   terminal — deterministic, a retry would reproduce it:
+ *     Sdc         the run completed but its outputs failed the check
+ *     Trap        the run trapped, aborted, or exhausted its in-sim
+ *                 cycle/instruction budget (all deterministic)
+ *     Malformed   the request itself is invalid (unknown workload or
+ *                 config, missing simt variant, zero threads)
+ */
+#ifndef DIAG_SERVE_REQUEST_HPP
+#define DIAG_SERVE_REQUEST_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace diag::serve
+{
+
+/** Load-shedding class: under pressure Low sheds first. */
+enum class Priority : u8
+{
+    Low = 0,
+    Normal = 1,
+    High = 2,
+};
+
+const char *priorityName(Priority p);
+
+/** Terminal state of a request, as seen by the client. */
+enum class RespStatus : u8
+{
+    Ok,        //!< ran (or cache hit); payload is the stats JSON
+    Rejected,  //!< not admitted: queue full — retry after backoff
+    Shed,      //!< not admitted: load-shed by priority at the
+               //!< high watermark — retry after backoff
+    Expired,   //!< deadline passed before a successful attempt
+    Cancelled, //!< the client cancelled before completion
+    Failed,    //!< attempts exhausted (retryable kinds) or a
+               //!< terminal kind; see fail/reason
+};
+
+const char *respStatusName(RespStatus s);
+
+/** The failure taxonomy (see the file comment). */
+enum class FailKind : u8
+{
+    None = 0,
+    Timeout,
+    WorkerCrash,
+    WorkerStall,
+    Saturated,
+    Sdc,
+    Trap,
+    Malformed,
+};
+
+const char *failKindName(FailKind k);
+
+/** Retryable kinds may succeed on a repeat; terminal kinds cannot. */
+bool isRetryable(FailKind k);
+
+/** One simulation request. */
+struct SimRequest
+{
+    u64 id = 0;                  //!< client-chosen; echoed back
+    std::string workload;        //!< bundled workload name
+    std::string config = "F4C16"; //!< DiAG preset name
+    unsigned threads = 1;        //!< software threads (a1 value)
+    bool use_simt = false;       //!< run the simt-annotated variant
+    Priority priority = Priority::Normal;
+    /** Wall-clock budget from admission, 0 = the service default. */
+    u64 deadline_ms = 0;
+};
+
+/** One response. */
+struct SimResponse
+{
+    u64 id = 0;
+    RespStatus status = RespStatus::Failed;
+    FailKind fail = FailKind::None;
+    std::string reason;      //!< one line; empty on Ok
+    unsigned attempts = 0;   //!< execution attempts consumed
+    bool from_cache = false; //!< payload served from the result cache
+    /** Suggested client backoff for Rejected/Shed (milliseconds). */
+    u64 retry_after_ms = 0;
+    /** Byte-stable stats JSON when status == Ok (renderPayload()). */
+    std::string payload;
+    /** Admission-to-response latency. Real milliseconds under the
+     *  threaded service, virtual milliseconds under the soak DES. */
+    u64 latency_ms = 0;
+};
+
+/** Deterministic JSON rendering of one response (byte-stable). */
+std::string renderResponseJson(const SimResponse &r);
+
+} // namespace diag::serve
+
+#endif // DIAG_SERVE_REQUEST_HPP

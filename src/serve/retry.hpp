@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Retry policy: exponential backoff with seeded, deterministic jitter.
+ *
+ * Attempt n (0-based) backs off base * 2^n, capped, plus a jitter
+ * drawn from mix64(seed, request id, attempt) — so two runs of the
+ * same campaign produce byte-identical retry schedules, while
+ * different requests still decorrelate (no thundering herd after a
+ * shared saturation event).
+ *
+ * Only retryable FailKinds (see request.hpp) consume further
+ * attempts; a terminal kind ends the request immediately regardless
+ * of the attempts remaining.
+ */
+#ifndef DIAG_SERVE_RETRY_HPP
+#define DIAG_SERVE_RETRY_HPP
+
+#include "common/types.hpp"
+#include "serve/hash.hpp"
+#include "serve/request.hpp"
+
+namespace diag::serve
+{
+
+struct RetryPolicy
+{
+    unsigned max_attempts = 3; //!< total attempts (first + retries)
+    u64 base_backoff_ms = 50;
+    u64 max_backoff_ms = 2000;
+    /** Jitter fraction of the capped backoff, in [0, jitter]. */
+    double jitter = 0.5;
+
+    /**
+     * Backoff before retry number @p attempt (1 = after the first
+     * failure). Deterministic in (seed, request id, attempt).
+     */
+    u64
+    backoffMs(u64 seed, u64 request_id, unsigned attempt) const
+    {
+        u64 base = base_backoff_ms;
+        for (unsigned i = 1; i < attempt && base < max_backoff_ms;
+             ++i)
+            base *= 2;
+        if (base > max_backoff_ms)
+            base = max_backoff_ms;
+        const double j =
+            jitter * mixUniform(seed, request_id, attempt);
+        return base + static_cast<u64>(static_cast<double>(base) * j);
+    }
+
+    /** One more attempt allowed after @p failed attempts of @p kind? */
+    bool
+    shouldRetry(FailKind kind, unsigned attempts_done) const
+    {
+        return isRetryable(kind) && attempts_done < max_attempts;
+    }
+};
+
+} // namespace diag::serve
+
+#endif // DIAG_SERVE_RETRY_HPP

@@ -1,0 +1,310 @@
+#include "serve/service.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace diag::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+u64
+elapsedMs(Clock::time_point since)
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now() - since)
+            .count());
+}
+
+} // namespace
+
+SimService::SimService(ServiceConfig cfg)
+    : cfg_(cfg), epoch_(Clock::now()), queue_(cfg.queue),
+      breaker_(cfg.restart_budget, cfg.breaker_cooldown_ms),
+      pool_(cfg.workers)
+{
+}
+
+SimService::~SimService() = default;
+
+u64
+SimService::nowMs() const
+{
+    return elapsedMs(epoch_);
+}
+
+SimService::Ticket
+SimService::submit(const SimRequest &req)
+{
+    Ticket t;
+    t.id = req.id;
+
+    ValidatedRequest v = validateRequest(req);
+    if (!v.ok) {
+        std::promise<SimResponse> pr;
+        t.result = pr.get_future();
+        SimResponse r;
+        r.id = req.id;
+        r.status = RespStatus::Failed;
+        r.fail = FailKind::Malformed;
+        r.reason = v.error;
+        pr.set_value(std::move(r));
+        std::lock_guard<std::mutex> lk(m_);
+        ++stats_.submitted;
+        ++stats_.malformed;
+        return t;
+    }
+
+    auto p = std::make_unique<Pending>();
+    p->v = std::move(v);
+    p->cancel = t.cancel;
+    p->accepted_at = Clock::now();
+    p->deadline_ms =
+        req.deadline_ms ? req.deadline_ms : cfg_.default_deadline_ms;
+    if (p->deadline_ms > 0)
+        p->cancel.setDeadline(
+            p->accepted_at +
+            std::chrono::milliseconds(p->deadline_ms));
+    t.result = p->promise.get_future();
+
+    Admission adm;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        ++stats_.submitted;
+        adm = queue_.tryPush(p, req.priority);
+        if (adm == Admission::Admitted)
+            ++stats_.accepted;
+        else if (adm == Admission::Shed)
+            ++stats_.shed;
+        else
+            ++stats_.rejected_full;
+    }
+    if (adm != Admission::Admitted) {
+        // tryPush leaves p untouched when not admitting, so the
+        // ticket's future resolves right here with the backpressure
+        // signal and a retry-after hint.
+        SimResponse r;
+        r.id = req.id;
+        r.status = adm == Admission::Shed ? RespStatus::Shed
+                                          : RespStatus::Rejected;
+        r.fail = FailKind::Saturated;
+        r.reason = adm == Admission::Shed
+                       ? "load shed: queue above the high watermark"
+                       : "queue full";
+        r.retry_after_ms =
+            cfg_.retry.backoffMs(cfg_.seed, req.id, 1);
+        p->promise.set_value(std::move(r));
+        return t;
+    }
+    pool_.submit([this]() { pumpOne(); });
+    return t;
+}
+
+void
+SimService::pumpOne()
+{
+    std::unique_ptr<Pending> p;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        auto popped = queue_.tryPop();
+        if (!popped)
+            return; // spurious: another pump already served it
+        p = std::move(*popped);
+    }
+    serveRequest(std::move(p));
+}
+
+void
+SimService::serveRequest(std::unique_ptr<Pending> p)
+{
+    const u64 id = p->v.req.id;
+    const auto finish = [&](SimResponse r) {
+        r.id = id;
+        r.latency_ms = elapsedMs(p->accepted_at);
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            switch (r.status) {
+              case RespStatus::Ok: ++stats_.ok; break;
+              case RespStatus::Expired: ++stats_.expired; break;
+              case RespStatus::Cancelled: ++stats_.cancelled; break;
+              default: ++stats_.failed; break;
+            }
+        }
+        p->promise.set_value(std::move(r));
+    };
+
+    SimResponse r;
+    unsigned attempts = 0;
+    for (;;) {
+        // Deadline/cancel gate before any work — also catches
+        // cancel-before-start and queue-delay expiry.
+        if (p->cancel.cancelled()) {
+            r.status = RespStatus::Cancelled;
+            r.fail = FailKind::None;
+            r.attempts = attempts;
+            r.reason = "cancelled by the client";
+            return finish(std::move(r));
+        }
+        if (p->cancel.expired()) {
+            r.status = RespStatus::Expired;
+            r.fail = FailKind::Timeout;
+            r.attempts = attempts;
+            r.reason = "deadline expired";
+            return finish(std::move(r));
+        }
+
+        // Cache: a verified hit costs nothing and cannot be wrong.
+        if (cfg_.cache_enabled) {
+            std::string payload;
+            if (cache_.get(p->v.content_key, &payload)) {
+                r.status = RespStatus::Ok;
+                r.fail = FailKind::None;
+                r.attempts = attempts;
+                r.from_cache = true;
+                r.payload = std::move(payload);
+                return finish(std::move(r));
+            }
+        }
+
+        ++attempts;
+        AttemptResult ar;
+
+        // Circuit breaker guards the crash-isolated path only; an
+        // in-process attempt cannot consume restart budget.
+        bool gated = false;
+        if (cfg_.subprocess) {
+            std::lock_guard<std::mutex> lk(m_);
+            gated = !breaker_.allow(nowMs());
+        }
+        if (gated) {
+            ar.fail = FailKind::Saturated;
+            ar.reason = "circuit breaker open (restart budget "
+                        "exhausted); cooling down";
+        } else {
+            AttemptSpec spec;
+            spec.v = &p->v;
+            spec.subprocess = cfg_.subprocess;
+            spec.cancel = &p->cancel;
+            if (p->deadline_ms > 0) {
+                const u64 spent = elapsedMs(p->accepted_at);
+                spec.deadline_ms = p->deadline_ms > spent
+                                       ? p->deadline_ms - spent
+                                       : 1;
+            }
+            spec.inject_crash = cfg_.faults.crashes(id, attempts);
+            spec.inject_stall = cfg_.faults.stalls(id, attempts);
+            ar = executeAttempt(spec);
+            if (cfg_.subprocess) {
+                std::lock_guard<std::mutex> lk(m_);
+                if (ar.fail == FailKind::WorkerCrash)
+                    breaker_.recordCrash(nowMs());
+                else
+                    breaker_.recordSuccess();
+            }
+            {
+                std::lock_guard<std::mutex> lk(m_);
+                if (ar.fail == FailKind::WorkerCrash)
+                    ++stats_.worker_crashes;
+                if (ar.fail == FailKind::WorkerStall)
+                    ++stats_.worker_stalls;
+            }
+        }
+
+        if (ar.fail == FailKind::None) {
+            if (cfg_.cache_enabled) {
+                cache_.put(p->v.content_key, ar.payload);
+                u64 insert_no;
+                {
+                    std::lock_guard<std::mutex> lk(m_);
+                    insert_no = ++cache_inserts_;
+                }
+                // Fault plan: damage the entry we just wrote; the
+                // next read must catch it and recompute.
+                if (cfg_.faults.corrupts(p->v.content_key,
+                                         insert_no))
+                    cache_.corrupt(p->v.content_key);
+            }
+            r.status = RespStatus::Ok;
+            r.fail = FailKind::None;
+            r.attempts = attempts;
+            r.payload = std::move(ar.payload);
+            return finish(std::move(r));
+        }
+
+        if (ar.cancelled) {
+            r.status = RespStatus::Cancelled;
+            r.fail = FailKind::None;
+            r.attempts = attempts;
+            r.reason = "cancelled by the client mid-run";
+            return finish(std::move(r));
+        }
+        if (ar.fail == FailKind::Timeout) {
+            // The engine's host watchdog fired on our deadline token.
+            r.status = RespStatus::Expired;
+            r.fail = FailKind::Timeout;
+            r.attempts = attempts;
+            r.reason = ar.reason;
+            return finish(std::move(r));
+        }
+
+        if (!cfg_.retry.shouldRetry(ar.fail, attempts)) {
+            r.status = RespStatus::Failed;
+            r.fail = ar.fail;
+            r.attempts = attempts;
+            r.reason = ar.reason;
+            return finish(std::move(r));
+        }
+
+        // Retry with seeded backoff. Sleep in small ticks so a
+        // cancel or deadline still lands promptly.
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            ++stats_.retries;
+        }
+        const u64 backoff =
+            cfg_.retry.backoffMs(cfg_.seed, id, attempts);
+        u64 slept = 0;
+        while (slept < backoff && !p->cancel.stopRequested()) {
+            const u64 tick = backoff - slept < 10 ? backoff - slept
+                                                  : 10;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(tick));
+            slept += tick;
+        }
+    }
+}
+
+ServiceStats
+SimService::stats() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return stats_;
+}
+
+ResultCache::Stats
+SimService::cacheStats() const
+{
+    return cache_.stats();
+}
+
+const char *
+SimService::breakerState() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return breaker_.stateName();
+}
+
+size_t
+SimService::queueDepth() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return queue_.size();
+}
+
+} // namespace diag::serve

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * SimService: the fault-tolerant batched simulation daemon.
+ *
+ * Requests flow submit() -> validate -> admission (BoundedQueue with
+ * watermark shedding) -> a pump task on the host thread pool ->
+ * attempt loop (cache, circuit breaker, executeAttempt, retry with
+ * backoff) -> promise fulfilment. Every terminal state is a
+ * classified SimResponse; the daemon itself never exits on a request,
+ * however malformed, crashing, or slow.
+ *
+ * Robustness properties, each tested and soak-asserted:
+ *  - backpressure: a full queue Rejects (with a retry-after hint)
+ *    instead of buffering; above the high watermark Low-priority
+ *    traffic is Shed until the backlog drains (hysteresis);
+ *  - deadlines: each request carries a wall-clock deadline layered on
+ *    the in-sim budgets, enforced cooperatively mid-run through its
+ *    CancelToken (and by SIGKILL for stalled subprocess workers);
+ *  - cancellation: Ticket::cancel stops a queued request before it
+ *    starts and an in-flight one at the next activation boundary;
+ *  - retries: retryable failures back off exponentially with seeded
+ *    jitter; terminal ones (SDC, trap, malformed) never retry;
+ *  - crash isolation: with ServiceConfig::subprocess, a simulator
+ *    abort kills one forked worker, not the daemon; the supervisor
+ *    restarts under a restart-budget circuit breaker;
+ *  - degradation: the content-hash cache serves repeat requests, and
+ *    a corrupted entry fails its checksum and recomputes — the
+ *    service may get slower under damage, never wrong.
+ *
+ * Threading: submit() may be called from any thread. Shared control
+ * state (queue, tallies) sits behind one mutex; the heavy work —
+ * whole simulations — runs lock-free on pool workers, each owning
+ * its simulator instance (DESIGN.md §10).
+ */
+#ifndef DIAG_SERVE_SERVICE_HPP
+#define DIAG_SERVE_SERVICE_HPP
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+
+#include "host/cancel.hpp"
+#include "host/thread_pool.hpp"
+#include "serve/breaker.hpp"
+#include "serve/cache.hpp"
+#include "serve/fault_plan.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/retry.hpp"
+#include "serve/worker.hpp"
+
+namespace diag::serve
+{
+
+struct ServiceConfig
+{
+    unsigned workers = 2;     //!< pool threads executing requests
+    QueueConfig queue;        //!< admission shape
+    RetryPolicy retry;
+    ServiceFaultPlan faults;  //!< default: no injection
+    bool subprocess = false;  //!< crash-isolate attempts in children
+    unsigned restart_budget = 8;
+    u64 breaker_cooldown_ms = 1000;
+    /** Deadline for requests that do not set one (0 = none). */
+    u64 default_deadline_ms = 30000;
+    bool cache_enabled = true;
+    u64 seed = 1; //!< jitter/fault determinism base
+};
+
+/** Service-level tallies (monotonic). */
+struct ServiceStats
+{
+    u64 submitted = 0;
+    u64 accepted = 0;
+    u64 rejected_full = 0;
+    u64 shed = 0;
+    u64 malformed = 0;
+    u64 ok = 0;
+    u64 failed = 0;
+    u64 expired = 0;
+    u64 cancelled = 0;
+    u64 retries = 0;
+    u64 worker_crashes = 0;
+    u64 worker_stalls = 0;
+};
+
+class SimService
+{
+  public:
+    /** Handle to one submitted request. */
+    struct Ticket
+    {
+        u64 id = 0;
+        std::future<SimResponse> result;
+        /** Fires cooperative cancellation: before start the request
+         *  resolves Cancelled without running; mid-run the engine
+         *  stops at its next activation boundary. */
+        host::CancelToken cancel;
+    };
+
+    explicit SimService(ServiceConfig cfg);
+
+    /** Drains in-flight work, then joins the pool. Queued requests
+     *  still resolve (every promise is always fulfilled). */
+    ~SimService();
+
+    SimService(const SimService &) = delete;
+    SimService &operator=(const SimService &) = delete;
+
+    /**
+     * Validate, admit, and schedule @p req. Always returns a Ticket
+     * whose future resolves exactly once — immediately for
+     * Malformed/Rejected/Shed, after execution otherwise.
+     */
+    Ticket submit(const SimRequest &req);
+
+    ServiceStats stats() const;
+    ResultCache::Stats cacheStats() const;
+    const char *breakerState() const;
+    size_t queueDepth() const;
+
+  private:
+    struct Pending
+    {
+        ValidatedRequest v;
+        std::promise<SimResponse> promise;
+        host::CancelToken cancel;
+        std::chrono::steady_clock::time_point accepted_at;
+        u64 deadline_ms = 0; //!< resolved (request or default)
+    };
+
+    void pumpOne();
+    void serveRequest(std::unique_ptr<Pending> p);
+    u64 nowMs() const;
+
+    ServiceConfig cfg_;
+    std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex m_;
+    BoundedQueue<std::unique_ptr<Pending>> queue_;
+    ServiceStats stats_;
+    CircuitBreaker breaker_;
+    u64 cache_inserts_ = 0; //!< insert ordinal for fault decisions
+
+    ResultCache cache_; // internally locked
+
+    /** Declared last: its destructor drains pump tasks that touch
+     *  every member above, so it must die first. */
+    host::ThreadPool pool_;
+};
+
+} // namespace diag::serve
+
+#endif // DIAG_SERVE_SERVICE_HPP

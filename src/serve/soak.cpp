@@ -1,0 +1,389 @@
+#include "serve/soak.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hpp"
+#include "host/parallel.hpp"
+#include "serve/breaker.hpp"
+#include "serve/hash.hpp"
+#include "serve/worker.hpp"
+
+namespace diag::serve
+{
+
+namespace
+{
+
+const char *const kSoakWorkloads[] = {"nn", "pathfinder", "bfs",
+                                      "kmeans"};
+const char *const kSoakConfigs[] = {"F4C2", "F4C16"};
+
+/** Per-request state across the virtual timeline. */
+struct Slot
+{
+    SimRequest req;
+    bool malformed = false;
+    size_t base = 0;      //!< index into the golden-run vector
+    u64 content_key = 0;
+    u64 arrival_ms = 0;
+    unsigned attempts = 0;
+    /** Outcome computed at AttemptStart, consumed at AttemptEnd. */
+    FailKind pending = FailKind::None;
+    bool breaker_gated = false; //!< this attempt never ran at all
+    bool resolved = false;
+};
+
+struct Event
+{
+    u64 t = 0;
+    u64 seq = 0; //!< stable tie-break: push order
+    enum Kind : u8
+    {
+        Arrival,
+        AttemptStart,
+        AttemptEnd,
+    } kind = Arrival;
+    u32 idx = 0;
+};
+
+struct EventAfter
+{
+    bool
+    operator()(const Event &a, const Event &b) const
+    {
+        return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+};
+
+/** Virtual service time of one simulated run, in milliseconds. */
+u64
+serviceMs(u64 cycles)
+{
+    return 1 + cycles / 20000;
+}
+
+/** Deterministic synthetic load: requests and their arrival times. */
+std::vector<Slot>
+generateLoad(const SoakSpec &spec)
+{
+    std::vector<Slot> slots(spec.requests);
+    u64 at = 0;
+    for (unsigned i = 0; i < spec.requests; ++i) {
+        SimRequest &q = slots[i].req;
+        q.id = i + 1;
+        if (mixUniform(spec.seed ^ 0x0badull, i, 1) * 100.0 <
+            spec.malformed_pct)
+            q.workload = "no-such-workload";
+        else
+            q.workload =
+                kSoakWorkloads[mix64(spec.seed ^ 0x1001ull, i, 2) %
+                               4];
+        q.config =
+            kSoakConfigs[mix64(spec.seed ^ 0x1002ull, i, 3) % 2];
+        q.threads = 1 + static_cast<unsigned>(
+                            mix64(spec.seed ^ 0x1003ull, i, 4) % 2);
+        const double pr = mixUniform(spec.seed ^ 0x1004ull, i, 5);
+        q.priority = pr < 0.30   ? Priority::Low
+                     : pr < 0.90 ? Priority::Normal
+                                 : Priority::High;
+        q.deadline_ms =
+            mixUniform(spec.seed ^ 0x1005ull, i, 6) * 100.0 <
+                    spec.tight_deadline_pct
+                ? 2
+                : spec.deadline_ms;
+        at += 1 + mix64(spec.seed ^ 0x1006ull, i, 7) % 4;
+        slots[i].arrival_ms = at;
+    }
+    return slots;
+}
+
+} // namespace
+
+SoakReport
+runSoak(const SoakSpec &spec)
+{
+    SoakReport rep;
+    rep.requests = spec.requests;
+
+    std::vector<Slot> slots = generateLoad(spec);
+
+    // Resolve each request against the registries and collapse the
+    // valid ones onto their unique content keys.
+    std::vector<ValidatedRequest> uniq;
+    std::unordered_map<u64, size_t> key_to_base;
+    for (Slot &s : slots) {
+        ValidatedRequest v = validateRequest(s.req);
+        if (!v.ok) {
+            s.malformed = true;
+            continue;
+        }
+        s.content_key = v.content_key;
+        auto it = key_to_base.find(v.content_key);
+        if (it == key_to_base.end()) {
+            it = key_to_base
+                     .emplace(v.content_key, uniq.size())
+                     .first;
+            uniq.push_back(std::move(v));
+        }
+        s.base = it->second;
+    }
+    rep.base_runs = uniq.size();
+
+    // Phase 1: the golden runs — each unique content simulated once,
+    // uninjected and undeadlined, fanned out over --jobs. Merged by
+    // index, so the vector is byte-identical for any job count.
+    const std::vector<AttemptResult> base =
+        host::parallelMap<AttemptResult>(
+            spec.jobs, uniq.size(), [&uniq](size_t i) {
+                AttemptSpec as;
+                as.v = &uniq[i];
+                return executeAttempt(as);
+            });
+
+    // Phase 2: single-threaded policy replay on a virtual clock.
+    BoundedQueue<u32> queue(spec.queue);
+    CircuitBreaker breaker(spec.restart_budget,
+                           spec.breaker_cooldown_ms);
+    ResultCache cache;
+    u64 cache_inserts = 0;
+    unsigned free_workers =
+        spec.virtual_workers ? spec.virtual_workers : 1;
+
+    std::priority_queue<Event, std::vector<Event>, EventAfter> heap;
+    u64 seq = 0;
+    const auto push = [&](u64 t, Event::Kind k, u32 idx) {
+        heap.push(Event{t, seq++, k, idx});
+    };
+    for (u32 i = 0; i < slots.size(); ++i)
+        push(slots[i].arrival_ms, Event::Arrival, i);
+
+    std::vector<u64> latencies;
+    latencies.reserve(slots.size());
+    const auto resolve = [&](u32 i, u64 t, u64 &tally) {
+        Slot &s = slots[i];
+        s.resolved = true;
+        ++tally;
+        latencies.push_back(t - s.arrival_ms);
+        if (t > rep.virtual_makespan_ms)
+            rep.virtual_makespan_ms = t;
+    };
+    const auto resolveOk = [&](u32 i, u64 t, bool from_cache,
+                               const std::string &payload) {
+        // The robustness oracle: whatever path produced these bytes
+        // (fresh run, retry, cache), they must equal the golden run.
+        if (payload != base[slots[i].base].payload)
+            ++rep.wrong_payloads;
+        resolve(i, t, rep.ok);
+        if (from_cache)
+            ++rep.ok_from_cache;
+    };
+    const auto releaseWorker = [&](u64 t) {
+        if (auto next = queue.tryPop())
+            push(t, Event::AttemptStart, *next);
+        else
+            ++free_workers;
+    };
+
+    while (!heap.empty()) {
+        const Event ev = heap.top();
+        heap.pop();
+        Slot &s = slots[ev.idx];
+        const u64 t = ev.t;
+
+        switch (ev.kind) {
+          case Event::Arrival: {
+            if (s.malformed) {
+                resolve(ev.idx, t, rep.malformed);
+                break;
+            }
+            u32 idx = ev.idx;
+            const Admission adm =
+                queue.tryPush(idx, s.req.priority);
+            if (adm == Admission::Rejected) {
+                resolve(ev.idx, t, rep.rejected_full);
+                break;
+            }
+            if (adm == Admission::Shed) {
+                resolve(ev.idx, t, rep.shed);
+                break;
+            }
+            if (free_workers > 0) {
+                --free_workers;
+                push(t, Event::AttemptStart, *queue.tryPop());
+            }
+            break;
+          }
+
+          case Event::AttemptStart: {
+            // Mirrors SimService::serveRequest's loop head: the
+            // deadline gate, then the cache, then one attempt.
+            const u64 dl = s.req.deadline_ms;
+            if (dl > 0 && t - s.arrival_ms >= dl) {
+                resolve(ev.idx, t, rep.expired);
+                releaseWorker(t);
+                break;
+            }
+            std::string payload;
+            if (spec.cache_enabled &&
+                cache.get(s.content_key, &payload)) {
+                resolveOk(ev.idx, t, true, payload);
+                releaseWorker(t);
+                break;
+            }
+            ++s.attempts;
+            s.breaker_gated = false;
+            u64 dt = 0;
+            if (!breaker.allow(t)) {
+                s.pending = FailKind::Saturated;
+                s.breaker_gated = true;
+            } else if (spec.faults.crashes(s.req.id, s.attempts)) {
+                s.pending = FailKind::WorkerCrash;
+                dt = 2; // abort()s early, well before the run ends
+            } else if (spec.faults.stalls(s.req.id, s.attempts)) {
+                // A stalled worker burns the whole remaining budget
+                // before the supervisor SIGKILLs it (plus the same
+                // slack the real supervisor grants).
+                s.pending = FailKind::WorkerStall;
+                dt = dl > 0 ? dl - (t - s.arrival_ms) + 500 : 60000;
+            } else {
+                const AttemptResult &b = base[s.base];
+                dt = serviceMs(b.cycles);
+                s.pending = b.fail;
+                if (b.fail == FailKind::None && dl > 0 &&
+                    dt > dl - (t - s.arrival_ms)) {
+                    // The run would outlast the deadline: the cancel
+                    // token fires mid-run and the engine stops.
+                    s.pending = FailKind::Timeout;
+                    dt = dl - (t - s.arrival_ms);
+                }
+            }
+            push(t + dt, Event::AttemptEnd, ev.idx);
+            break;
+          }
+
+          case Event::AttemptEnd: {
+            if (!s.breaker_gated) {
+                if (s.pending == FailKind::WorkerCrash) {
+                    breaker.recordCrash(t);
+                    ++rep.worker_crashes;
+                } else {
+                    breaker.recordSuccess();
+                }
+                if (s.pending == FailKind::WorkerStall)
+                    ++rep.worker_stalls;
+            }
+            if (s.pending == FailKind::None) {
+                const std::string &payload =
+                    base[s.base].payload;
+                if (spec.cache_enabled) {
+                    cache.put(s.content_key, payload);
+                    if (spec.faults.corrupts(s.content_key,
+                                             ++cache_inserts))
+                        cache.corrupt(s.content_key);
+                }
+                resolveOk(ev.idx, t, false, payload);
+                releaseWorker(t);
+                break;
+            }
+            if (s.pending == FailKind::Timeout) {
+                resolve(ev.idx, t, rep.expired);
+                releaseWorker(t);
+                break;
+            }
+            if (spec.retry.shouldRetry(s.pending, s.attempts)) {
+                ++rep.retries;
+                // The virtual worker stays held through the backoff,
+                // exactly as a pool thread does in serveRequest.
+                push(t + spec.retry.backoffMs(spec.seed, s.req.id,
+                                              s.attempts),
+                     Event::AttemptStart, ev.idx);
+                break;
+            }
+            resolve(ev.idx, t, rep.failed);
+            releaseWorker(t);
+            break;
+          }
+        }
+    }
+
+    for (const Slot &s : slots)
+        if (!s.resolved)
+            ++rep.unresolved;
+
+    rep.breaker_trips = breaker.trips();
+    rep.cache = cache.stats();
+
+    if (!latencies.empty()) {
+        u64 sum = 0;
+        for (const u64 l : latencies)
+            sum += l;
+        rep.latency_mean_ms = static_cast<double>(sum) /
+                              static_cast<double>(latencies.size());
+        std::sort(latencies.begin(), latencies.end());
+        const auto pct = [&](unsigned p) {
+            size_t i = latencies.size() * p / 100;
+            if (i >= latencies.size())
+                i = latencies.size() - 1;
+            return latencies[i];
+        };
+        rep.latency_p50_ms = pct(50);
+        rep.latency_p95_ms = pct(95);
+        rep.latency_max_ms = latencies.back();
+    }
+    return rep;
+}
+
+std::string
+renderSoakJson(const SoakSpec &spec, const SoakReport &rep)
+{
+    std::ostringstream os;
+    const auto u = [](u64 v) {
+        return static_cast<unsigned long long>(v);
+    };
+    os << "{\n";
+    os << detail::vformat(
+        "  \"spec\": {\"requests\": %u, \"seed\": %llu, "
+        "\"virtual_workers\": %u, \"queue_capacity\": %zu, "
+        "\"deadline_ms\": %llu, \"crash_pct\": %.6g, "
+        "\"stall_pct\": %.6g, \"corrupt_pct\": %.6g, "
+        "\"restart_budget\": %u},\n",
+        spec.requests, u(spec.seed), spec.virtual_workers,
+        spec.queue.capacity, u(spec.deadline_ms),
+        spec.faults.crash_pct, spec.faults.stall_pct,
+        spec.faults.corrupt_pct, spec.restart_budget);
+    os << detail::vformat(
+        "  \"tally\": {\"ok\": %llu, \"ok_from_cache\": %llu, "
+        "\"rejected_full\": %llu, \"shed\": %llu, "
+        "\"expired\": %llu, \"failed\": %llu, "
+        "\"malformed\": %llu, \"retries\": %llu, "
+        "\"worker_crashes\": %llu, \"worker_stalls\": %llu, "
+        "\"breaker_trips\": %llu},\n",
+        u(rep.ok), u(rep.ok_from_cache), u(rep.rejected_full),
+        u(rep.shed), u(rep.expired), u(rep.failed),
+        u(rep.malformed), u(rep.retries), u(rep.worker_crashes),
+        u(rep.worker_stalls), u(rep.breaker_trips));
+    os << detail::vformat(
+        "  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+        "\"inserts\": %llu, \"integrity_drops\": %llu},\n",
+        u(rep.cache.hits), u(rep.cache.misses),
+        u(rep.cache.inserts), u(rep.cache.integrity_drops));
+    os << detail::vformat(
+        "  \"latency_ms\": {\"mean\": %.3f, \"p50\": %llu, "
+        "\"p95\": %llu, \"max\": %llu},\n",
+        rep.latency_mean_ms, u(rep.latency_p50_ms),
+        u(rep.latency_p95_ms), u(rep.latency_max_ms));
+    os << detail::vformat(
+        "  \"virtual_makespan_ms\": %llu,\n  \"base_runs\": "
+        "%llu,\n  \"wrong_payloads\": %llu,\n  \"unresolved\": "
+        "%llu,\n  \"robust\": %s\n}\n",
+        u(rep.virtual_makespan_ms), u(rep.base_runs),
+        u(rep.wrong_payloads), u(rep.unresolved),
+        rep.robust() ? "true" : "false");
+    return os.str();
+}
+
+} // namespace diag::serve

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic soak: a discrete-event simulation of the service
+ * under sustained synthetic load and fault injection.
+ *
+ * Why a DES and not just hammering the threaded SimService: the
+ * acceptance bar is *byte-identical* tallies for any --jobs value,
+ * and a real multi-threaded soak cannot promise that (admission
+ * order depends on scheduler interleaving). So the soak splits the
+ * problem the way DESIGN.md §10 splits every driver:
+ *
+ *  1. the expensive, embarrassingly-parallel part — actually
+ *     simulating each *unique* request content (workload x config x
+ *     options) once — fans out through parallelMap, whose merge is
+ *     already order-independent;
+ *  2. the policy part — admission, shedding, deadlines, retries,
+ *     backoff, the circuit breaker, the cache — replays
+ *     single-threaded on a virtual millisecond timeline, with
+ *     virtual service time derived from the simulated cycle count
+ *     of step 1.
+ *
+ * The DES reuses the *same* policy objects the threaded service
+ * runs (BoundedQueue, RetryPolicy, CircuitBreaker, ResultCache,
+ * ServiceFaultPlan): one implementation, two drivers. Virtual
+ * workers mirror pump-task semantics — a worker is held from
+ * dispatch through every retry and backoff of its request, exactly
+ * as a pool thread is in SimService::serveRequest.
+ *
+ * The report carries the two robustness oracles the soak asserts:
+ *  - wrong_payloads: an Ok response whose payload is not byte-equal
+ *    to the uninjected golden payload for its content key (must be
+ *    0 — corruption may cost a recompute, never a wrong answer);
+ *  - unresolved: a request that never reached a terminal response
+ *    (must be 0 — no hangs, no dropped promises).
+ */
+#ifndef DIAG_SERVE_SOAK_HPP
+#define DIAG_SERVE_SOAK_HPP
+
+#include <string>
+
+#include "serve/cache.hpp"
+#include "serve/fault_plan.hpp"
+#include "serve/queue.hpp"
+#include "serve/retry.hpp"
+
+namespace diag::serve
+{
+
+struct SoakSpec
+{
+    unsigned requests = 200;
+    u64 seed = 1;
+    /** Host threads for the base-execution phase only; the policy
+     *  replay is single-threaded by construction, so the report is
+     *  byte-identical for any value here. */
+    unsigned jobs = 1;
+    unsigned virtual_workers = 4;
+    QueueConfig queue{16, 0, 0};
+    RetryPolicy retry;
+    ServiceFaultPlan faults;
+    unsigned restart_budget = 8;
+    u64 breaker_cooldown_ms = 200;
+    /** Default per-request deadline in virtual ms (0 = none). */
+    u64 deadline_ms = 60;
+    /** Fraction of requests generated with an unsatisfiable 2 ms
+     *  deadline, to keep the expiry path exercised. */
+    double tight_deadline_pct = 8.0;
+    /** Fraction generated with an unknown workload name. */
+    double malformed_pct = 3.0;
+    bool cache_enabled = true;
+};
+
+struct SoakReport
+{
+    u64 requests = 0;
+    u64 base_runs = 0; //!< unique contents actually simulated
+    u64 ok = 0;
+    u64 ok_from_cache = 0;
+    u64 rejected_full = 0;
+    u64 shed = 0;
+    u64 expired = 0;
+    u64 failed = 0;
+    u64 malformed = 0;
+    u64 retries = 0;
+    u64 worker_crashes = 0;
+    u64 worker_stalls = 0;
+    u64 breaker_trips = 0;
+    ResultCache::Stats cache;
+    double latency_mean_ms = 0.0;
+    u64 latency_p50_ms = 0;
+    u64 latency_p95_ms = 0;
+    u64 latency_max_ms = 0;
+    u64 virtual_makespan_ms = 0;
+    u64 wrong_payloads = 0; //!< Ok payloads != golden (oracle; 0)
+    u64 unresolved = 0;     //!< requests without a terminal answer
+
+    bool
+    robust() const
+    {
+        return wrong_payloads == 0 && unresolved == 0;
+    }
+};
+
+/** Run the soak described by @p spec (see the file comment). */
+SoakReport runSoak(const SoakSpec &spec);
+
+/** Byte-stable JSON rendering of a soak run. */
+std::string renderSoakJson(const SoakSpec &spec,
+                           const SoakReport &rep);
+
+} // namespace diag::serve
+
+#endif // DIAG_SERVE_SOAK_HPP

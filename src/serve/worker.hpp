@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Execution layer of the simulation service: one *attempt* takes a
+ * validated request to a classified result.
+ *
+ * Validation (validateRequest) happens once per request, before
+ * admission: unknown workload or config names, a missing simt
+ * variant, or a zero thread count classify as Malformed — the
+ * long-running service must never feed fatal()-ing lookups.
+ *
+ * An attempt can run two ways:
+ *  - in-process (executeAttempt with AttemptSpec::subprocess off):
+ *    the simulator runs on the calling pool worker, cooperatively
+ *    cancellable through the request's CancelToken;
+ *  - crash-isolated (subprocess on): the simulator runs in a forked
+ *    child that writes a checksummed, length-prefixed result frame
+ *    over a pipe. A child that dies (WIFSIGNALED / nonzero exit /
+ *    short frame) classifies WorkerCrash; one that stops producing
+ *    output past the deadline is SIGKILLed and classifies
+ *    WorkerStall. Either way the daemon itself never dies with the
+ *    request. Fork without exec is safe here: the child only
+ *    simulates and writes to an inherited pipe.
+ *
+ * Payloads (renderPayload) are byte-stable JSON over the run's
+ * stats — the same program, config, and options always produce the
+ * same bytes, whether computed in-process, in a child, or replayed
+ * from cache. That byte-equality is the service's correctness
+ * oracle under fault injection.
+ */
+#ifndef DIAG_SERVE_WORKER_HPP
+#define DIAG_SERVE_WORKER_HPP
+
+#include <string>
+
+#include "diag/config.hpp"
+#include "host/cancel.hpp"
+#include "serve/request.hpp"
+#include "sim/run_stats.hpp"
+#include "workloads/workload.hpp"
+
+namespace diag::serve
+{
+
+/** A request resolved against the workload/config registries. */
+struct ValidatedRequest
+{
+    SimRequest req;
+    workloads::Workload w;
+    core::DiagConfig cfg;
+    u64 content_key = 0; //!< cache key; see contentKey()
+    bool ok = false;
+    std::string error; //!< Malformed reason when !ok
+};
+
+/** Resolve and pre-validate @p req (never fatals). */
+ValidatedRequest validateRequest(const SimRequest &req);
+
+/**
+ * Cache key of a validated request: FNV-1a over the workload's
+ * assembly source (which fully determines the program image), the
+ * configuration name, the thread count, and the variant selector.
+ */
+u64 contentKey(const ValidatedRequest &v);
+
+/** Byte-stable stats JSON of a successful run. */
+std::string renderPayload(const sim::RunStats &stats, bool checked);
+
+/** How to run one attempt. */
+struct AttemptSpec
+{
+    const ValidatedRequest *v = nullptr;
+    /** Wall-clock budget for this attempt in ms (0 = none). */
+    u64 deadline_ms = 0;
+    /** Run in a forked child for crash isolation. */
+    bool subprocess = false;
+    /** Fault-plan injections for this attempt. In-process attempts
+     *  simulate them (the classification path is identical); a
+     *  subprocess attempt really aborts / really stalls. */
+    bool inject_crash = false;
+    bool inject_stall = false;
+    /** Client cancellation, polled by the engine mid-run (in-process
+     *  attempts only; a subprocess is covered by the deadline). */
+    const host::CancelToken *cancel = nullptr;
+};
+
+/** Classified outcome of one attempt. */
+struct AttemptResult
+{
+    FailKind fail = FailKind::None; //!< None = success
+    bool cancelled = false;         //!< stop came from cancel()
+    std::string reason;
+    std::string payload; //!< renderPayload() when fail == None
+    /** Simulated cycles the run consumed (0 when it never ran).
+     *  The soak DES derives virtual service time from this. */
+    u64 cycles = 0;
+};
+
+/** Run one attempt per @p spec (see the file comment). */
+AttemptResult executeAttempt(const AttemptSpec &spec);
+
+} // namespace diag::serve
+
+#endif // DIAG_SERVE_WORKER_HPP

@@ -4,6 +4,8 @@
  */
 #include "workloads/workload.hpp"
 
+#include <utility>
+
 #include "common/log.hpp"
 
 namespace diag::workloads
@@ -65,16 +67,29 @@ specSuite()
     return suite;
 }
 
+bool
+tryFindWorkload(const std::string &name, Workload *out)
+{
+    for (auto &w : rodiniaSuite())
+        if (w.name == name) {
+            *out = std::move(w);
+            return true;
+        }
+    for (auto &w : specSuite())
+        if (w.name == name) {
+            *out = std::move(w);
+            return true;
+        }
+    return false;
+}
+
 Workload
 findWorkload(const std::string &name)
 {
-    for (auto &w : rodiniaSuite())
-        if (w.name == name)
-            return w;
-    for (auto &w : specSuite())
-        if (w.name == name)
-            return w;
-    fatal("unknown workload '%s'", name.c_str());
+    Workload w;
+    fatal_if(!tryFindWorkload(name, &w), "unknown workload '%s'",
+             name.c_str());
+    return w;
 }
 
 } // namespace diag::workloads

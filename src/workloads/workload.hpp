@@ -77,6 +77,13 @@ std::vector<Workload> specSuite();
 /** Look up one workload by name across both suites. */
 Workload findWorkload(const std::string &name);
 
+/**
+ * Non-fatal lookup for long-running callers (the service layer) that
+ * must classify a bad name as a malformed request instead of exiting:
+ * true and *out filled when @p name is bundled, false otherwise.
+ */
+bool tryFindWorkload(const std::string &name, Workload *out);
+
 } // namespace diag::workloads
 
 #endif // DIAG_WORKLOADS_WORKLOAD_HPP

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <stdexcept>
 #include <vector>
@@ -143,4 +144,129 @@ TEST(ParallelMap, ParallelForTouchesEachIndexOnce)
                 [&hits](size_t i) { ++hits[i]; });
     for (size_t i = 0; i < hits.size(); ++i)
         EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ExceptionStormAllFuturesObserved)
+{
+    // Many throwing tasks under contention: every future must carry
+    // either its value or its exception — none lost, none doubled,
+    // and the pool must stay usable throughout.
+    ThreadPool pool(4);
+    constexpr unsigned kTasks = 600;
+    std::vector<std::future<int>> futs;
+    futs.reserve(kTasks);
+    for (unsigned i = 0; i < kTasks; ++i)
+        futs.push_back(pool.submit([i]() -> int {
+            if (i % 3 == 0)
+                throw std::runtime_error("storm");
+            return static_cast<int>(i);
+        }));
+    unsigned threw = 0, returned = 0;
+    for (unsigned i = 0; i < kTasks; ++i) {
+        try {
+            const int v = pool.wait(std::move(futs[i]));
+            EXPECT_EQ(v, static_cast<int>(i));
+            ++returned;
+        } catch (const std::runtime_error &) {
+            ++threw;
+        }
+    }
+    EXPECT_EQ(threw, kTasks / 3);
+    EXPECT_EQ(returned, kTasks - kTasks / 3);
+    // And the pool still executes fresh work afterwards.
+    EXPECT_EQ(pool.wait(pool.submit([]() { return 5; })), 5);
+}
+
+TEST(ThreadPool, ShutdownWhileQueuedFulfillsEveryPromise)
+{
+    // Destroy the pool while tasks (some throwing) are still queued:
+    // the destructor must drain them, so every future observed *after*
+    // destruction is ready with its value or exception — shutdown may
+    // never leave a broken promise behind.
+    std::vector<std::future<int>> futs;
+    {
+        // 0 workers: nothing runs until the destructor's drain loop.
+        ThreadPool pool(0);
+        for (int i = 0; i < 50; ++i)
+            futs.push_back(pool.submit([i]() -> int {
+                if (i % 5 == 0)
+                    throw std::logic_error("queued at shutdown");
+                return i;
+            }));
+        for (const auto &f : futs)
+            EXPECT_TRUE(f.valid());
+    }
+    int threw = 0;
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_EQ(futs[static_cast<size_t>(i)].wait_for(
+                      std::chrono::seconds(0)),
+                  std::future_status::ready)
+            << "task " << i << " dropped at shutdown";
+        try {
+            EXPECT_EQ(futs[static_cast<size_t>(i)].get(), i);
+        } catch (const std::logic_error &) {
+            ++threw;
+        }
+    }
+    EXPECT_EQ(threw, 10);
+}
+
+TEST(ThreadPool, TrySubmitRejectsWhenSaturated)
+{
+    // 0 workers means nothing dequeues: pending() counts exactly the
+    // submissions, so the watermark is deterministic.
+    ThreadPool pool(0);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 4; ++i) {
+        auto f = pool.trySubmit([i]() { return i; }, 4);
+        ASSERT_TRUE(f.has_value()) << "rejected below the watermark";
+        futs.push_back(std::move(*f));
+    }
+    EXPECT_EQ(pool.pending(), 4u);
+    EXPECT_FALSE(pool.trySubmit([]() { return -1; }, 4).has_value());
+    // Draining reopens the gate.
+    for (auto &f : futs)
+        pool.wait(std::move(f));
+    EXPECT_EQ(pool.pending(), 0u);
+    EXPECT_TRUE(pool.trySubmit([]() { return 9; }, 4).has_value());
+}
+
+TEST(ParallelMap, CancelledTokenSkipsRemainingTasks)
+{
+    // A token cancelled before the fan-out starts leaves every slot
+    // default-constructed — the subset property in its purest form.
+    CancelToken tok;
+    tok.cancel();
+    const auto out = parallelMap<int>(
+        1, 16, [](size_t) { return 7; }, &tok);
+    ASSERT_EQ(out.size(), 16u);
+    for (const int v : out)
+        EXPECT_EQ(v, 0);
+}
+
+TEST(ParallelMap, MidRunCancelStopsSerialFanOut)
+{
+    // Serial path: cancel fired by task 5 must stop the loop there.
+    CancelToken tok;
+    std::vector<int> ran;
+    parallelMap<int>(1, 100, [&tok, &ran](size_t i) {
+        ran.push_back(static_cast<int>(i));
+        if (i == 5)
+            tok.cancel();
+        return 1;
+    }, &tok);
+    EXPECT_EQ(ran.size(), 6u);
+}
+
+TEST(ParallelMap, ExpiredDeadlineBehavesLikeCancel)
+{
+    const CancelToken tok = CancelToken::expiredToken();
+    EXPECT_TRUE(tok.expired());
+    EXPECT_TRUE(tok.stopRequested());
+    for (unsigned jobs : {1u, 4u}) {
+        const auto out = parallelMap<int>(
+            jobs, 32, [](size_t) { return 3; }, &tok);
+        for (const int v : out)
+            EXPECT_EQ(v, 0) << "jobs=" << jobs;
+    }
 }

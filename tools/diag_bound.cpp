@@ -28,7 +28,7 @@
  * bug), and a prediction off by more than --slack fails (model drift).
  *
  * Exit status: 0 when no errors and validation holds (no warnings
- * either under --werror), 1 otherwise, 2 on usage errors.
+ * either under --werror), 1 otherwise (usage errors included).
  */
 #include <cstdio>
 #include <fstream>
@@ -200,7 +200,7 @@ main(int argc, char **argv)
     case harness::ArgParser::Status::Help:
         return 0;
     case harness::ArgParser::Status::Usage:
-        return 2;
+        return 1;
     case harness::ArgParser::Status::Run:
         break;
     }

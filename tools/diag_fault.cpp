@@ -13,6 +13,9 @@
  *     --jobs N            host threads running trials (default: one
  *                         per hardware thread; 1 = serial). The JSON
  *                         report is byte-identical for any N.
+ *     --trial-timeout-ms MS  wall-clock watchdog per trial (default
+ *                         120000, 0 = uncapped) so one pathological
+ *                         seed cannot wedge a CI job
  *     --json FILE         write the JSON report to FILE ("-" = stdout)
  *     --assert-no-sdc     exit 1 if any undetected SDC occurred
  *     --verbose           narrate every trial (line order may vary
@@ -100,6 +103,11 @@ main(int argc, char **argv)
         .flag("--no-lockstep", &no_lockstep,
               "disable the golden-lockstep oracle")
         .jobsFlag(&spec.jobs)
+        .option("--trial-timeout-ms", &spec.host_trial_timeout_ms,
+                "MS",
+                "wall-clock cap per trial, 0 = uncapped (default "
+                "120000); exceeding it classifies the trial as a "
+                "hang by the host watchdog")
         .option("--json", &json_path, "FILE",
                 "write the JSON report to FILE (\"-\" = stdout)")
         .flag("--assert-no-sdc", &assert_no_sdc,

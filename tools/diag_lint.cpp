@@ -18,7 +18,7 @@
  * vs. loaded clusters, I-line straddles).
  *
  * Exit status: 0 when no errors (no warnings either under --werror),
- * 1 when findings fail that bar, 2 on usage errors.
+ * 1 when findings fail that bar or on usage errors.
  */
 #include <cstdio>
 #include <fstream>
@@ -130,7 +130,7 @@ main(int argc, char **argv)
     case harness::ArgParser::Status::Help:
         return 0;
     case harness::ArgParser::Status::Usage:
-        return 2;
+        return 1;
     case harness::ArgParser::Status::Run:
         break;
     }

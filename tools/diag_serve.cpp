@@ -1,0 +1,262 @@
+/**
+ * @file
+ * diag-serve: the fault-tolerant batched simulation service CLI.
+ *
+ * Two modes:
+ *
+ *   diag-serve --batch FILE [options]
+ *     One-shot: submit every request in FILE through the real
+ *     threaded SimService and print one response JSON line per
+ *     request (in submit order) plus a service-stats summary.
+ *     FILE holds one request per line:
+ *        WORKLOAD [CONFIG] [THREADS] [low|normal|high] [DEADLINE_MS]
+ *     ('#' starts a comment; later fields default to F4C16 / 1 /
+ *     normal / the service default deadline). "-" reads stdin.
+ *
+ *   diag-serve --soak [options]
+ *     Self-driving synthetic load on the deterministic soak DES:
+ *     unique request contents are simulated once (in parallel,
+ *     --jobs), then admission/shedding/deadlines/retries/breaker/
+ *     cache replay on a virtual timeline. The JSON report is
+ *     byte-identical for any --jobs value, including under fault
+ *     injection (--crash-pct/--stall-pct/--corrupt-pct).
+ *
+ * Common service knobs: --workers, --queue-capacity, --deadline-ms,
+ * --max-attempts, --restart-budget, --no-cache, --subprocess
+ * (batch mode only: run each attempt in a forked, crash-isolated
+ * child), --seed.
+ *
+ * Exit codes: 0 ran (and --assert-robust held), 1 usage error or
+ * robustness assertion failure.
+ */
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "harness/cli.hpp"
+#include "serve/service.hpp"
+#include "serve/soak.hpp"
+
+using namespace diag;
+
+namespace
+{
+
+/** Parse one batch line into a request; false on malformed syntax
+ *  (semantic validation happens in the service). */
+bool
+parseBatchLine(const std::string &line, u64 id, u64 default_deadline,
+               serve::SimRequest *out)
+{
+    std::istringstream is(line);
+    serve::SimRequest q;
+    q.id = id;
+    q.deadline_ms = default_deadline;
+    if (!(is >> q.workload))
+        return false;
+    std::string prio;
+    if (is >> q.config && is >> q.threads && is >> prio) {
+        if (prio == "low")
+            q.priority = serve::Priority::Low;
+        else if (prio == "normal")
+            q.priority = serve::Priority::Normal;
+        else if (prio == "high")
+            q.priority = serve::Priority::High;
+        else
+            return false;
+        u64 dl;
+        if (is >> dl)
+            q.deadline_ms = dl;
+    }
+    *out = q;
+    return true;
+}
+
+int
+runBatch(const std::string &path, const serve::ServiceConfig &cfg)
+{
+    std::ifstream file;
+    std::istream *in = &std::cin;
+    if (path != "-") {
+        file.open(path);
+        fatal_if(!file.good(), "cannot read '%s'", path.c_str());
+        in = &file;
+    }
+
+    std::vector<serve::SimRequest> reqs;
+    std::string line;
+    while (std::getline(*in, line)) {
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        serve::SimRequest q;
+        if (!parseBatchLine(line, reqs.size() + 1,
+                            cfg.default_deadline_ms, &q)) {
+            std::fprintf(stderr,
+                         "diag-serve: bad batch line: %s\n",
+                         line.c_str());
+            return 1;
+        }
+        reqs.push_back(std::move(q));
+    }
+
+    serve::SimService svc(cfg);
+    std::vector<serve::SimService::Ticket> tickets;
+    tickets.reserve(reqs.size());
+    for (const serve::SimRequest &q : reqs)
+        tickets.push_back(svc.submit(q));
+    for (serve::SimService::Ticket &t : tickets) {
+        const serve::SimResponse r = t.result.get();
+        const std::string json = serve::renderResponseJson(r);
+        std::printf("%s\n", json.c_str());
+    }
+
+    const serve::ServiceStats s = svc.stats();
+    const serve::ResultCache::Stats c = svc.cacheStats();
+    std::printf(
+        "{\"summary\": {\"submitted\": %llu, \"ok\": %llu, "
+        "\"failed\": %llu, \"expired\": %llu, \"rejected\": %llu, "
+        "\"shed\": %llu, \"malformed\": %llu, \"retries\": %llu, "
+        "\"worker_crashes\": %llu, \"worker_stalls\": %llu, "
+        "\"cache_hits\": %llu, \"breaker\": \"%s\"}}\n",
+        static_cast<unsigned long long>(s.submitted),
+        static_cast<unsigned long long>(s.ok),
+        static_cast<unsigned long long>(s.failed),
+        static_cast<unsigned long long>(s.expired),
+        static_cast<unsigned long long>(s.rejected_full),
+        static_cast<unsigned long long>(s.shed),
+        static_cast<unsigned long long>(s.malformed),
+        static_cast<unsigned long long>(s.retries),
+        static_cast<unsigned long long>(s.worker_crashes),
+        static_cast<unsigned long long>(s.worker_stalls),
+        static_cast<unsigned long long>(c.hits),
+        svc.breakerState());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string batch_path;
+    bool soak = false;
+    std::string json_path;
+    bool assert_robust = false;
+    bool subprocess = false;
+    bool no_cache = false;
+    serve::SoakSpec sp;
+    sp.jobs = 0; // CLI default: one per hardware thread
+    // 0 / kUnset mean "mode default" (batch and soak differ).
+    const u64 kUnset = ~0ull;
+    unsigned workers = 0;
+    u64 queue_capacity = 0;
+    u64 deadline_ms = kUnset;
+    unsigned max_attempts = 3;
+
+    harness::ArgParser ap("diag-serve");
+    ap.option("--batch", &batch_path, "FILE",
+              "submit the requests in FILE through the threaded "
+              "service (\"-\" = stdin)")
+        .flag("--soak", &soak,
+              "deterministic synthetic-load soak on the virtual-"
+              "time DES")
+        .option("--requests", &sp.requests, "N",
+                "soak: synthetic requests to generate (default 200)")
+        .seedFlag(&sp.seed)
+        .jobsFlag(&sp.jobs)
+        .option("--workers", &workers, "N",
+                "service worker threads / soak virtual workers "
+                "(default 2 / 4)")
+        .option("--queue-capacity", &queue_capacity, "N",
+                "admission queue bound (default 64 / soak 16)")
+        .option("--deadline-ms", &deadline_ms, "MS",
+                "default per-request deadline (batch default 30000, "
+                "soak 60 virtual ms; 0 = none)")
+        .option("--max-attempts", &max_attempts, "N",
+                "attempts per request incl. the first (default 3)")
+        .option("--crash-pct", &sp.faults.crash_pct, "P",
+                "inject: P% of attempts crash their worker")
+        .option("--stall-pct", &sp.faults.stall_pct, "P",
+                "inject: P% of attempts stall until killed")
+        .option("--corrupt-pct", &sp.faults.corrupt_pct, "P",
+                "inject: P% of cache inserts are corrupted")
+        .option("--restart-budget", &sp.restart_budget, "N",
+                "worker crashes tolerated before the circuit "
+                "breaker opens (default 8)")
+        .flag("--subprocess", &subprocess,
+              "batch: crash-isolate each attempt in a forked child")
+        .flag("--no-cache", &no_cache,
+              "disable the content-hash result cache")
+        .option("--json", &json_path, "FILE",
+                "soak: write the JSON report to FILE (\"-\" = "
+                "stdout only)")
+        .flag("--assert-robust", &assert_robust,
+              "soak: exit 1 unless every request resolved and no "
+              "payload deviated from its golden run");
+    switch (ap.parse(argc, argv)) {
+    case harness::ArgParser::Status::Help:
+        return 0;
+    case harness::ArgParser::Status::Usage:
+        return 1;
+    case harness::ArgParser::Status::Run:
+        break;
+    }
+    if (soak != batch_path.empty()) {
+        ap.usage();
+        std::fprintf(stderr,
+                     "diag-serve: pass exactly one of --batch FILE "
+                     "or --soak\n");
+        return 1;
+    }
+
+    if (soak) {
+        if (workers != 0)
+            sp.virtual_workers = workers;
+        if (queue_capacity != 0)
+            sp.queue.capacity = queue_capacity;
+        if (deadline_ms != kUnset)
+            sp.deadline_ms = deadline_ms;
+        sp.retry.max_attempts = max_attempts;
+        sp.cache_enabled = !no_cache;
+        const serve::SoakReport rep = serve::runSoak(sp);
+        const std::string json = serve::renderSoakJson(sp, rep);
+        std::fwrite(json.data(), 1, json.size(), stdout);
+        if (!json_path.empty() && json_path != "-") {
+            std::ofstream out(json_path);
+            fatal_if(!out.good(), "cannot write '%s'",
+                     json_path.c_str());
+            out << json;
+        }
+        if (assert_robust && !rep.robust()) {
+            std::fprintf(stderr,
+                         "ASSERTION FAILED: %llu wrong payload(s), "
+                         "%llu unresolved request(s)\n",
+                         static_cast<unsigned long long>(
+                             rep.wrong_payloads),
+                         static_cast<unsigned long long>(
+                             rep.unresolved));
+            return 1;
+        }
+        return 0;
+    }
+
+    serve::ServiceConfig cfg;
+    cfg.workers = workers != 0 ? workers : 2;
+    cfg.queue.capacity = queue_capacity != 0 ? queue_capacity : 64;
+    cfg.retry.max_attempts = max_attempts;
+    cfg.faults = sp.faults;
+    cfg.subprocess = subprocess;
+    cfg.restart_budget = sp.restart_budget;
+    cfg.default_deadline_ms =
+        deadline_ms != kUnset ? deadline_ms : 30000;
+    cfg.cache_enabled = !no_cache;
+    cfg.seed = sp.seed;
+    return runBatch(batch_path, cfg);
+}

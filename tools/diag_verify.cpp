@@ -19,7 +19,7 @@
  *
  * Exit status: 0 when every unit verifies clean (or the whole corpus
  * holds up), 1 on refuted properties / unsound verdicts (or warnings
- * under --werror), 2 on usage errors.
+ * under --werror) and on usage errors.
  */
 #include <cstdio>
 #include <filesystem>
@@ -54,6 +54,7 @@ struct Options
     unsigned rings = 0;  //!< 0 = keep the preset's ring count
     unsigned jobs = 0;   //!< host threads for the sweep (0 = auto)
     unsigned fuzz = 0;   //!< 0 = verification mode
+    u64 fuzz_timeout_ms = 60000; //!< host watchdog per fuzz seed
     u64 seed = 1;
     bool all_workloads = false;
     bool json = false;
@@ -127,7 +128,8 @@ int
 runFuzz(const Options &opt, const core::DiagConfig &cfg)
 {
     const harness::VerifyFuzzReport rep = harness::runVerifyFuzz(
-        cfg, opt.seed, opt.fuzz, opt.jobs, profileByName(opt.profile));
+        cfg, opt.seed, opt.fuzz, opt.jobs, profileByName(opt.profile),
+        opt.fuzz_timeout_ms);
     std::fputs(harness::renderVerifyFuzz(rep, opt.verbose).c_str(),
                stdout);
     if (!opt.dump_dir.empty() && !rep.ok()) {
@@ -172,6 +174,9 @@ main(int argc, char **argv)
                 "cross-validate verdicts on N generated programs")
         .option("--profile", &opt.profile, "scalar|simt|mixed",
                 "fuzz generator profile (default mixed)")
+        .option("--fuzz-timeout-ms", &opt.fuzz_timeout_ms, "MS",
+                "wall-clock cap per fuzz seed, 0 = uncapped "
+                "(default 60000)")
         .seedFlag(&opt.seed)
         .option("--dump-failing", &opt.dump_dir, "DIR",
                 "write failing fuzz programs into DIR")
@@ -184,7 +189,7 @@ main(int argc, char **argv)
     case harness::ArgParser::Status::Help:
         return 0;
     case harness::ArgParser::Status::Usage:
-        return 2;
+        return 1;
     case harness::ArgParser::Status::Run:
         break;
     }
@@ -196,8 +201,12 @@ main(int argc, char **argv)
 
     if (!opt.all_workloads && opt.workload.empty() &&
         opt.files.empty()) {
+        std::fprintf(stderr,
+                     "diag-verify: error: nothing to verify (give "
+                     "--workload, --all-workloads, --fuzz, or a "
+                     "program file)\n");
         ap.usage();
-        return 2;
+        return 1;
     }
 
     // Collect every unit first (cheap), then fan the verification out
