@@ -8,6 +8,14 @@
  */
 #include <benchmark/benchmark.h>
 
+// Same bar as bench_sim_speed: throughput from an unoptimized build
+// is not a measurement. Opt in explicitly to compile one anyway.
+#if !defined(__OPTIMIZE__) && !defined(DIAG_ALLOW_DEBUG_BENCH)
+#error "bench_serve_throughput requires an optimized build: configure \
+with -DCMAKE_BUILD_TYPE=Release (or pass -DDIAG_ALLOW_DEBUG_BENCH=ON \
+to measure a debug build anyway)"
+#endif
+
 #include <vector>
 
 #include "serve/service.hpp"

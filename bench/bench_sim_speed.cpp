@@ -6,6 +6,15 @@
  */
 #include <benchmark/benchmark.h>
 
+// Throughput numbers from an unoptimized build measure the compiler,
+// not the simulator, and have been committed as baselines by mistake
+// before. Refuse to compile unless the caller explicitly opts in.
+#if !defined(__OPTIMIZE__) && !defined(DIAG_ALLOW_DEBUG_BENCH)
+#error "bench_sim_speed requires an optimized build: configure with \
+-DCMAKE_BUILD_TYPE=Release (or pass -DDIAG_ALLOW_DEBUG_BENCH=ON to \
+measure a debug build anyway)"
+#endif
+
 #include "asm/assembler.hpp"
 #include "diag/processor.hpp"
 #include "ooo/processor.hpp"
@@ -87,4 +96,26 @@ BENCHMARK(BM_Assembler);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus context the stock JSON lacks: the benchmark
+// library's own "library_build_type" reports how *libbenchmark* was
+// compiled, so record whether the simulator under test was optimized
+// and which build type produced it.
+int
+main(int argc, char **argv)
+{
+#ifdef __OPTIMIZE__
+    benchmark::AddCustomContext("diag_optimized", "true");
+#else
+    benchmark::AddCustomContext("diag_optimized", "false");
+#endif
+#ifdef DIAG_BENCH_BUILD_TYPE
+    benchmark::AddCustomContext("diag_build_type",
+                                DIAG_BENCH_BUILD_TYPE);
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -8,6 +8,7 @@
 #include "isa/decoder.hpp"
 #include "isa/exec.hpp"
 #include "isa/latency.hpp"
+#include "trace/addr_trace.hpp"
 
 namespace diag::core
 {
@@ -226,6 +227,8 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
 
         if (di.isLoad()) {
             const Addr ea = effectiveAddr(di, lane_value(di.rs1));
+            if (atrc_)
+                atrc_->access(addr, ea);
             const Cycle addr_ready = start + 1;  // address generation
             const Cycle issue =
                 std::max(addr_ready, tmc.storeAddrGate());
@@ -289,6 +292,8 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
         pc_seg = seg;
         if (is_store) {
             // Stores commit when the PC lane passes (paper §4.3).
+            if (atrc_)
+                atrc_->access(addr, store_ea);
             if (fc_)
                 fc_->onStoreCommit(
                     store_ea, store_size,

@@ -23,6 +23,11 @@ namespace diag::fault
 class FaultController;
 }
 
+namespace diag::trace
+{
+class AddrTrace;
+}
+
 namespace diag::core
 {
 
@@ -104,6 +109,11 @@ class ActivationEngine
         ring_ = static_cast<u8>(ring);
     }
 
+    /** Attach (or detach with nullptr) the address recorder for the
+     *  stream validator. Same hot-path contract: one null check when
+     *  detached, and the hook never feeds back into timing. */
+    void setAddrTrace(trace::AddrTrace *t) { atrc_ = t; }
+
   private:
     /** Cycles until a load's data is available, with full accounting.
      *  @p pe is the issuing PE slot (keys the stride prefetcher). */
@@ -120,6 +130,7 @@ class ActivationEngine
     u32 line_bytes_;
     fault::FaultController *fc_ = nullptr; //!< null = injection off
     trace::Tracer *trc_ = nullptr;         //!< null = tracing off
+    trace::AddrTrace *atrc_ = nullptr;     //!< null = no address log
     u8 ring_ = 0;                          //!< ring id for trace tracks
 };
 

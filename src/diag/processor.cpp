@@ -55,6 +55,13 @@ DiagProcessor::attachTrace(trace::Tracer *t)
 }
 
 void
+DiagProcessor::attachAddrTrace(trace::AddrTrace *t)
+{
+    for (auto &ring : rings_)
+        ring->setAddrTrace(t);
+}
+
+void
 DiagProcessor::lintStrict(const Program &prog,
                           const std::vector<ThreadSpec> &threads) const
 {

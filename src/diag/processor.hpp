@@ -83,6 +83,15 @@ class DiagProcessor
     void attachTrace(trace::Tracer *t);
 
     /**
+     * Attach (or detach with nullptr) the stream validator's address
+     * recorder: every ring records simt region launch parameters and
+     * the effective address of each executed load/store inside regions
+     * (DESIGN.md §14). Same contract as attachTrace — purely
+     * observational, caller-owned, worker-confined.
+     */
+    void attachAddrTrace(trace::AddrTrace *t);
+
+    /**
      * Attach (or detach with nullptr) a cooperative cancellation
      * token (host::CancelToken): every ring polls it at activation
      * boundaries and a fired token stops the run with a structured

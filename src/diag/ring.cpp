@@ -10,6 +10,7 @@
 #include "fault/controller.hpp"
 #include "fault/watchdog.hpp"
 #include "isa/decoder.hpp"
+#include "trace/addr_trace.hpp"
 
 namespace diag::core
 {
@@ -53,6 +54,13 @@ Ring::setTracer(trace::Tracer *t)
 {
     trc_ = t;
     engine_.setTracer(t, index_);
+}
+
+void
+Ring::setAddrTrace(trace::AddrTrace *t)
+{
+    atrc_ = t;
+    engine_.setAddrTrace(t);
 }
 
 unsigned
@@ -654,6 +662,8 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
     if (trc_)
         trc_->regionEnter(static_cast<u8>(index_), simt_s_pc, resolve,
                           trips);
+    if (atrc_)
+        atrc_->regionEnter(simt_s_pc, rc0, step, trips);
 
     // Region lines; pin them so stage clusters are never evicted.
     const Addr first_line = alignDown(simt_s_pc + 4, line_bytes_);
@@ -701,8 +711,11 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
     LaneFile last_regs = regs;
 
     for (u64 k = 0; k < trips; ++k) {
-        if (cfg_.max_cycles != 0 && launch > cfg_.max_cycles)
+        if (cfg_.max_cycles != 0 && launch > cfg_.max_cycles) {
+            if (atrc_)
+                atrc_->regionExit(); // close the partial entry record
             return false; // structured timeout, not an endless spin
+        }
         const auto &my_stages = stage[k % replicas];
         LaneFile thr = regs;
         thr[f.rc] = {rc0 + static_cast<u32>(k) * step, launch,
@@ -788,6 +801,8 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
     if (trc_)
         trc_->regionExit(static_cast<u8>(index_), simt_s_pc, resolve,
                          last_exit_resolve + cfg_.inter_cluster_latch);
+    if (atrc_)
+        atrc_->regionExit();
     pc_enter = last_exit_resolve + cfg_.inter_cluster_latch;
     min_start = 0;
     for (LaneState &l : regs)

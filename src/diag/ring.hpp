@@ -64,6 +64,13 @@ class Ring
      *  as an untraced one. */
     void setTracer(trace::Tracer *t);
 
+    /** Attach (or detach with nullptr) the stream validator's address
+     *  recorder; forwards to the activation engine. Region entries
+     *  record their launch parameters (rc0/step/trips) so predicted
+     *  affine maps can be replayed against observed addresses. Same
+     *  zero-overhead contract as setTracer. */
+    void setAddrTrace(trace::AddrTrace *t);
+
     /**
      * Attach (or detach with nullptr) a cooperative cancellation
      * token. runThread polls it at activation boundaries (the
@@ -145,6 +152,7 @@ class Ring
     u32 line_bytes_;
     fault::FaultController *faults_ = nullptr; //!< null = no injection
     trace::Tracer *trc_ = nullptr;             //!< null = tracing off
+    trace::AddrTrace *atrc_ = nullptr;         //!< null = no addr log
     const host::CancelToken *cancel_ = nullptr; //!< null = no watchdog
 };
 

@@ -74,10 +74,15 @@ runOnDiag(const core::DiagConfig &cfg, const Workload &w,
         run.trace = std::make_shared<trace::Tracer>(*spec.trace);
         proc.attachTrace(run.trace.get());
     }
+    if (spec.record_addrs) {
+        run.addrs = std::make_shared<trace::AddrTrace>();
+        proc.attachAddrTrace(run.addrs.get());
+    }
     if (spec.cancel)
         proc.attachCancel(spec.cancel);
     run.stats = proc.runThreads(prog, specs, w.max_insts);
     proc.attachTrace(nullptr);
+    proc.attachAddrTrace(nullptr);
     proc.attachCancel(nullptr);
     if (!run.stats.halted) {
         const char *why = run.stats.stop_reason.empty()

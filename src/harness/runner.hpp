@@ -16,6 +16,7 @@
 #include "host/cancel.hpp"
 #include "ooo/config.hpp"
 #include "sim/run_stats.hpp"
+#include "trace/addr_trace.hpp"
 #include "trace/tracer.hpp"
 #include "workloads/workload.hpp"
 
@@ -37,6 +38,13 @@ struct RunSpec
      *  The pointee must outlive the run. Ignored by the OoO baseline
      *  (no trace hooks). */
     const trace::TraceConfig *trace = nullptr;
+    /** When true, runOnDiag creates a trace::AddrTrace inside the
+     *  owning worker, attaches it for the run, and returns it in
+     *  EngineRun::addrs — the per-instruction address log the stream
+     *  validator replays against predicted affine maps (DESIGN.md
+     *  §14). Same confinement rules as `trace`. Ignored by the OoO
+     *  baseline. */
+    bool record_addrs = false;
     /** When set, the engine polls this token at activation boundaries
      *  and a fired token (explicit cancel or expired wall-clock
      *  deadline) stops the run with RunStats::timed_out and a
@@ -56,6 +64,9 @@ struct EngineRun
      *  read it after the owning worker completed — i.e. after
      *  runOnDiag/runMatrix returned. */
     std::shared_ptr<trace::Tracer> trace;
+    /** The run's address log when RunSpec::record_addrs was set (else
+     *  null). Same read-after-worker rule as `trace`. */
+    std::shared_ptr<trace::AddrTrace> addrs;
 };
 
 /** Run @p w on a DiAG configuration. */

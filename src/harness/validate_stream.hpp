@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Trace-differential validation of the stream analyzer (`diag-stream
+ * --validate`, DESIGN.md §14): run a workload's simt variant with the
+ * per-instruction address recorder attached, then replay every region
+ * entry's recorded addresses against the statically predicted affine
+ * maps. A proven-affine stream whose observed sequence deviates from
+ * `addr[k] = addr[0] + k*stride` — or a proven bank-conflict-free
+ * stream with an observed same-bank consecutive pair — is a soundness
+ * bug in the analyzer and fails the validation.
+ */
+#ifndef DIAG_HARNESS_VALIDATE_STREAM_HPP
+#define DIAG_HARNESS_VALIDATE_STREAM_HPP
+
+#include <string>
+#include <vector>
+
+#include "analysis/stream.hpp"
+#include "diag/config.hpp"
+#include "workloads/workload.hpp"
+
+namespace diag::harness
+{
+
+/** Replay outcome for one static simt region (all entries pooled). */
+struct StreamRegionCheck
+{
+    Addr pc = 0;               //!< simt_s address
+    u64 entries = 0;           //!< recorded pipelined entries
+    u64 threads = 0;           //!< threads launched across entries
+    unsigned affine_streams = 0;   //!< proven-affine streams checked
+    unsigned affine_ok = 0;        //!< ... whose replay matched
+    unsigned bank_streams = 0;     //!< proven conflict-free checked
+    unsigned bank_ok = 0;          //!< ... with zero observed conflicts
+    bool launch_ok = true;     //!< recorded step/trips match the proof
+    /** One line per deviation (deterministic order). */
+    std::vector<std::string> failures;
+
+    bool ok() const { return launch_ok && failures.empty(); }
+};
+
+/** Whole-workload stream validation. */
+struct StreamValidation
+{
+    std::string workload;
+    std::string config;
+    u64 regions_entered = 0;  //!< static regions seen at run time
+    u64 regions_static = 0;   //!< regions the analyzer classified
+    std::vector<StreamRegionCheck> regions; //!< by simt_s pc
+
+    /** True iff every entered region replayed clean. */
+    bool ok() const;
+};
+
+/**
+ * Run the simt variant of @p w single-threaded on @p cfg with the
+ * address recorder attached, then check every recorded region entry
+ * against the analyzer's verdicts. Regions never pipelined at run
+ * time are reported (entries = 0) but cannot fail.
+ */
+StreamValidation validateStream(const core::DiagConfig &cfg,
+                                const workloads::Workload &w);
+
+/** One validation of the sweep matrix (workload pointer must outlive
+ *  validateStreamMany(); shared read-only across host workers). */
+struct StreamCell
+{
+    core::DiagConfig cfg;
+    const workloads::Workload *w = nullptr;
+};
+
+/**
+ * validateStream() for every cell, fanned out over up to @p jobs host
+ * threads (0 = one per hardware thread). Each cell simulates and
+ * records on its own engine instance inside its worker; reports come
+ * back in cell order, so rendered sweep output is byte-identical for
+ * any job count.
+ */
+std::vector<StreamValidation>
+validateStreamMany(const std::vector<StreamCell> &cells, unsigned jobs);
+
+/** Human-readable validation table (one block per region). */
+std::string renderStreamValidation(const StreamValidation &r);
+
+/** JSON object for the goldens / CI sweep. */
+std::string renderStreamValidationJson(const StreamValidation &r);
+
+} // namespace diag::harness
+
+#endif // DIAG_HARNESS_VALIDATE_STREAM_HPP

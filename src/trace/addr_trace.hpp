@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Lightweight per-run address recorder for the stream-analysis
+ * differential validator (`harness::validateStream`, DESIGN.md §14).
+ *
+ * Unlike the event Tracer's RingBufferSink — which drops oldest events
+ * under pressure — validation needs every address of every region in
+ * order, so this recorder is its own lossless structure, bounded by a
+ * generous per-instruction cap (overflow keeps counting but stops
+ * storing, and the validator checks only the stored prefix).
+ *
+ * Hook contract (same as trace::Tracer, DESIGN.md §11): the engine
+ * holds a nullable pointer and every hook costs one null check when
+ * detached; hooks observe computed values only and never feed back
+ * into Cycle arithmetic, so a recorded run retires on exactly the
+ * cycles of an unrecorded one. The recorder is unsynchronized: it must
+ * stay confined to the host worker that owns the processor
+ * (RunSpec::record_addrs creates it inside that worker).
+ */
+#ifndef DIAG_TRACE_ADDR_TRACE_HPP
+#define DIAG_TRACE_ADDR_TRACE_HPP
+
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace diag::trace
+{
+
+/** Records per-instruction address sequences inside simt regions. */
+class AddrTrace
+{
+  public:
+    /** Stored addresses per memory pc (beyond this, only counted). */
+    static constexpr u64 kMaxPerPc = u64{1} << 16;
+
+    /** One pipelined entry of one region: the launch parameters the
+     *  ring computed plus every address each memory pc issued, in
+     *  thread order (the pipeline launches threads sequentially). */
+    struct Region
+    {
+        Addr simt_s_pc = 0;
+        u32 rc0 = 0;
+        u32 step = 0;
+        u64 trips = 0;
+        std::map<Addr, std::vector<u32>> addrs; //!< stored prefix
+        std::map<Addr, u64> counts;             //!< true totals
+    };
+
+    std::vector<Region> regions;
+
+    void
+    regionEnter(Addr simt_s_pc, u32 rc0, u32 step, u64 trips)
+    {
+        Region r;
+        r.simt_s_pc = simt_s_pc;
+        r.rc0 = rc0;
+        r.step = step;
+        r.trips = trips;
+        regions.push_back(std::move(r));
+        open_ = true;
+    }
+
+    void regionExit() { open_ = false; }
+
+    /** Record one executed access (@p pc the instruction, @p ea the
+     *  effective address). No-op outside a region. */
+    void
+    access(Addr pc, Addr ea)
+    {
+        if (!open_)
+            return;
+        Region &r = regions.back();
+        if (r.counts[pc]++ < kMaxPerPc)
+            r.addrs[pc].push_back(ea);
+    }
+
+  private:
+    bool open_ = false; //!< between regionEnter and regionExit
+};
+
+} // namespace diag::trace
+
+#endif // DIAG_TRACE_ADDR_TRACE_HPP

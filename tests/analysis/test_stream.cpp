@@ -1,0 +1,284 @@
+/**
+ * Stream analyzer tests: the classification lattice (affine with a
+ * proven stride, indirect through an affine index load, loop-carried
+ * pointer-chase, opaque-base unknown), the provable L1D bank verdicts
+ * (conflict-free vs single-bank serialized), footprint/reuse
+ * estimates, and the trace-differential validation contract — every
+ * proven-affine verdict must match the simulator's recorded
+ * addresses, recording must not change any cycle, and the fan-out
+ * sweep must render byte-identically for any job count.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/lint.hpp"
+#include "analysis/stream.hpp"
+#include "asm/assembler.hpp"
+#include "harness/runner.hpp"
+#include "harness/validate_stream.hpp"
+#include "workloads/workload.hpp"
+
+using namespace diag;
+using namespace diag::analysis;
+
+namespace
+{
+
+StreamResult
+analyze(const std::string &src, LintResult &report,
+        const LintOptions &opt = {})
+{
+    return analyzeStreams(assembler::assemble(src), opt, report);
+}
+
+bool
+has(const LintResult &r, Severity sev, const std::string &needle)
+{
+    for (const Diagnostic &d : r.diags) {
+        if (d.pass == "stream" && d.severity == sev &&
+            d.message.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+const StreamInfo *
+findStream(const RegionStreams &rs, StreamKind kind)
+{
+    for (const StreamInfo &s : rs.streams)
+        if (s.kind == kind)
+            return &s;
+    return nullptr;
+}
+
+/** Unit-stride region: each thread loads and stores its own word. */
+const char *kAffine = R"(
+    _start:
+        li s2, 0x100000
+        li a2, 0
+        li a3, 4
+        li a4, 64
+    head:
+        simt_s a2, a3, a4, 1
+        add t5, s2, a2
+        lw t4, 0(t5)
+        addi t4, t4, 1
+        sw t4, 0(t5)
+        simt_e a2, a4, head
+        ebreak
+)";
+
+/** Stride 32 with 4 word-interleaved banks: every access of the
+ *  stream lands on one bank (32/8 = 4 words = the bank count). */
+const char *kBankSerialized = R"(
+    _start:
+        li s2, 0x100000
+        li a2, 0
+        li a3, 32
+        li a4, 512
+    head:
+        simt_s a2, a3, a4, 1
+        add t5, s2, a2
+        lw t4, 0(t5)
+        simt_e a2, a4, head
+        ebreak
+)";
+
+/** Gather: an affine index load feeds the address of a second load. */
+const char *kIndirect = R"(
+    _start:
+        li s2, 0x100000
+        li s3, 0x200000
+        li a2, 0
+        li a3, 4
+        li a4, 64
+    head:
+        simt_s a2, a3, a4, 1
+        add t0, s2, a2
+        lw t1, 0(t0)
+        slli t2, t1, 2
+        add t2, s3, t2
+        lw t3, 0(t2)
+        simt_e a2, a4, head
+        ebreak
+)";
+
+/** Serial linked-list walk: the loaded value is the next address. */
+const char *kPointerChase = R"(
+    _start:
+        li a0, 0x100000
+        li t1, 16
+    loop:
+        lw a0, 0(a0)
+        addi t1, t1, -1
+        bne t1, x0, loop
+        ebreak
+)";
+
+/** The address is minted in-region by a multiply: outside the
+ *  value numbering's affine algebra, so it must stay unclassified. */
+const char *kUnknown = R"(
+    _start:
+        li s2, 0x100000
+        li s3, 3
+        li a2, 0
+        li a3, 4
+        li a4, 64
+    head:
+        simt_s a2, a3, a4, 1
+        mul t0, a2, s3
+        add t0, s2, t0
+        lw t1, 0(t0)
+        simt_e a2, a4, head
+        ebreak
+)";
+
+} // namespace
+
+TEST(Stream, AffineUnitStrideIsProvenAndConflictFree)
+{
+    LintResult rep;
+    const StreamResult sr = analyze(kAffine, rep);
+    ASSERT_EQ(sr.regions.size(), 1u);
+    const RegionStreams &rs = sr.regions[0];
+    EXPECT_TRUE(rs.straightline);
+    ASSERT_TRUE(rs.step_known);
+    EXPECT_EQ(rs.step, 4);
+    ASSERT_TRUE(rs.trips_known);
+    EXPECT_EQ(rs.trips, 16u);
+    EXPECT_EQ(rs.affine, 2u);  // the load and the store
+    EXPECT_EQ(rs.indirect + rs.chase + rs.unknown, 0u);
+    for (const StreamInfo &s : rs.streams) {
+        ASSERT_TRUE(s.stride_known);
+        EXPECT_EQ(s.stride, 4);
+        EXPECT_EQ(s.prefetch, PrefetchClass::Stride);
+        EXPECT_TRUE(s.bank_conflict_free);
+        EXPECT_FALSE(s.bank_serialized);
+        ASSERT_TRUE(s.footprint_known);
+        EXPECT_EQ(s.footprint_bytes, 64u);  // 16 trips * stride 4
+    }
+    EXPECT_FALSE(has(rep, Severity::Warning, "single"));
+}
+
+TEST(Stream, SerializedStrideLandsOnOneBankAndWarns)
+{
+    LintResult rep;
+    const StreamResult sr = analyze(kBankSerialized, rep);
+    ASSERT_EQ(sr.regions.size(), 1u);
+    const StreamInfo *s =
+        findStream(sr.regions[0], StreamKind::Affine);
+    ASSERT_NE(s, nullptr);
+    ASSERT_TRUE(s->stride_known);
+    EXPECT_EQ(s->stride, 32);
+    EXPECT_TRUE(s->bank_serialized);
+    EXPECT_FALSE(s->bank_conflict_free);
+    EXPECT_TRUE(has(rep, Severity::Warning,
+                    "lands every access on a single"));
+}
+
+TEST(Stream, GatherThroughAffineIndexIsIndirect)
+{
+    LintResult rep;
+    const StreamResult sr = analyze(kIndirect, rep);
+    ASSERT_EQ(sr.regions.size(), 1u);
+    const RegionStreams &rs = sr.regions[0];
+    EXPECT_EQ(rs.affine, 1u);
+    EXPECT_EQ(rs.indirect, 1u);
+    const StreamInfo *index =
+        findStream(rs, StreamKind::Affine);
+    const StreamInfo *gather =
+        findStream(rs, StreamKind::Indirect);
+    ASSERT_NE(index, nullptr);
+    ASSERT_NE(gather, nullptr);
+    EXPECT_EQ(gather->feeder_pc, index->pc);
+    EXPECT_EQ(gather->prefetch, PrefetchClass::Index);
+    EXPECT_TRUE(has(rep, Severity::Note, "indirect stream: gather"));
+}
+
+TEST(Stream, LinkedListWalkIsPointerChase)
+{
+    LintResult rep;
+    const StreamResult sr = analyze(kPointerChase, rep);
+    ASSERT_EQ(sr.loops.size(), 1u);
+    ASSERT_EQ(sr.loops[0].streams.size(), 1u);
+    const StreamInfo &s = sr.loops[0].streams[0];
+    EXPECT_EQ(s.kind, StreamKind::PointerChase);
+    EXPECT_EQ(s.prefetch, PrefetchClass::None);
+    EXPECT_TRUE(has(rep, Severity::Note, "pointer-chase stream"));
+}
+
+TEST(Stream, MultiplyMintedBaseStaysUnknown)
+{
+    LintResult rep;
+    const StreamResult sr = analyze(kUnknown, rep);
+    ASSERT_EQ(sr.regions.size(), 1u);
+    EXPECT_EQ(sr.regions[0].unknown, 1u);
+    EXPECT_EQ(sr.regions[0].affine, 0u);
+    EXPECT_TRUE(has(rep, Severity::Note, "unclassified"));
+}
+
+TEST(StreamValidate, EveryWorkloadAffineVerdictMatchesTrace)
+{
+    // The acceptance bar of the analyzer: across every bundled simt
+    // kernel, zero proven-affine streams may deviate from the
+    // simulator's recorded addresses (no false affine), and every
+    // proven conflict-free stream must record zero conflicts.
+    const core::DiagConfig cfg = core::DiagConfig::f4c32();
+    auto all = workloads::rodiniaSuite();
+    for (auto &w : workloads::specSuite())
+        all.push_back(w);
+    unsigned validated = 0;
+    for (const auto &w : all) {
+        if (w.asm_simt.empty())
+            continue;
+        const harness::StreamValidation rep =
+            harness::validateStream(cfg, w);
+        EXPECT_TRUE(rep.ok()) << harness::renderStreamValidation(rep);
+        for (const auto &c : rep.regions) {
+            EXPECT_EQ(c.affine_ok, c.affine_streams)
+                << w.name << " region " << c.pc;
+            EXPECT_EQ(c.bank_ok, c.bank_streams)
+                << w.name << " region " << c.pc;
+        }
+        ++validated;
+    }
+    EXPECT_GT(validated, 0u);
+}
+
+TEST(StreamValidate, RecordingNeverChangesACycle)
+{
+    const core::DiagConfig cfg = core::DiagConfig::f4c32();
+    const workloads::Workload w = workloads::findWorkload("imagick");
+    harness::RunSpec plain;
+    plain.use_simt = true;
+    harness::RunSpec recorded = plain;
+    recorded.record_addrs = true;
+    const harness::EngineRun a = harness::runOnDiag(cfg, w, plain);
+    const harness::EngineRun b = harness::runOnDiag(cfg, w, recorded);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.instructions, b.stats.instructions);
+    ASSERT_NE(b.addrs, nullptr);
+    EXPECT_FALSE(b.addrs->regions.empty());
+}
+
+TEST(StreamValidate, SweepRendersByteIdenticalForAnyJobCount)
+{
+    const core::DiagConfig cfg = core::DiagConfig::f4c32();
+    const auto suite = workloads::rodiniaSuite();
+    std::vector<harness::StreamCell> cells;
+    for (const auto &w : suite) {
+        if (!w.asm_simt.empty() && cells.size() < 3)
+            cells.push_back({cfg, &w});
+    }
+    ASSERT_GE(cells.size(), 2u);
+    const auto one = harness::validateStreamMany(cells, 1);
+    const auto four = harness::validateStreamMany(cells, 4);
+    ASSERT_EQ(one.size(), four.size());
+    for (size_t i = 0; i < one.size(); ++i) {
+        EXPECT_EQ(harness::renderStreamValidation(one[i]),
+                  harness::renderStreamValidation(four[i]));
+        EXPECT_EQ(harness::renderStreamValidationJson(one[i]),
+                  harness::renderStreamValidationJson(four[i]));
+    }
+}

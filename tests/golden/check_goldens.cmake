@@ -1,11 +1,13 @@
-# Diff the analyzer's JSON for every bundled workload against the
+# Diff an analyzer tool's JSON for every bundled workload against the
 # checked-in snapshot. Regenerate with tools/update_goldens.sh.
+#   -DTOOL=<binary>   the analyzer to run (--all-workloads --json)
+#   -DGOLDEN=<file>   the snapshot to compare byte-for-byte
 execute_process(
-    COMMAND ${BOUND_TOOL} --all-workloads --json
+    COMMAND ${TOOL} --all-workloads --json
     OUTPUT_VARIABLE actual
     RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
-    message(FATAL_ERROR "diag-bound exited ${rc}")
+    message(FATAL_ERROR "${TOOL} exited ${rc}")
 endif()
 file(READ ${GOLDEN} expected)
 if(NOT actual STREQUAL expected)

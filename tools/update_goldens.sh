@@ -11,13 +11,19 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
-bound="$build/tools-bin/diag-bound"
 
-if [[ ! -x "$bound" ]]; then
-    echo "error: $bound not built (cmake --build $build)" >&2
-    exit 1
-fi
+for tool in diag-bound diag-stream; do
+    bin="$build/tools-bin/$tool"
+    if [[ ! -x "$bin" ]]; then
+        echo "error: $bin not built (cmake --build $build)" >&2
+        exit 1
+    fi
+done
 
 out="$repo/tests/golden/analysis_all_workloads.json"
-"$bound" --all-workloads --json > "$out"
+"$build/tools-bin/diag-bound" --all-workloads --json > "$out"
+echo "wrote $out ($(wc -c < "$out") bytes)"
+
+out="$repo/tests/golden/stream_all_workloads.json"
+"$build/tools-bin/diag-stream" --all-workloads --json > "$out"
 echo "wrote $out ($(wc -c < "$out") bytes)"
