@@ -345,12 +345,18 @@ makeStream(const SState &st, const RawAccess &ra, bool step_known,
         si.stride == 0 ? PrefetchClass::Scalar : PrefetchClass::Stride;
 
     // Bank verdicts under the cache model's word-interleaved mapping
-    // `bank = (addr/8) & (banks-1)`: consecutive accesses A, A+s land
-    // on word indices differing by s/8 or s/8+1 (the latter only when
-    // s % 8 != 0, depending on the base alignment). A conflict needs
-    // a *different* word on the *same* bank, so the stream is proven
-    // conflict-free when neither candidate word delta is a nonzero
-    // multiple of the bank count — for any base alignment.
+    // `bank = (addr/8) & (banks-1)`: accesses k apart in the stream
+    // land on word indices differing by k*s/8 or k*s/8+1 (the latter
+    // only when k*s % 8 != 0, depending on the base alignment). A
+    // conflict needs a *different* word on the *same* bank while both
+    // accesses hold the bank; the pipeline launches accesses of one
+    // stream at least a cycle apart and a bank is held for
+    // l1d_bank_occupancy cycles, so only distances k < occupancy + 1
+    // can overlap in flight. The stream is proven conflict-free when
+    // no distance in that window yields a word delta that is a
+    // nonzero multiple of the bank count — for any base alignment.
+    // (The bank pattern of k*s repeats with period ≤ 8*banks, so two
+    // full periods bound the scan for any occupancy.)
     const u64 banks = opt.timing.l1d_banks;
     const u64 s =
         static_cast<u64>(si.stride < 0 ? -si.stride : si.stride);
@@ -358,13 +364,19 @@ makeStream(const SState &st, const RawAccess &ra, bool step_known,
         if (s == 0) {
             si.bank_conflict_free = true;
         } else {
-            const u64 d0 = s / 8;
-            const u64 rem = s % 8;
-            const bool conflict =
-                (d0 > 0 && d0 % banks == 0) ||
-                (rem != 0 && (d0 + 1) % banks == 0);
+            const u64 window = std::min<u64>(
+                std::max<Cycle>(1, opt.timing.l1d_bank_occupancy),
+                16 * banks);
+            bool conflict = false;
+            for (u64 k = 1; k <= window && !conflict; ++k) {
+                const u64 d0 = k * s / 8;
+                const u64 rem = k * s % 8;
+                conflict = (d0 > 0 && d0 % banks == 0) ||
+                           (rem != 0 && (d0 + 1) % banks == 0);
+            }
             si.bank_conflict_free = !conflict;
-            si.bank_serialized = rem == 0 && d0 > 0 && d0 % banks == 0;
+            si.bank_serialized =
+                s % 8 == 0 && s / 8 > 0 && (s / 8) % banks == 0;
         }
     }
 
@@ -475,19 +487,40 @@ analyzeRegion(const Program &prog, const LintOptions &opt,
     }
     if (rs.step_known && rc0_known && end_known) {
         // Trip count with do-while semantics, mirroring
-        // Ring::runSimtPipeline (including the 2^20 cap).
+        // Ring::runSimtPipeline (including the 2^20 cap): computed in
+        // closed form, since rc0/step/end are known constants. The
+        // mirror must only fall back to literal iteration when the
+        // u32 counter wraps past the i32 range the ring's signed
+        // continue-test sees — the closed form is exact otherwise.
+        const u64 cap = u64{1} << 20;
         u64 trips = 0;
-        u32 v = static_cast<u32>(rc0);
-        const u32 stepv = static_cast<u32>(rs.step);
-        for (;;) {
-            ++trips;
-            v += stepv;
-            const bool more =
-                static_cast<i32>(stepv) >= 0
-                    ? static_cast<i32>(v) < static_cast<i32>(end)
-                    : static_cast<i32>(v) > static_cast<i32>(end);
-            if (!more || trips >= (u64{1} << 20))
-                break;
+        if (rs.step == 0) {
+            // The counter never moves: the do-while body runs once,
+            // then spins to the cap iff the entry test holds.
+            trips = rc0 < end ? cap : 1;
+        } else {
+            const i64 span = rs.step > 0 ? end - rc0 : rc0 - end;
+            const i64 mag = rs.step > 0 ? rs.step : -rs.step;
+            const i64 need = std::max<i64>(1, (span + mag - 1) / mag);
+            const u64 t = std::min<u64>(static_cast<u64>(need), cap);
+            const i64 fin = rc0 + static_cast<i64>(t) * rs.step;
+            if (fin >= -(i64{1} << 31) && fin < (i64{1} << 31)) {
+                trips = t;
+            } else {
+                // Wraparound path: replay the ring's loop literally.
+                u32 v = static_cast<u32>(rc0);
+                const u32 stepv = static_cast<u32>(rs.step);
+                for (;;) {
+                    ++trips;
+                    v += stepv;
+                    const bool more =
+                        static_cast<i32>(stepv) >= 0
+                            ? static_cast<i32>(v) < static_cast<i32>(end)
+                            : static_cast<i32>(v) > static_cast<i32>(end);
+                    if (!more || trips >= cap)
+                        break;
+                }
+            }
         }
         rs.trips_known = true;
         rs.trips = trips;
@@ -587,6 +620,7 @@ analyzeLoop(const Cfg &cfg, const Program &prog, const LintOptions &opt,
 
     std::array<i64, kNumRegs> delta{};
     std::array<bool, kNumRegs> induct{};
+    std::array<bool, kNumRegs> varying{};
     std::set<u32> chase_seeds;
     for (unsigned r = 1; r < kNumRegs; ++r) {
         const SVal &f = st1.reg[r];
@@ -601,16 +635,31 @@ analyzeLoop(const Cfg &cfg, const Program &prog, const LintOptions &opt,
             // The register's next value is loaded through its own
             // previous value: a pointer-chase recurrence.
             chase_seeds.insert(seed_term[r]);
+        } else {
+            // Updated per iteration, but neither a constant-offset
+            // induction nor a self-rooted chase: register-stride
+            // steps (`add r,r,rs`), rescaling (`slli r,r,1`), loads
+            // off another pointer, ... The value changes every
+            // iteration in a way the algebra does not model.
+            varying[r] = true;
         }
     }
 
     // Pass 2: classification with induction registers linear in the
-    // iteration counter (stride comes out directly in bytes).
+    // iteration counter (stride comes out directly in bytes). A
+    // varying register's seed term is poisoned non-invariant — and so
+    // is a chase register's, for uses that reach an access through a
+    // combined term whose chain root is the *other* operand — so
+    // anything derived from either classifies Unknown rather than
+    // falsely loop-invariant Affine.
     SState st;
     st.seed();
-    for (unsigned r = 1; r < kNumRegs; ++r)
+    for (unsigned r = 1; r < kNumRegs; ++r) {
         if (induct[r])
             st.reg[r].rc = delta[r];
+        else if (varying[r] || chase_seeds.count(seed_term[r]))
+            st.meta[st.reg[r].base].invariant = false;
+    }
     const std::vector<RawAccess> body = walkRange(st, prog, head, tail);
 
     LoopStreams ls;

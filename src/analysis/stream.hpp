@@ -25,8 +25,9 @@
  * pressure under the cache model's word-interleaved mapping
  * (`bank = (addr/8) & (banks-1)`), per-stream footprint and
  * reuse-per-line estimates, and a prefetchability verdict. Every
- * affine verdict is differentially validated against recorded address
- * sequences by `harness::validateStream` (DESIGN.md §14).
+ * affine verdict — region- and loop-scope alike — is differentially
+ * validated against recorded address sequences by
+ * `harness::validateStream` (DESIGN.md §14).
  */
 #ifndef DIAG_ANALYSIS_STREAM_HPP
 #define DIAG_ANALYSIS_STREAM_HPP
@@ -100,10 +101,12 @@ struct StreamInfo
     /**
      * L1D banking verdicts under `bank = (addr/8) & (banks-1)`.
      * `bank_conflict_free` is only set when *provable*: no two
-     * consecutive accesses of the stream can hit the same bank from
-     * different 8-byte words, for any base alignment. `bank_serialized`
-     * is the proven worst case: every distinct-word access lands on
-     * one bank (stride a multiple of 8*banks).
+     * accesses of the stream close enough to hold a bank concurrently
+     * — any distance up to the bank-occupancy in-flight window, with
+     * accesses launching at least a cycle apart — can hit the same
+     * bank from different 8-byte words, for any base alignment.
+     * `bank_serialized` is the proven worst case: every distinct-word
+     * access lands on one bank (stride a multiple of 8*banks).
      */
     bool bank_conflict_free = false;
     bool bank_serialized = false;

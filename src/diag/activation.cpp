@@ -360,6 +360,8 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
         if (redirect) {
             ++out.taken_branches;
             stats_.inc("taken_branches");
+            if (atrc_ && target <= addr)
+                atrc_->loopBack(addr);
             out.branch_done = done;
             const Cycle resolve = pc_leave;
             if (target > addr && alignDown(target, line_bytes_) == base) {

@@ -28,12 +28,17 @@
 namespace diag::trace
 {
 
-/** Records per-instruction address sequences inside simt regions. */
+/** Records per-instruction address sequences inside simt regions,
+ *  plus serial accesses and loop-back branches outside them (the
+ *  serial-loop half of the stream validator). */
 class AddrTrace
 {
   public:
     /** Stored addresses per memory pc (beyond this, only counted). */
     static constexpr u64 kMaxPerPc = u64{1} << 16;
+
+    /** Stored loop-back events (beyond this, only counted). */
+    static constexpr u64 kMaxLoopBacks = u64{1} << 22;
 
     /** One pipelined entry of one region: the launch parameters the
      *  ring computed plus every address each memory pc issued, in
@@ -50,6 +55,20 @@ class AddrTrace
 
     std::vector<Region> regions;
 
+    /**
+     * Serially executed accesses (outside any pipelined region), per
+     * memory pc: (sequence number, effective address) in execution
+     * order. Loop-back events draw from the same sequence counter, so
+     * the validator can split a pc's sequence into loop entries: two
+     * consecutive executions belong to the same entry iff the loop's
+     * backward branch was taken between them.
+     */
+    std::map<Addr, std::vector<std::pair<u64, u32>>> serial_addrs;
+    std::map<Addr, u64> serial_counts; //!< true totals per pc
+    /** Taken backward branches in serial flow: (seq, branch pc). */
+    std::vector<std::pair<u64, Addr>> loop_backs;
+    u64 loop_back_count = 0; //!< true total
+
     void
     regionEnter(Addr simt_s_pc, u32 rc0, u32 step, u64 trips)
     {
@@ -65,19 +84,38 @@ class AddrTrace
     void regionExit() { open_ = false; }
 
     /** Record one executed access (@p pc the instruction, @p ea the
-     *  effective address). No-op outside a region. */
+     *  effective address). Inside a region it lands in the open entry
+     *  record; outside, in the serial per-pc log. */
     void
     access(Addr pc, Addr ea)
     {
-        if (!open_)
+        if (open_) {
+            Region &r = regions.back();
+            if (r.counts[pc]++ < kMaxPerPc)
+                r.addrs[pc].push_back(ea);
             return;
-        Region &r = regions.back();
-        if (r.counts[pc]++ < kMaxPerPc)
-            r.addrs[pc].push_back(ea);
+        }
+        const u64 seq = seq_++;
+        if (serial_counts[pc]++ < kMaxPerPc)
+            serial_addrs[pc].emplace_back(seq, ea);
+    }
+
+    /** Record a taken backward branch/jump in serial flow (no-op
+     *  inside a pipelined region, whose iterations the Region record
+     *  already delimits). */
+    void
+    loopBack(Addr pc)
+    {
+        if (open_)
+            return;
+        const u64 seq = seq_++;
+        if (loop_back_count++ < kMaxLoopBacks)
+            loop_backs.emplace_back(seq, pc);
     }
 
   private:
     bool open_ = false; //!< between regionEnter and regionExit
+    u64 seq_ = 0;       //!< shared serial event order
 };
 
 } // namespace diag::trace
