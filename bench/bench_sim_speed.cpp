@@ -69,6 +69,29 @@ BM_DiagModel(benchmark::State &state)
 }
 BENCHMARK(BM_DiagModel);
 
+/**
+ * The same kernel with skip-idle scheduling disabled (dense per-PE
+ * stepping, the pre-batcher behavior). The BM_DiagModel /
+ * BM_DiagModelDense ratio is the speedup of the steady-state loop
+ * batcher; tools/check_bench.py gates on it.
+ */
+void
+BM_DiagModelDense(benchmark::State &state)
+{
+    const Program p = assembler::assemble(kKernel);
+    u64 insts = 0;
+    for (auto _ : state) {
+        core::DiagConfig cfg = core::DiagConfig::f4c32();
+        cfg.dense_loop = true;
+        core::DiagProcessor proc(cfg);
+        const sim::RunStats rs = proc.run(p);
+        insts += rs.instructions;
+    }
+    state.counters["sim_inst_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DiagModelDense);
+
 void
 BM_OooModel(benchmark::State &state)
 {

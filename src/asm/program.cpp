@@ -59,4 +59,29 @@ Program::totalBytes() const
     return total;
 }
 
+u64
+Program::fingerprint() const
+{
+    // FNV-1a over the entry point, the chunk layout, and every image
+    // byte: cheap next to simulating the program, and any difference a
+    // simulation could observe changes at least one hashed byte.
+    u64 h = 14695981039346656037ull;
+    auto mix = [&h](u64 v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(entry);
+    for (const ProgramChunk &ch : chunks) {
+        mix(ch.base);
+        mix(ch.size);
+        for (u32 off = 0; off < ch.size; ++off) {
+            h ^= image.read8(ch.base + off);
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
 } // namespace diag

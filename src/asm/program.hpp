@@ -56,6 +56,14 @@ struct Program
 
     /** Total bytes emitted across all chunks. */
     u32 totalBytes() const;
+
+    /**
+     * Content fingerprint (FNV-1a over the entry point, the chunk
+     * layout, and every emitted byte). Two programs with equal
+     * fingerprints load identical images; the processors use this to
+     * notice when a reused instance is handed a different program.
+     */
+    u64 fingerprint() const;
 };
 
 } // namespace diag

@@ -74,13 +74,16 @@ class StatGroup
      * stable schema across runs. With retain_keys = false the key set
      * itself is dropped (has() turns false), for reusing one group
      * across unrelated programs without leaking per-PC counters such
-     * as simt_region_* between them.
+     * as simt_region_* between them. Dropping the key set destroys the
+     * map nodes, so the epoch advances and every cached StatCounter
+     * handle re-binds on its next use.
      */
     void
     clear(bool retain_keys = true)
     {
         if (!retain_keys) {
             values_.clear();
+            ++epoch_;
             return;
         }
         for (auto &kv : values_)
@@ -98,6 +101,17 @@ class StatGroup
     /** All (key, value) pairs, sorted by key. */
     const std::map<std::string, double> &all() const { return values_; }
 
+    /**
+     * Stable address of the counter @p key, creating it (at zero) if
+     * absent. std::map nodes never move, so the pointer stays valid
+     * for the group's lifetime or until clear(false) drops the key
+     * set — which is what epoch() lets StatCounter detect.
+     */
+    double *slot(const std::string &key) { return &values_[key]; }
+
+    /** Generation of the key set; advanced by clear(false). */
+    u64 epoch() const { return epoch_; }
+
     /** Pretty-print "group.key value" lines. */
     void dump(std::ostream &os) const;
 
@@ -114,6 +128,55 @@ class StatGroup
   private:
     std::string name_;
     std::map<std::string, double> values_;
+    u64 epoch_ = 1;
+};
+
+/**
+ * Cached handle to one StatGroup counter for per-event hot paths.
+ * inc() through a string key costs a map lookup (and a std::string
+ * construction at const char* call sites) on every event; a handle
+ * costs one epoch compare plus a pointer add once bound.
+ *
+ * The binding is lazy: the key is created in the group on the first
+ * inc(), never before — so "a counter exists iff it was ever
+ * incremented" (and with it the byte-stable dumpJson key set) is
+ * preserved exactly. read() never creates the key either. The handle
+ * re-binds automatically after StatGroup::clear(false) via the
+ * group's epoch. @p key must have static storage duration (string
+ * literals at every call site in-tree).
+ */
+class StatCounter
+{
+  public:
+    StatCounter(StatGroup &group, const char *key)
+        : group_(&group), key_(key)
+    {}
+
+    /** Add @p delta (default 1) to the bound counter. */
+    void
+    inc(double delta = 1.0)
+    {
+        if (epoch_ != group_->epoch()) {
+            slot_ = group_->slot(key_);
+            epoch_ = group_->epoch();
+        }
+        *slot_ += delta;
+    }
+
+    /** Current value; does not create the key when never incremented. */
+    double
+    read() const
+    {
+        if (epoch_ == group_->epoch())
+            return *slot_;
+        return group_->get(key_);
+    }
+
+  private:
+    StatGroup *group_;
+    const char *key_;
+    double *slot_ = nullptr;
+    u64 epoch_ = 0;  //!< 0 never matches a live group epoch (>= 1)
 };
 
 } // namespace diag

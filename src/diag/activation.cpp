@@ -26,7 +26,7 @@ Cycle
 ActivationEngine::serveLoad(Cluster &cl, ThreadMemCtx &tmc, Addr ea,
                             u8 size, Cycle issue, unsigned pe)
 {
-    stats_.inc("loads");
+    st_loads_.inc();
     // Localized stride prefetch: each PE slot holds one (reused)
     // memory instruction, so its address stream is highly regular.
     if (cfg_.stride_prefetch_enabled) {
@@ -37,7 +37,7 @@ ActivationEngine::serveLoad(Cluster &cl, ThreadMemCtx &tmc, Addr ea,
             // the background (bank occupancy is paid, the PE is not).
             mh_.dataAccess(mem_port_, predict, false, issue);
             cl.lineBufAccess(alignDown(predict, 64));
-            stats_.inc("stride_prefetches");
+            st_stride_prefetches_.inc();
         }
     }
     // Queue admission: at most lsq_entries outstanding requests.
@@ -45,8 +45,8 @@ ActivationEngine::serveLoad(Cluster &cl, ThreadMemCtx &tmc, Addr ea,
     std::erase_if(q, [&](Cycle done) { return done <= issue; });
     if (q.size() >= cfg_.lsq_entries) {
         const Cycle earliest = *std::min_element(q.begin(), q.end());
-        stats_.inc("mem_queue_stall_cycles",
-                   static_cast<double>(earliest - issue));
+        st_mem_queue_stall_cycles_.inc(
+            static_cast<double>(earliest - issue));
         if (trc_)
             trc_->lsuQueue(ring_, static_cast<u16>(cl.index),
                            cl.line_base + 4 * pe, issue,
@@ -63,7 +63,7 @@ ActivationEngine::serveLoad(Cluster &cl, ThreadMemCtx &tmc, Addr ea,
     if (cfg_.mem_lanes_enabled) {
         const Cycle fwd = tmc.forwardProbe(ea, size);
         if (fwd != kNeverCycle) {
-            stats_.inc("memlane_fwd");
+            st_memlane_fwd_.inc();
             if (trc_)
                 trc_->memLaneHit(
                     ring_, cl.line_base + 4 * pe, std::max(grant, fwd),
@@ -74,24 +74,24 @@ ActivationEngine::serveLoad(Cluster &cl, ThreadMemCtx &tmc, Addr ea,
     // 2. Cluster line buffer: recently accessed lines (paper §5.2).
     const Addr line = alignDown(ea, 64);
     if (cl.lineBufAccess(line)) {
-        stats_.inc("linebuf_hits");
+        st_linebuf_hits_.inc();
         return grant + cfg_.line_buffer_latency;
     }
     // 3. Banked L1D (a second-level cache per §5.2), then L2, DRAM.
     const mem::MemResult res = mh_.dataAccess(mem_port_, ea, false,
                                               grant);
     switch (res.level) {
-      case mem::ServedBy::L1: stats_.inc("l1_loads"); break;
-      case mem::ServedBy::L2: stats_.inc("l2_loads"); break;
-      case mem::ServedBy::Dram: stats_.inc("dram_loads"); break;
+      case mem::ServedBy::L1: st_l1_loads_.inc(); break;
+      case mem::ServedBy::L2: st_l2_loads_.inc(); break;
+      case mem::ServedBy::Dram: st_dram_loads_.inc(); break;
     }
     // Memory stall attribution: everything beyond the cluster-local
     // ideal (memory-lane / line-buffer speed) counts as memory-stall
     // time, the way the paper attributes PE stalls to memory (§7.3.2).
     const Cycle ideal = grant + cfg_.line_buffer_latency;
     if (res.done > ideal)
-        stats_.inc("mem_stall_cycles",
-                   static_cast<double>(res.done - ideal));
+        st_mem_stall_cycles_.inc(
+            static_cast<double>(res.done - ideal));
     q.push_back(res.done);
     return res.done;
 }
@@ -99,7 +99,7 @@ ActivationEngine::serveLoad(Cluster &cl, ThreadMemCtx &tmc, Addr ea,
 void
 ActivationEngine::commitStore(Cluster &cl, Addr ea, Cycle commit)
 {
-    stats_.inc("stores");
+    st_stores_.inc();
     // Committed stores drain from the memory lanes in the background
     // (the lanes "enable access reordering", §5.2): the write-back
     // occupies L1D bank bandwidth but not the cluster's load-issue
@@ -110,7 +110,8 @@ ActivationEngine::commitStore(Cluster &cl, Addr ea, Cycle commit)
 }
 
 ActivationOutput
-ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
+ActivationEngine::run(const ActivationInput &in, LaneFile &regs,
+                      ThreadMemCtx &tmc)
 {
     Cluster &cl = *in.cluster;
     panic_if(!cl.loaded(), "activation on unloaded cluster %u", cl.index);
@@ -125,7 +126,6 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
              base);
 
     ActivationOutput out;
-    LaneFile lane = in.regs;
     Cycle pc_cursor = in.pc_enter;
     int pc_seg = 0;
     Addr expect = in.entry_pc;
@@ -141,12 +141,12 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
     auto lane_value = [&](RegId r) -> u32 {
         if (r == kNoReg || r == kRegZero)
             return 0;
-        return lane[r].value;
+        return regs[r].value;
     };
     auto avail = [&](RegId r, int seg) -> Cycle {
         if (r == kNoReg || r == kRegZero)
             return 0;
-        return lane[r].ready + laneDelay(lane[r].seg, seg);
+        return regs[r].ready + laneDelay(regs[r].seg, seg);
     };
     auto finish = [&](ActExit why, Addr next, Cycle resolve) {
         out.exit = why;
@@ -155,12 +155,20 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
         exited = true;
     };
 
-    stats_.inc("activations");
+    st_activations_.inc();
 
     for (unsigned i = (in.entry_pc - base) / 4; i < n && !exited; ++i) {
         const Addr addr = base + 4 * i;
-        if (addr != expect)
-            continue;  // PE disabled: instruction-address/PC mismatch
+        if (addr != expect) {
+            // PE disabled: instruction-address/PC mismatch. `expect`
+            // only ever moves forward within the line, so the cursor
+            // can jump straight to the re-enable slot instead of
+            // scanning each disabled PE (timing-neutral: disabled PEs
+            // contribute nothing).
+            if (!cfg_.dense_loop)
+                i = static_cast<unsigned>((expect - base) / 4) - 1;
+            continue;
+        }
         const DecodedInst &di = cl.insts[i];
         const int seg = static_cast<int>(i / seg_size);
 
@@ -263,26 +271,26 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
                 target = eo.target;
             }
             if (di.isFp())
-                stats_.inc("fpu_active_cycles",
-                           static_cast<double>(execLatency(di)));
+                st_fpu_active_cycles_.inc(
+                    static_cast<double>(execLatency(di)));
         }
-        stats_.inc("pe_exec");
-        stats_.inc("pe_busy_cycles", static_cast<double>(done - start));
+        st_pe_exec_.inc();
+        st_pe_busy_cycles_.inc(static_cast<double>(done - start));
         // Clock-gated activity: execute-stage occupancy only (memory
         // wait time is spent in the LSU, not the PE's compute logic).
-        stats_.inc("pe_exec_cycles",
-                   static_cast<double>(di.isMem() ? 1 : execLatency(di)));
+        st_pe_exec_cycles_.inc(
+            static_cast<double>(di.isMem() ? 1 : execLatency(di)));
 
         // ---- destination lane write ----
         if (di.writesReg()) {
-            lane[di.rd] = {value, done, seg};
+            regs[di.rd] = {value, done, seg};
             if (fc_ && fc_->parityEnabled())
-                lane[di.rd].parity = laneParity(value);
+                regs[di.rd].parity = laneParity(value);
             if (trc_)
                 trc_->laneWrite(ring_, di.rd, addr, done, value);
-            stats_.inc("lane_writes");
-            stats_.inc("lane_hops",
-                       static_cast<double>(last_seg - seg + 1));
+            st_lane_writes_.inc();
+            st_lane_hops_.inc(
+                static_cast<double>(last_seg - seg + 1));
         }
 
         // ---- PC-lane retirement (in program order) ----
@@ -353,13 +361,13 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
             // downstream PEs were held off and must be re-steered.
             floor = std::max(floor,
                              pc_leave + cfg_.squash_resteer + 2);
-            stats_.inc("loop_exit_mispredicts");
-            stats_.inc("ctrl_stall_cycles",
-                       static_cast<double>(cfg_.squash_resteer + 3));
+            st_loop_exit_mispredicts_.inc();
+            st_ctrl_stall_cycles_.inc(
+                static_cast<double>(cfg_.squash_resteer + 3));
         }
         if (redirect) {
             ++out.taken_branches;
-            stats_.inc("taken_branches");
+            st_taken_branches_.inc();
             if (atrc_ && target <= addr)
                 atrc_->loopBack(addr);
             out.branch_done = done;
@@ -370,8 +378,8 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
                 // re-steer delays everything after the branch.
                 expect = target;
                 floor = std::max(floor, resolve + cfg_.squash_resteer);
-                stats_.inc("ctrl_stall_cycles",
-                           static_cast<double>(cfg_.squash_resteer + 1));
+                st_ctrl_stall_cycles_.inc(
+                    static_cast<double>(cfg_.squash_resteer + 1));
             } else {
                 out.redirect_backward = target <= addr;
                 finish(ActExit::Redirect, target, resolve);
@@ -394,9 +402,9 @@ ActivationEngine::run(const ActivationInput &in, ThreadMemCtx &tmc)
     out.end_cycle = std::max(max_done, pc_cursor);
     out.compute_done = max_done;
 
-    // Lanes as seen at the cluster output latch.
-    out.regs = lane;
-    for (auto &l : out.regs) {
+    // Apply the cluster output-latch transfer to the lane file in
+    // place (batched lane propagation: one sweep, no copy).
+    for (auto &l : regs) {
         l.ready += laneDelay(l.seg, last_seg);
         l.seg = kInputLatch;
     }

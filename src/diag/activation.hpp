@@ -48,12 +48,18 @@ enum class ActExit : u8
     ThreadEnd,   //!< stage mode retired its simt_e
 };
 
-/** Activation request. */
+/**
+ * Activation request. The lane file itself is passed to run() by
+ * reference and updated in place — an activation used to copy the
+ * whole LaneFile in and out (three ~1.5KB copies per activation),
+ * which dominated the runThread profile. The batched-lane-propagation
+ * form (DESIGN.md §15) applies the cluster output-latch transfer as
+ * one in-place sweep instead.
+ */
 struct ActivationInput
 {
     Cluster *cluster = nullptr;
     Addr entry_pc = 0;
-    LaneFile regs{};          //!< lane state at the cluster input latch
     Cycle pc_enter = 0;       //!< PC-lane arrival at the cluster
     Cycle min_start = 0;      //!< earliest correct execution (decode,
                               //!< squash re-steer, pipeline entry)
@@ -80,7 +86,6 @@ struct ActivationOutput
     Cycle compute_done = 0;   //!< all PEs done executing; the cluster
                               //!< can accept a new (speculative)
                               //!< activation from this cycle on
-    LaneFile regs{};          //!< lanes at the cluster output latch
     u64 retired = 0;
     u64 taken_branches = 0;
 };
@@ -92,8 +97,11 @@ class ActivationEngine
     ActivationEngine(const DiagConfig &cfg, mem::MemHierarchy &mh,
                      unsigned mem_port, StatGroup &stats);
 
-    /** Run one activation for the thread @p tmc. */
-    ActivationOutput run(const ActivationInput &in, ThreadMemCtx &tmc);
+    /** Run one activation for the thread @p tmc. @p regs is the lane
+     *  file at the cluster input latch; it is updated in place and
+     *  holds the output-latch state on return (on every exit kind). */
+    ActivationOutput run(const ActivationInput &in, LaneFile &regs,
+                         ThreadMemCtx &tmc);
 
     /** Attach (or detach with nullptr) a fault controller. Every hook
      *  in the hot path is a single null check when detached. */
@@ -128,6 +136,31 @@ class ActivationEngine
     unsigned mem_port_;
     StatGroup &stats_;
     u32 line_bytes_;
+
+    // Lazy-bound counter handles for the per-activation hot path (see
+    // StatCounter): identical key-creation semantics to stats_.inc,
+    // without a map lookup per event.
+    StatCounter st_activations_{stats_, "activations"};
+    StatCounter st_pe_exec_{stats_, "pe_exec"};
+    StatCounter st_pe_busy_cycles_{stats_, "pe_busy_cycles"};
+    StatCounter st_pe_exec_cycles_{stats_, "pe_exec_cycles"};
+    StatCounter st_fpu_active_cycles_{stats_, "fpu_active_cycles"};
+    StatCounter st_lane_writes_{stats_, "lane_writes"};
+    StatCounter st_lane_hops_{stats_, "lane_hops"};
+    StatCounter st_taken_branches_{stats_, "taken_branches"};
+    StatCounter st_loop_exit_mispredicts_{stats_, "loop_exit_mispredicts"};
+    StatCounter st_ctrl_stall_cycles_{stats_, "ctrl_stall_cycles"};
+    StatCounter st_loads_{stats_, "loads"};
+    StatCounter st_stores_{stats_, "stores"};
+    StatCounter st_stride_prefetches_{stats_, "stride_prefetches"};
+    StatCounter st_mem_queue_stall_cycles_{stats_,
+                                           "mem_queue_stall_cycles"};
+    StatCounter st_memlane_fwd_{stats_, "memlane_fwd"};
+    StatCounter st_linebuf_hits_{stats_, "linebuf_hits"};
+    StatCounter st_l1_loads_{stats_, "l1_loads"};
+    StatCounter st_l2_loads_{stats_, "l2_loads"};
+    StatCounter st_dram_loads_{stats_, "dram_loads"};
+    StatCounter st_mem_stall_cycles_{stats_, "mem_stall_cycles"};
     fault::FaultController *fc_ = nullptr; //!< null = injection off
     trace::Tracer *trc_ = nullptr;         //!< null = tracing off
     trace::AddrTrace *atrc_ = nullptr;     //!< null = no address log

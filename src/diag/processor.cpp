@@ -29,6 +29,40 @@ DiagProcessor::run(const Program &prog, u64 max_insts)
 }
 
 void
+DiagProcessor::beginRun(const Program &prog)
+{
+    // Stale-program guard: a reused processor handed a different
+    // Program used to keep executing whichever image was loaded first
+    // (runThreads only loaded when nothing was loaded yet). Reload
+    // from scratch on mismatch; an identical program keeps the current
+    // image so inputs placed via memory() survive.
+    const bool stale =
+        program_loaded_ && prog.fingerprint() != program_hash_;
+    if (stale) {
+        mem_ = SparseMemory{};
+        warmed_ = false;
+    }
+    if (!program_loaded_ || stale)
+        loadProgram(prog);
+    // Per-run isolation: a second run() used to fold the first run's
+    // counters into its RunStats (rs.counters started from the
+    // accumulated stats_) and to inherit its cache, bus, and ring
+    // state. Reset to the post-load state — re-warming if the caller
+    // warmed — so run-twice equals run-once. The first run skips all
+    // of this and is bit-identical to a fresh processor's.
+    if (ran_) {
+        for (auto &ring : rings_)
+            ring->reset();
+        bus_.reset();
+        mh_.reset();
+        stats_.clear(false);
+        if (warmed_)
+            warmCaches();
+    }
+    ran_ = true;
+}
+
+void
 DiagProcessor::attachFaults(fault::FaultController *fc)
 {
     faults_ = fc;
@@ -123,8 +157,7 @@ DiagProcessor::runThreads(const Program &prog,
                  threads.size() > 1,
              "golden-lockstep checking shadows a single retirement "
              "stream; run one thread");
-    if (!program_loaded_)
-        loadProgram(prog);
+    beginRun(prog);
     results_.clear();
     sim::RunStats rs;
     rs.halted = true;

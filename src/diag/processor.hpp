@@ -38,12 +38,16 @@ class DiagProcessor
      * Load the program image now, so callers can initialize input data
      * on top of it before run()/runThreads() (which otherwise load the
      * image themselves and would overwrite such data with .space zeros).
+     * Records the program's fingerprint: a later run() with a
+     * *different* Program reloads memory from scratch instead of
+     * silently executing the stale image.
      */
     void
     loadProgram(const Program &prog)
     {
         prog.loadInto(mem_);
         program_loaded_ = true;
+        program_hash_ = prog.fingerprint();
     }
 
     /**
@@ -59,6 +63,7 @@ class DiagProcessor
             for (Addr off = 0; off < SparseMemory::kPageSize; off += 64)
                 mh_.warmLine(base + off);
         });
+        warmed_ = true;
     }
 
     const DiagConfig &config() const { return cfg_; }
@@ -123,6 +128,17 @@ class DiagProcessor
     const StatGroup &stats() const { return stats_; }
 
   private:
+    /**
+     * Per-run setup: load (or reload, if @p prog differs from the
+     * loaded one) the program, and — on every run after the first —
+     * reset rings, bus, hierarchy, and counters so each run() reports
+     * per-run deltas from the same post-load, post-warm initial state
+     * instead of folding in the previous run's counters and cache
+     * contents. The first run is left untouched so a freshly
+     * constructed processor behaves exactly as before.
+     */
+    void beginRun(const Program &prog);
+
     /** Strict-mode static lint: fatal() on error-level findings. */
     void lintStrict(const Program &prog,
                     const std::vector<ThreadSpec> &threads) const;
@@ -140,6 +156,9 @@ class DiagProcessor
     std::vector<std::unique_ptr<Ring>> rings_;
     std::vector<ThreadResult> results_;
     bool program_loaded_ = false;
+    bool warmed_ = false;  //!< warmCaches() called (re-warm each run)
+    bool ran_ = false;     //!< a run completed (reset before the next)
+    u64 program_hash_ = 0; //!< fingerprint of the loaded program
     fault::FaultController *faults_ = nullptr;
     trace::Tracer *trc_ = nullptr;  //!< null = tracing off
 };

@@ -1,7 +1,10 @@
 #include "diag/ring.hpp"
 
 #include <algorithm>
+#include <array>
+#include <limits>
 #include <deque>
+#include <map>
 
 #include "analysis/simt_scan.hpp"
 #include "common/bits.hpp"
@@ -10,6 +13,7 @@
 #include "fault/controller.hpp"
 #include "fault/watchdog.hpp"
 #include "isa/decoder.hpp"
+#include "isa/exec.hpp"
 #include "trace/addr_trace.hpp"
 
 namespace diag::core
@@ -145,6 +149,16 @@ Ring::loadLine(Cluster &cl, Addr line, Cycle when, SparseMemory &mem)
     cl.insts.reserve(cfg_.pes_per_cluster);
     for (unsigned i = 0; i < cfg_.pes_per_cluster; ++i)
         cl.insts.push_back(decode(mem.read32(line + 4 * i)));
+    // Skip-idle metadata (DESIGN.md §15), derived once per line load
+    // instead of once per activation.
+    cl.has_backward_branch = false;
+    for (const DecodedInst &di : cl.insts) {
+        if ((di.isBranch() || di.op == Op::JAL) && di.imm < 0) {
+            cl.has_backward_branch = true;
+            break;
+        }
+    }
+    cl.batch_window.clear();
     stats_.inc("iline_fetches");
     stats_.inc("decodes", cfg_.pes_per_cluster);
     return ready;
@@ -178,6 +192,41 @@ Ring::prefetch(Addr line, Cycle when, SparseMemory &mem)
         return;
     ensureLoaded(line, when, mem);
     stats_.inc("prefetches");
+}
+
+u8
+Ring::qualifyBatchWindow(Cluster &cl, unsigned slot) const
+{
+    const unsigned n = static_cast<unsigned>(cl.insts.size());
+    if (slot >= n)
+        return 1;
+    if (cl.batch_window.size() != n)
+        cl.batch_window.assign(n, 0);
+    if (cl.batch_window[slot] != 0)
+        return cl.batch_window[slot];
+    u8 code = 1;
+    for (unsigned b = slot; b < n; ++b) {
+        const DecodedInst &di = cl.insts[b];
+        if (!di.valid())
+            break;
+        if (di.isBranch()) {
+            // Window terminator: a conditional backward branch whose
+            // target is the entry slot again (a self-loop).
+            const Addr addr = cl.line_base + 4 * b;
+            const Addr target =
+                static_cast<Addr>(static_cast<i64>(addr) + di.imm);
+            if (di.imm < 0 && target == cl.line_base + 4 * slot)
+                code = static_cast<u8>(2 + (b - slot));
+            break;
+        }
+        // Interior instructions must be pure lane-to-lane compute:
+        // memory would touch cache/bus/LSU state the loop probe does
+        // not snapshot; control, system, and simt end the activation.
+        if (di.isMem() || di.isControl() || di.isSimt())
+            break;
+    }
+    cl.batch_window[slot] = code;
+    return code;
 }
 
 ThreadResult
@@ -214,6 +263,248 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
     };
 
     u64 activations = 0;
+
+    // ---- steady-state loop batcher (DESIGN.md §15) ----
+    // A resident self-loop reaches a steady state where each iteration
+    // shifts the entire timing vector by one constant c: probe two
+    // consecutive loop-top-to-loop-top intervals, and once their state
+    // deltas agree exactly, replay only the *values* (functional
+    // isa::execute per window instruction) to find the exit iteration,
+    // then bulk-apply j iterations' worth of timing shift and counter
+    // deltas at once. Eligible only when every per-iteration side
+    // effect is visible to the probe: no fault controller (checkpoints
+    // and injection force dense stepping), no tracers (per-activation
+    // events must be emitted), datapath reuse on (otherwise every
+    // iteration re-fetches over the bus), and not dense_loop mode.
+    // verbose() keeps the per-activation inform() stream complete.
+    const bool batch_ok = !cfg_.dense_loop && !faults_ && !trc_ &&
+                          !atrc_ && cfg_.reuse_enabled && !verbose();
+    struct LoopProbe
+    {
+        Addr pc = kNoLine;   //!< loop-top pc being probed
+        unsigned cluster = 0;
+        unsigned fails = 0;
+        bool have_snap = false;
+        bool have_delta = false;
+        // previous loop-top snapshot
+        LaneFile regs{};
+        Cycle pc_enter = 0;
+        Cycle min_start = 0;
+        Cycle free_at = 0;
+        u64 use_counter = 0;
+        std::vector<Cycle> pe_busy;
+        std::deque<Cycle> inflight;
+        std::map<std::string, double> stats;
+        // candidate per-iteration deltas (awaiting one confirmation)
+        Cycle c = 0;
+        std::array<Cycle, isa::kNumRegs> lane_d{};
+        std::map<std::string, double> stat_d;
+    };
+    LoopProbe probe;
+    // A window that never settles (e.g. an operand lane still crossing
+    // a max) is re-probed a bounded number of times, then blacklisted
+    // in the cluster's window cache to stop the snapshot overhead.
+    constexpr unsigned kProbeFails = 8;
+
+    auto snapshot_probe = [&](const Cluster &cl, unsigned slot,
+                              unsigned last) {
+        probe.regs = regs;
+        probe.pc_enter = pc_enter;
+        probe.min_start = min_start;
+        probe.free_at = cl.free_at;
+        probe.use_counter = use_counter_;
+        probe.pe_busy.assign(cl.pe_busy.begin() + slot,
+                             cl.pe_busy.begin() + last + 1);
+        probe.inflight = inflight;
+        probe.stats = stats_.all();
+        probe.have_snap = true;
+    };
+
+    // Returns true when it advanced the thread past j>=1 batched loop
+    // iterations; the caller continues at the (post-jump) loop top so
+    // the budget / watchdog / cancellation checks run there as usual.
+    auto try_batch = [&]() -> bool {
+        const Addr line = alignDown(pc, line_bytes_);
+        const auto res_it = resident_.find(line);
+        if (res_it == resident_.end()) {
+            probe.pc = kNoLine;
+            return false;
+        }
+        Cluster &cl = clusters_[res_it->second];
+        const unsigned slot = static_cast<unsigned>((pc - line) / 4);
+        const u8 code = qualifyBatchWindow(cl, slot);
+        if (code < 2) {
+            probe.pc = kNoLine;
+            return false;
+        }
+        const unsigned last = slot + (code - 2);  // branch slot
+        if (pc != probe.pc || res_it->second != probe.cluster ||
+            cl.pe_busy.size() <= last) {
+            probe.pc = pc;
+            probe.cluster = res_it->second;
+            probe.fails = 0;
+            probe.have_delta = false;
+            probe.have_snap = false;
+            if (cl.pe_busy.size() > last)
+                snapshot_probe(cl, slot, last);
+            return false;
+        }
+        if (!probe.have_snap) {
+            snapshot_probe(cl, slot, last);
+            return false;
+        }
+
+        // ---- diff this loop top against the previous one ----
+        const Cycle c = pc_enter - probe.pc_enter;
+        // The speculation-lookahead deque grows by one activation per
+        // iteration until it saturates at speculation_depth; while it
+        // is still growing the intervals cannot match structurally, so
+        // the mismatch is a ramp-up transient, not a verdict on the
+        // loop — it must not count toward the blacklist.
+        const bool ramping =
+            inflight.size() != probe.inflight.size();
+        bool ok = pc_enter > probe.pc_enter &&
+                  min_start - probe.min_start == c &&
+                  cl.free_at - probe.free_at == c &&
+                  use_counter_ - probe.use_counter == 2 && !ramping;
+        for (size_t i = 0; ok && i < inflight.size(); ++i)
+            ok = inflight[i] - probe.inflight[i] == c;
+        for (unsigned i = slot; ok && i <= last; ++i)
+            ok = cl.pe_busy[i] - probe.pe_busy[i - slot] == c;
+        // Static read / write sets of the window.
+        bool in_w[isa::kNumRegs] = {};
+        bool in_r[isa::kNumRegs] = {};
+        for (unsigned i = slot; i <= last; ++i) {
+            const DecodedInst &di = cl.insts[i];
+            for (RegId r : {di.rs1, di.rs2, di.rs3})
+                if (r != kNoReg && r != kRegZero)
+                    in_r[r] = true;
+            if (di.writesReg())
+                in_w[di.rd] = true;
+        }
+        std::array<Cycle, isa::kNumRegs> lane_d{};
+        for (unsigned r = 0; ok && r < isa::kNumRegs; ++r) {
+            const LaneState &now = regs[r];
+            const LaneState &then = probe.regs[r];
+            if (now.seg != then.seg || now.ready < then.ready) {
+                ok = false;
+                break;
+            }
+            lane_d[r] = now.ready - then.ready;
+            if (in_w[r]) {
+                // Written lanes must ride the uniform shift.
+                ok = lane_d[r] == c;
+            } else {
+                // Unwritten lanes evolve autonomously (reuse latch +
+                // output sweep): values must be loop-invariant, and
+                // operand lanes may not outgrow the shift — a faster-
+                // growing term could come to dominate a max later and
+                // break the extrapolation.
+                ok = now.value == then.value &&
+                     (!in_r[r] || lane_d[r] <= c);
+            }
+        }
+        std::map<std::string, double> stat_d;
+        if (ok) {
+            for (const auto &kv : stats_.all()) {
+                const auto it = probe.stats.find(kv.first);
+                const double prev =
+                    it == probe.stats.end() ? 0.0 : it->second;
+                if (kv.second != prev)
+                    stat_d[kv.first] = kv.second - prev;
+            }
+        }
+        if (!ok) {
+            if (!ramping && ++probe.fails >= kProbeFails)
+                cl.batch_window[slot] = 1;  // dynamic blacklist
+            probe.have_delta = false;
+            snapshot_probe(cl, slot, last);
+            return false;
+        }
+        if (getenv("DIAG_BATCH_DEBUG")) fprintf(stderr, "[B] pc=%x diff OK c=%llu have_delta=%d c_match=%d lane_match=%d stat_match=%d\n", pc, (unsigned long long)c, (int)probe.have_delta, (int)(c==probe.c), (int)(lane_d==probe.lane_d), (int)(stat_d==probe.stat_d));
+        if (!probe.have_delta || c != probe.c ||
+            lane_d != probe.lane_d || stat_d != probe.stat_d) {
+            probe.c = c;
+            probe.lane_d = lane_d;
+            probe.stat_d = std::move(stat_d);
+            probe.have_delta = true;
+            snapshot_probe(cl, slot, last);
+            return false;
+        }
+
+        // ---- two consecutive intervals agree exactly: extrapolate ----
+        // Replay values only, bounded by the instruction budget, the
+        // first cycle-watchdog violation, and a chunk cap that keeps
+        // cooperative-cancellation polls reachable.
+        const u64 per_iter = last - slot + 1;
+        u64 cap = u64{1} << 20;
+        cap = std::min(cap,
+                       (max_insts - retired + per_iter - 1) / per_iter);
+        const Cycle top = std::max(pc_enter, min_start);
+        if (cfg_.max_cycles != 0 && cfg_.max_cycles >= top)
+            cap = std::min(cap, (cfg_.max_cycles - top) / c + 1);
+        u32 vals[isa::kNumRegs];
+        for (unsigned r = 0; r < isa::kNumRegs; ++r)
+            vals[r] = regs[r].value;
+        auto val_of = [&](RegId r) -> u32 {
+            return (r == kNoReg || r == kRegZero) ? 0 : vals[r];
+        };
+        u64 j = 0;
+        while (j < cap) {
+            // The not-taken iteration belongs to the dense engine (it
+            // keeps executing past the branch), so its interior writes
+            // are undone before leaving the replay.
+            RegId undo_rd[16];
+            u32 undo_val[16];
+            unsigned nu = 0;
+            bool taken = true;
+            for (unsigned i = slot; i <= last; ++i) {
+                const DecodedInst &di = cl.insts[i];
+                const ExecOut eo =
+                    execute(di, line + 4 * i, val_of(di.rs1),
+                            val_of(di.rs2), val_of(di.rs3));
+                if (i == last) {
+                    taken = eo.redirect;
+                } else if (di.writesReg()) {
+                    undo_rd[nu] = di.rd;
+                    undo_val[nu] = vals[di.rd];
+                    ++nu;
+                    vals[di.rd] = eo.value;
+                }
+            }
+            if (!taken) {
+                while (nu--)
+                    vals[undo_rd[nu]] = undo_val[nu];
+                break;
+            }
+            ++j;
+        }
+        if (j == 0)
+            return false;
+
+        // ---- bulk-apply j iterations of the confirmed deltas ----
+        for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+            regs[r].value = vals[r];
+            regs[r].ready += j * probe.lane_d[r];
+        }
+        pc_enter += j * c;
+        min_start += j * c;
+        for (Cycle &d : inflight)
+            d += j * c;
+        for (unsigned i = slot; i <= last; ++i)
+            cl.pe_busy[i] += j * c;
+        cl.free_at += j * c;
+        use_counter_ += 2 * j;
+        cl.last_use = use_counter_;
+        retired += j * per_iter;
+        activations += j;
+        for (const auto &kv : probe.stat_d)
+            stats_.inc(kv.first, static_cast<double>(j) * kv.second);
+        probe.have_snap = false;  // re-probe from scratch after a jump
+        probe.have_delta = false;
+        return true;
+    };
+
     while (retired < max_insts) {
         // Cooperative host cancellation / wall-clock watchdog: the
         // flag is one atomic load per activation; the deadline (a
@@ -295,20 +586,21 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
                 }
             }
         }
+        if (batch_ok && try_batch())
+            continue;
         const Addr line = alignDown(pc, line_bytes_);
         const Cycle demand = std::max(pc_enter, min_start);
         const Resident got = ensureLoaded(line, demand, mem);
         Cluster &cl = *got.cluster;
         if (got.reused)
-            stats_.inc("reuse_activations");
+            st_reuse_activations_.inc();
         if (got.ready > demand)
-            stats_.inc("fetch_wait_cycles",
-                       static_cast<double>(got.ready - demand));
+            st_fetch_wait_cycles_.inc(
+                static_cast<double>(got.ready - demand));
 
         ActivationInput in;
         in.cluster = &cl;
         in.entry_pc = pc;
-        in.regs = regs;
         in.pc_enter = std::max(pc_enter, got.ready);
         // Per-PE occupancy is enforced inside the activation engine;
         // min_start carries decode readiness, squash re-steer floors,
@@ -323,17 +615,23 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
         // but not while a loop is resident in this line (a backward
         // branch will re-enter it; prefetching would evict the loop's
         // own lines in small rings, defeating reuse).
-        bool has_backward_branch = false;
-        for (const DecodedInst &di : cl.insts) {
-            if ((di.isBranch() || di.op == Op::JAL) && di.imm < 0) {
-                has_backward_branch = true;
-                break;
+        bool has_backward_branch = cl.has_backward_branch;
+        if (cfg_.dense_loop) {
+            // Dense escape hatch: rescan the (unchanged) line the way
+            // the pre-skip-idle control unit did. Same answer as the
+            // cached flag, by construction.
+            has_backward_branch = false;
+            for (const DecodedInst &di : cl.insts) {
+                if ((di.isBranch() || di.op == Op::JAL) && di.imm < 0) {
+                    has_backward_branch = true;
+                    break;
+                }
             }
         }
         if (!has_backward_branch)
             prefetch(line + line_bytes_, in.min_start, mem);
 
-        const ActivationOutput act = engine_.run(in, tmc);
+        const ActivationOutput act = engine_.run(in, regs, tmc);
         if (trc_)
             trc_->activation(static_cast<u8>(index_),
                              static_cast<u16>(cl.index), pc, in.min_start,
@@ -386,7 +684,6 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
             continue;
         }
         retired += act.retired;
-        regs = act.regs;
         inflight.push_back(act.compute_done);
         if (inflight.size() > cfg_.speculation_depth)
             inflight.pop_front();
@@ -431,12 +728,11 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
             {
                 ActivationInput again = in;
                 again.entry_pc = simt_s_pc;
-                again.regs = regs;
                 again.pc_enter = std::max(act.exit_resolve, got.ready);
                 again.min_start =
                     std::max(act.exit_resolve, got.ready);
                 again.trap_on_simt = false;
-                const ActivationOutput act2 = engine_.run(again, tmc);
+                const ActivationOutput act2 = engine_.run(again, regs, tmc);
                 if (trc_)
                     trc_->activation(static_cast<u8>(index_),
                                      static_cast<u16>(cl.index),
@@ -483,7 +779,6 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
                     continue;
                 }
                 retired += act2.retired;
-                regs = act2.regs;
                 if (act2.exit == ActExit::Halt) {
                     res.finish = act2.end_cycle;
                     res.retired = retired;
@@ -513,9 +808,8 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
                                   cfg_.bus_regfile_transfer;
                     pc_enter = xfer;
                     min_start = act2.exit_resolve + cfg_.squash_resteer;
-                    stats_.inc("ctrl_stall_cycles",
-                               static_cast<double>(
-                                   xfer - act2.exit_resolve));
+                    st_ctrl_stall_cycles_.inc(
+                        static_cast<double>(xfer - act2.exit_resolve));
                 }
             }
             continue;
@@ -550,7 +844,7 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
                     l.ready += latch;
                 min_start = act.branch_done + latch;
                 pc_enter = act.exit_resolve + latch;
-                stats_.inc("reuse_redirects");
+                st_reuse_redirects_.inc();
                 if (trc_)
                     trc_->reuseHit(
                         static_cast<u8>(index_),
@@ -565,8 +859,8 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
                 for (LaneState &l : regs)
                     l.ready += cfg_.inter_cluster_latch;
                 min_start = act.exit_resolve + cfg_.squash_resteer;
-                stats_.inc("ctrl_stall_cycles",
-                           static_cast<double>(cfg_.squash_resteer));
+                st_ctrl_stall_cycles_.inc(
+                    static_cast<double>(cfg_.squash_resteer));
             } else {
                 // Mispredicted control transfer to a far or
                 // non-resident target: register file over the bus plus
@@ -579,8 +873,8 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
                               cfg_.bus_regfile_transfer;
                 pc_enter = xfer;
                 min_start = act.exit_resolve + cfg_.squash_resteer;
-                stats_.inc("ctrl_stall_cycles",
-                           static_cast<double>(xfer - act.exit_resolve));
+                st_ctrl_stall_cycles_.inc(
+                    static_cast<double>(xfer - act.exit_resolve));
             }
             break;
           }
@@ -635,22 +929,54 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
 
     // Trip count with do-while semantics, matching simt_e's scalar
     // behaviour exactly (the step's sign selects the condition).
+    constexpr u64 kTripCap = u64{1} << 20;
     u64 trips = 0;
-    for (u32 v = rc0;;) {
-        ++trips;
-        v += step;
-        const bool more =
-            static_cast<i32>(step) >= 0
-                ? static_cast<i32>(v) < static_cast<i32>(end)
-                : static_cast<i32>(v) > static_cast<i32>(end);
-        if (!more)
-            break;
-        if (trips >= (u64{1} << 20)) {
-            warn("simt region at 0x%x exceeds 2^20 threads; capping",
-                 simt_s_pc);
-            break;
+    bool capped = false;
+    bool closed = false;
+    if (!cfg_.dense_loop) {
+        // Closed form (skip-idle, DESIGN.md §15): the counter walks an
+        // arithmetic progression, so the exit trip is one division.
+        // Valid only while the i32 counter never wraps; since the
+        // progression is monotone, checking the final value in i64
+        // covers every intermediate one. On wrap, fall back to the
+        // iterative walk below, which has wrap semantics built in.
+        const i64 c0 = static_cast<i32>(rc0);
+        const i64 sstep = static_cast<i32>(step);
+        const i64 e = static_cast<i32>(end);
+        i64 t;
+        if (sstep > 0)
+            t = std::max<i64>(1, (e - c0 + sstep - 1) / sstep);
+        else if (sstep < 0)
+            t = std::max<i64>(1, (c0 - e + (-sstep) - 1) / (-sstep));
+        else
+            t = c0 < e ? static_cast<i64>(kTripCap) + 1 : 1;
+        capped = t > static_cast<i64>(kTripCap);
+        trips = capped ? kTripCap : static_cast<u64>(t);
+        const i64 v_last = c0 + static_cast<i64>(trips) * sstep;
+        closed = v_last >= std::numeric_limits<i32>::min() &&
+                 v_last <= std::numeric_limits<i32>::max();
+    }
+    if (!closed) {
+        trips = 0;
+        capped = false;
+        for (u32 v = rc0;;) {
+            ++trips;
+            v += step;
+            const bool more =
+                static_cast<i32>(step) >= 0
+                    ? static_cast<i32>(v) < static_cast<i32>(end)
+                    : static_cast<i32>(v) > static_cast<i32>(end);
+            if (!more)
+                break;
+            if (trips >= kTripCap) {
+                capped = true;
+                break;
+            }
         }
     }
+    if (capped)
+        warn("simt region at 0x%x exceeds 2^20 threads; capping",
+             simt_s_pc);
     stats_.inc("simt_regions");
     stats_.inc("simt_threads", static_cast<double>(trips));
     // Per-region counters (keyed by the simt_s pc) let the bound
@@ -733,7 +1059,6 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
             ActivationInput in;
             in.cluster = &cl;
             in.entry_pc = tpc;
-            in.regs = thr;
             in.pc_enter = std::max(tpc_enter, cl.ready_at);
             // Threads stream through stage PEs back-to-back; per-PE
             // occupancy (pipeline registers) is enforced inside the
@@ -741,7 +1066,7 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
             in.min_start = std::max(tmin, cl.ready_at);
             in.mode = ActMode::SimtStage;
             in.simt_step = step;
-            const ActivationOutput act = engine_.run(in, tmc);
+            const ActivationOutput act = engine_.run(in, thr, tmc);
             if (trc_) {
                 trc_->simtStage(static_cast<u8>(index_),
                                 static_cast<u16>(cl.index), tpc,
@@ -758,7 +1083,6 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
             cl.free_at = act.end_cycle;
             cl.last_use = ++use_counter_;
             retired += act.retired;
-            thr = act.regs;
             if (act.exit == ActExit::ThreadEnd) {
                 if (act.exit_resolve > last_exit_resolve) {
                     last_exit_resolve = act.exit_resolve;

@@ -2,112 +2,13 @@
 
 #include "common/log.hpp"
 
-namespace diag::isa
+namespace diag::isa::opdetail
 {
 
-namespace
+void
+opInfoBadOp(unsigned idx)
 {
-
-constexpr OpInfo kOpTable[] = {
-    // name       class              memBytes signed fpDest
-    {"lui",       ExecClass::IntAlu, 0, false, false},
-    {"auipc",     ExecClass::IntAlu, 0, false, false},
-    {"jal",       ExecClass::Jump,   0, false, false},
-    {"jalr",      ExecClass::Jump,   0, false, false},
-    {"beq",       ExecClass::Branch, 0, false, false},
-    {"bne",       ExecClass::Branch, 0, false, false},
-    {"blt",       ExecClass::Branch, 0, false, false},
-    {"bge",       ExecClass::Branch, 0, false, false},
-    {"bltu",      ExecClass::Branch, 0, false, false},
-    {"bgeu",      ExecClass::Branch, 0, false, false},
-    {"lb",        ExecClass::Load,   1, true,  false},
-    {"lh",        ExecClass::Load,   2, true,  false},
-    {"lw",        ExecClass::Load,   4, true,  false},
-    {"lbu",       ExecClass::Load,   1, false, false},
-    {"lhu",       ExecClass::Load,   2, false, false},
-    {"sb",        ExecClass::Store,  1, false, false},
-    {"sh",        ExecClass::Store,  2, false, false},
-    {"sw",        ExecClass::Store,  4, false, false},
-    {"addi",      ExecClass::IntAlu, 0, false, false},
-    {"slti",      ExecClass::IntAlu, 0, false, false},
-    {"sltiu",     ExecClass::IntAlu, 0, false, false},
-    {"xori",      ExecClass::IntAlu, 0, false, false},
-    {"ori",       ExecClass::IntAlu, 0, false, false},
-    {"andi",      ExecClass::IntAlu, 0, false, false},
-    {"slli",      ExecClass::IntAlu, 0, false, false},
-    {"srli",      ExecClass::IntAlu, 0, false, false},
-    {"srai",      ExecClass::IntAlu, 0, false, false},
-    {"add",       ExecClass::IntAlu, 0, false, false},
-    {"sub",       ExecClass::IntAlu, 0, false, false},
-    {"sll",       ExecClass::IntAlu, 0, false, false},
-    {"slt",       ExecClass::IntAlu, 0, false, false},
-    {"sltu",      ExecClass::IntAlu, 0, false, false},
-    {"xor",       ExecClass::IntAlu, 0, false, false},
-    {"srl",       ExecClass::IntAlu, 0, false, false},
-    {"sra",       ExecClass::IntAlu, 0, false, false},
-    {"or",        ExecClass::IntAlu, 0, false, false},
-    {"and",       ExecClass::IntAlu, 0, false, false},
-    {"fence",     ExecClass::System, 0, false, false},
-    {"ecall",     ExecClass::System, 0, false, false},
-    {"ebreak",    ExecClass::System, 0, false, false},
-    {"mul",       ExecClass::IntMul, 0, false, false},
-    {"mulh",      ExecClass::IntMul, 0, false, false},
-    {"mulhsu",    ExecClass::IntMul, 0, false, false},
-    {"mulhu",     ExecClass::IntMul, 0, false, false},
-    {"div",       ExecClass::IntDiv, 0, false, false},
-    {"divu",      ExecClass::IntDiv, 0, false, false},
-    {"rem",       ExecClass::IntDiv, 0, false, false},
-    {"remu",      ExecClass::IntDiv, 0, false, false},
-    {"flw",       ExecClass::Load,   4, false, true},
-    {"fsw",       ExecClass::Store,  4, false, false},
-    {"fmadd.s",   ExecClass::FpFma,  0, false, true},
-    {"fmsub.s",   ExecClass::FpFma,  0, false, true},
-    {"fnmsub.s",  ExecClass::FpFma,  0, false, true},
-    {"fnmadd.s",  ExecClass::FpFma,  0, false, true},
-    {"fadd.s",    ExecClass::FpAdd,  0, false, true},
-    {"fsub.s",    ExecClass::FpAdd,  0, false, true},
-    {"fmul.s",    ExecClass::FpMul,  0, false, true},
-    {"fdiv.s",    ExecClass::FpDiv,  0, false, true},
-    {"fsqrt.s",   ExecClass::FpSqrt, 0, false, true},
-    {"fsgnj.s",   ExecClass::FpMisc, 0, false, true},
-    {"fsgnjn.s",  ExecClass::FpMisc, 0, false, true},
-    {"fsgnjx.s",  ExecClass::FpMisc, 0, false, true},
-    {"fmin.s",    ExecClass::FpMisc, 0, false, true},
-    {"fmax.s",    ExecClass::FpMisc, 0, false, true},
-    {"fcvt.w.s",  ExecClass::FpCvt,  0, false, false},
-    {"fcvt.wu.s", ExecClass::FpCvt,  0, false, false},
-    {"fmv.x.w",   ExecClass::FpMisc, 0, false, false},
-    {"feq.s",     ExecClass::FpCmp,  0, false, false},
-    {"flt.s",     ExecClass::FpCmp,  0, false, false},
-    {"fle.s",     ExecClass::FpCmp,  0, false, false},
-    {"fclass.s",  ExecClass::FpMisc, 0, false, false},
-    {"fcvt.s.w",  ExecClass::FpCvt,  0, false, true},
-    {"fcvt.s.wu", ExecClass::FpCvt,  0, false, true},
-    {"fmv.w.x",   ExecClass::FpMisc, 0, false, true},
-    {"simt_s",    ExecClass::Simt,   0, false, false},
-    {"simt_e",    ExecClass::Simt,   0, false, false},
-    {"invalid",   ExecClass::Invalid, 0, false, false},
-};
-
-static_assert(sizeof(kOpTable) / sizeof(kOpTable[0]) ==
-                  static_cast<unsigned>(Op::NUM_OPS) + 1,
-              "opcode metadata table out of sync with Op enum");
-
-} // namespace
-
-const OpInfo &
-opInfo(Op op)
-{
-    const auto idx = static_cast<unsigned>(op);
-    panic_if(idx > static_cast<unsigned>(Op::NUM_OPS),
-             "opInfo: bad opcode %u", idx);
-    return kOpTable[idx];
+    panic("opInfo: bad opcode %u", idx);
 }
 
-const char *
-opName(Op op)
-{
-    return opInfo(op).name;
-}
-
-} // namespace diag::isa
+} // namespace diag::isa::opdetail

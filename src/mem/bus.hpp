@@ -31,10 +31,10 @@ class Bus
     request(Cycle now, Cycle occupancy)
     {
         const Cycle grant = calendar_.reserve(now, occupancy);
-        stats_.inc("transfers");
-        stats_.inc("busy_cycles", static_cast<double>(occupancy));
+        st_transfers_.inc();
+        st_busy_cycles_.inc(static_cast<double>(occupancy));
         if (grant > now)
-            stats_.inc("wait_cycles", static_cast<double>(grant - now));
+            st_wait_cycles_.inc(static_cast<double>(grant - now));
         return grant;
     }
 
@@ -48,6 +48,10 @@ class Bus
   private:
     BusyCalendar calendar_;
     StatGroup stats_;
+    // Lazy-bound counter handles for the per-request hot path.
+    StatCounter st_transfers_{stats_, "transfers"};
+    StatCounter st_busy_cycles_{stats_, "busy_cycles"};
+    StatCounter st_wait_cycles_{stats_, "wait_cycles"};
 };
 
 } // namespace diag::mem

@@ -51,13 +51,16 @@ Cache::access(Addr addr, bool is_write, Cycle now)
     const u32 bank = bankOf(addr);
     res.grant = bank_busy_[bank].reserve(now, params_.bank_occupancy);
     if (res.grant > now) {
-        stats_.inc("bank_conflict_cycles",
-                   static_cast<double>(res.grant - now));
+        st_bank_conflict_cycles_.inc(
+            static_cast<double>(res.grant - now));
         if (tracer_)
             tracer_->bankConflict(static_cast<u16>(bank), addr, now,
                                   res.grant - now);
     }
-    stats_.inc(is_write ? "writes" : "reads");
+    if (is_write)
+        st_writes_.inc();
+    else
+        st_reads_.inc();
 
     const u32 set = setIndex(addr);
     const u32 tag = tagOf(addr);
@@ -70,11 +73,11 @@ Cache::access(Addr addr, bool is_write, Cycle now)
                 way.dirty = true;
             res.hit = true;
             res.done = res.grant + params_.hit_latency;
-            stats_.inc("hits");
+            st_hits_.inc();
             return res;
         }
     }
-    stats_.inc("misses");
+    st_misses_.inc();
     return res;
 }
 
@@ -120,12 +123,12 @@ Cache::fill(Addr addr, bool is_write, Cycle)
     }
     const bool writeback = victim->valid && victim->dirty;
     if (writeback)
-        stats_.inc("writebacks");
+        st_writebacks_.inc();
     victim->valid = true;
     victim->tag = tag;
     victim->dirty = is_write;
     victim->last_use = ++use_counter_;
-    stats_.inc("fills");
+    st_fills_.inc();
     return writeback;
 }
 

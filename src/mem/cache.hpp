@@ -95,6 +95,14 @@ class Cache
     std::vector<BusyCalendar> bank_busy_;  // per bank
     u64 use_counter_ = 0;
     StatGroup stats_;
+    // Lazy-bound counter handles for the per-access hot path.
+    StatCounter st_bank_conflict_cycles_{stats_, "bank_conflict_cycles"};
+    StatCounter st_reads_{stats_, "reads"};
+    StatCounter st_writes_{stats_, "writes"};
+    StatCounter st_hits_{stats_, "hits"};
+    StatCounter st_misses_{stats_, "misses"};
+    StatCounter st_writebacks_{stats_, "writebacks"};
+    StatCounter st_fills_{stats_, "fills"};
     trace::Tracer *tracer_ = nullptr;  //!< null = tracing off
 };
 

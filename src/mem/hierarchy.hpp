@@ -41,9 +41,9 @@ class MainMemory
     {
         const Cycle grant =
             channel_.reserve(now, params_.line_occupancy);
-        stats_.inc("accesses");
+        st_accesses_.inc();
         if (grant > now)
-            stats_.inc("wait_cycles", static_cast<double>(grant - now));
+            st_wait_cycles_.inc(static_cast<double>(grant - now));
         return grant + params_.latency;
     }
 
@@ -55,6 +55,9 @@ class MainMemory
     MainMemoryParams params_;
     BusyCalendar channel_;
     StatGroup stats_;
+    // Lazy-bound counter handles for the per-access hot path.
+    StatCounter st_accesses_{stats_, "accesses"};
+    StatCounter st_wait_cycles_{stats_, "wait_cycles"};
 };
 
 /**

@@ -59,6 +59,19 @@ class OooCore
      *  run as a structured timeout (same contract as DiAG's rings). */
     void setCancelToken(const host::CancelToken *t) { cancel_ = t; }
 
+    /** Reset per-run state: the decoded-instruction cache and every
+     *  functional-unit occupancy calendar (predictor state is local to
+     *  runThread and needs no reset). */
+    void
+    reset()
+    {
+        icache_.clear();
+        for (FuPool *p : {&alu_, &mul_, &div_, &fpu_, &fpdiv_,
+                          &memport_})
+            for (BusyCalendar &u : p->units)
+                u.clear();
+    }
+
   private:
     /**
      * Functional-unit pool. Each unit keeps an occupancy calendar so

@@ -21,13 +21,41 @@ OooProcessor::run(const Program &prog, u64 max_insts)
     return runThreads(prog, {ThreadSpec{prog.entry, {}}}, max_insts);
 }
 
+void
+OooProcessor::beginRun(const Program &prog)
+{
+    // Stale-program guard: a reused processor handed a different
+    // Program used to keep executing whichever image was loaded first.
+    const bool stale =
+        program_loaded_ && prog.fingerprint() != program_hash_;
+    if (stale) {
+        mem_ = SparseMemory{};
+        warmed_ = false;
+    }
+    if (!program_loaded_ || stale)
+        loadProgram(prog);
+    // Per-run isolation: a second run() used to fold the first run's
+    // counters into its RunStats and to inherit its decoded-inst,
+    // FU-calendar, and cache state. Reset to the post-load state so
+    // run-twice equals run-once; the first run skips all of this and
+    // is bit-identical to a fresh processor's.
+    if (ran_) {
+        for (auto &core : cores_)
+            core->reset();
+        mh_.reset();
+        stats_.clear(false);
+        if (warmed_)
+            warmCaches();
+    }
+    ran_ = true;
+}
+
 sim::RunStats
 OooProcessor::runThreads(const Program &prog,
                          const std::vector<ThreadSpec> &threads,
                          u64 max_insts)
 {
-    if (!program_loaded_)
-        loadProgram(prog);
+    beginRun(prog);
     results_.clear();
     sim::RunStats rs;
     rs.halted = true;

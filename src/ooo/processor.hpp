@@ -33,12 +33,16 @@ class OooProcessor
     SparseMemory &memory() { return mem_; }
     const OooConfig &config() const { return cfg_; }
 
-    /** Load the image now so inputs can be initialized before run(). */
+    /** Load the image now so inputs can be initialized before run().
+     *  Records the program's fingerprint so a later run() with a
+     *  *different* Program reloads instead of executing a stale
+     *  image (same contract as DiagProcessor::loadProgram). */
     void
     loadProgram(const Program &prog)
     {
         prog.loadInto(mem_);
         program_loaded_ = true;
+        program_hash_ = prog.fingerprint();
     }
 
     /** Pre-install the memory image into the shared L2 (steady-state
@@ -50,6 +54,7 @@ class OooProcessor
             for (Addr off = 0; off < SparseMemory::kPageSize; off += 64)
                 mh_.warmLine(base + off);
         });
+        warmed_ = true;
     }
 
     /** Attach (or detach with nullptr) a cooperative cancellation
@@ -75,6 +80,15 @@ class OooProcessor
     const StatGroup &stats() const { return stats_; }
 
   private:
+    /**
+     * Per-run setup, mirroring DiagProcessor::beginRun: reload when
+     * handed a different program, and — on every run after the first —
+     * reset cores, hierarchy, and counters (re-warming if the caller
+     * warmed) so each run() reports per-run deltas. The first run is
+     * left untouched and bit-identical to a fresh processor's.
+     */
+    void beginRun(const Program &prog);
+
     OooConfig cfg_;
     SparseMemory mem_;
     mem::MemHierarchy mh_;
@@ -82,6 +96,9 @@ class OooProcessor
     std::vector<std::unique_ptr<OooCore>> cores_;
     std::vector<CoreResult> results_;
     bool program_loaded_ = false;
+    bool warmed_ = false;  //!< warmCaches() called (re-warm each run)
+    bool ran_ = false;     //!< a run completed (reset before the next)
+    u64 program_hash_ = 0; //!< fingerprint of the loaded program
 };
 
 } // namespace diag::ooo

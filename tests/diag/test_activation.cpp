@@ -23,6 +23,9 @@ struct Rig
     SparseMemory mem;
     ThreadMemCtx tmc{mem, cfg.mem_lane_entries};
     Cluster cl;
+    /** Lane file, updated in place by run(); holds the output-latch
+     *  state afterwards (what ActivationOutput::regs used to carry). */
+    LaneFile regs{};
 
     /** Load a line of assembly (at most 16 instructions) at 0x1000. */
     void
@@ -38,13 +41,13 @@ struct Rig
     }
 
     ActivationOutput
-    run(Addr entry = 0x1000, LaneFile regs = {})
+    run(Addr entry = 0x1000, const LaneFile &init = {})
     {
+        regs = init;
         ActivationInput in;
         in.cluster = &cl;
         in.entry_pc = entry;
-        in.regs = regs;
-        return engine.run(in, tmc);
+        return engine.run(in, regs, tmc);
     }
 };
 
@@ -63,7 +66,7 @@ TEST(Activation, StraightLineRetiresAll)
     EXPECT_EQ(out.exit, ActExit::Halt);
     EXPECT_FALSE(out.faulted);
     EXPECT_EQ(out.retired, 4u);
-    EXPECT_EQ(out.regs[3].value, 3u);
+    EXPECT_EQ(rig.regs[3].value, 3u);
 }
 
 TEST(Activation, IndependentOpsOverlap)
@@ -95,7 +98,7 @@ TEST(Activation, IndependentOpsOverlap)
         ebreak
     )");
     const ActivationOutput dep = rig2.run();
-    EXPECT_EQ(dep.regs[1].value, 7u);
+    EXPECT_EQ(rig2.regs[1].value, 7u);
     // Dependent chain: one op per cycle; independent: all start at 0.
     EXPECT_LT(ind.end_cycle + 4, dep.end_cycle);
 }
@@ -116,10 +119,10 @@ TEST(Activation, WawAndWarDoNotSerialize)
     regs[2].value = 100;
     regs[3].value = 5;
     const ActivationOutput out = rig.run(0x1000, regs);
-    EXPECT_EQ(out.regs[1].value, 9u);
-    EXPECT_EQ(out.regs[4].value, 9u);
+    EXPECT_EQ(rig.regs[1].value, 9u);
+    EXPECT_EQ(rig.regs[4].value, 9u);
     // x4 is ready long before the divide's 12-cycle latency...
-    EXPECT_LT(out.regs[4].ready, 10u);
+    EXPECT_LT(rig.regs[4].ready, 10u);
     // ...but retirement (PC lane) still waits for the divide.
     EXPECT_GE(out.pc_exit, 12u);
 }
@@ -138,9 +141,9 @@ TEST(Activation, ForwardSkipWithinCluster)
     )");
     const ActivationOutput out = rig.run();
     EXPECT_EQ(out.exit, ActExit::Halt);
-    EXPECT_EQ(out.regs[2].value, 0u);  // never executed
-    EXPECT_EQ(out.regs[3].value, 0u);
-    EXPECT_EQ(out.regs[4].value, 5u);
+    EXPECT_EQ(rig.regs[2].value, 0u);  // never executed
+    EXPECT_EQ(rig.regs[3].value, 0u);
+    EXPECT_EQ(rig.regs[4].value, 5u);
     EXPECT_EQ(out.retired, 4u);  // addi, beq, addi, ebreak
     EXPECT_EQ(out.taken_branches, 1u);
 }
@@ -156,7 +159,7 @@ TEST(Activation, NotTakenBranchFallsThrough)
         ebreak
     )");
     const ActivationOutput out = rig.run();
-    EXPECT_EQ(out.regs[2].value, 7u);
+    EXPECT_EQ(rig.regs[2].value, 7u);
     EXPECT_EQ(out.taken_branches, 0u);
 }
 
@@ -174,7 +177,7 @@ TEST(Activation, BackwardBranchExitsCluster)
     const ActivationOutput out = rig.run(0x1000, regs);
     EXPECT_EQ(out.exit, ActExit::Redirect);
     EXPECT_EQ(out.exit_pc, 0x1000u);
-    EXPECT_EQ(out.regs[1].value, 1u);
+    EXPECT_EQ(rig.regs[1].value, 1u);
 }
 
 TEST(Activation, FallThroughReportsNextLine)
@@ -187,7 +190,7 @@ TEST(Activation, FallThroughReportsNextLine)
     const ActivationOutput out = rig.run();
     EXPECT_EQ(out.exit, ActExit::FellThrough);
     EXPECT_EQ(out.exit_pc, 0x1040u);
-    EXPECT_EQ(out.regs[1].value, 16u);
+    EXPECT_EQ(rig.regs[1].value, 16u);
     EXPECT_EQ(out.retired, 16u);
 }
 
@@ -202,10 +205,10 @@ TEST(Activation, SegmentBufferAddsLatency)
     src += "addi x2, x1, 0\n";              // PE 8, seg 1
     src += "ebreak\n";
     rig.load(src);
-    const ActivationOutput out = rig.run();
+    rig.run();
     // Producer done at 1; +1 segment crossing; consumer runs [2,3).
-    EXPECT_EQ(out.regs[2].value, 42u);
-    EXPECT_EQ(out.regs[2].ready, 3u);
+    EXPECT_EQ(rig.regs[2].value, 42u);
+    EXPECT_EQ(rig.regs[2].ready, 3u);
 }
 
 TEST(Activation, StoreToLoadForwarding)
@@ -219,8 +222,8 @@ TEST(Activation, StoreToLoadForwarding)
     LaneFile regs{};
     regs[1].value = 123;
     regs[2].value = 0x8000;
-    const ActivationOutput out = rig.run(0x1000, regs);
-    EXPECT_EQ(out.regs[3].value, 123u);
+    rig.run(0x1000, regs);
+    EXPECT_EQ(rig.regs[3].value, 123u);
     EXPECT_EQ(rig.stats.get("memlane_fwd"), 1.0);
     EXPECT_EQ(rig.tmc.mem().read32(0x8000), 123u);
 }
@@ -237,8 +240,8 @@ TEST(Activation, MemLanesDisabledGoesToCache)
     LaneFile regs{};
     regs[1].value = 55;
     regs[2].value = 0x8000;
-    const ActivationOutput out = rig.run(0x1000, regs);
-    EXPECT_EQ(out.regs[3].value, 55u);  // still correct
+    rig.run(0x1000, regs);
+    EXPECT_EQ(rig.regs[3].value, 55u);  // still correct
     EXPECT_EQ(rig.stats.get("memlane_fwd"), 0.0);
 }
 
@@ -258,10 +261,10 @@ TEST(Activation, LoadWaitsForOlderStoreAddress)
     regs[5].value = 0x10000;
     regs[6].value = 2;      // x2 = 0x8000 after 12-cycle divide
     regs[7].value = 0x9000; // disjoint address
-    const ActivationOutput out = rig.run(0x1000, regs);
-    EXPECT_EQ(out.regs[3].value, 0u);
+    rig.run(0x1000, regs);
+    EXPECT_EQ(rig.regs[3].value, 0u);
     // Load issue gated by store address (>= 12 cycles).
-    EXPECT_GE(out.regs[3].ready, 12u);
+    EXPECT_GE(rig.regs[3].ready, 12u);
 }
 
 TEST(Activation, LineBufferHitIsFast)
@@ -288,9 +291,9 @@ TEST(Activation, MidLineEntryDisablesEarlierPes)
         ebreak
     )");
     const ActivationOutput out = rig.run(0x1008);  // enter at 3rd inst
-    EXPECT_EQ(out.regs[1].value, 0u);
-    EXPECT_EQ(out.regs[2].value, 0u);
-    EXPECT_EQ(out.regs[3].value, 3u);
+    EXPECT_EQ(rig.regs[1].value, 0u);
+    EXPECT_EQ(rig.regs[2].value, 0u);
+    EXPECT_EQ(rig.regs[3].value, 3u);
     EXPECT_EQ(out.retired, 2u);
 }
 
@@ -313,5 +316,5 @@ TEST(Activation, JalLinksAndRedirects)
     const ActivationOutput out = rig.run();
     EXPECT_EQ(out.exit, ActExit::Redirect);
     EXPECT_EQ(out.exit_pc, 0x2000u);
-    EXPECT_EQ(out.regs[1].value, 0x1004u);
+    EXPECT_EQ(rig.regs[1].value, 0x1004u);
 }

@@ -2,6 +2,8 @@
  *  SIMT thread pipelining, multi-threaded rings. */
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "asm/assembler.hpp"
 #include "diag/processor.hpp"
 #include "sim/golden.hpp"
@@ -360,4 +362,106 @@ TEST(DiagProcessor, StallCountersPopulated)
     EXPECT_GT(rs.counters.get("mem_stall_cycles"), 0.0);
     EXPECT_GT(rs.counters.get("ctrl_stall_cycles"), 0.0);
     EXPECT_GT(rs.counters.get("dram_loads"), 500.0);
+}
+
+// --- Per-run isolation regressions (DESIGN.md §15). ----------------
+
+namespace
+{
+
+std::string
+countersJson(const sim::RunStats &rs)
+{
+    std::ostringstream os;
+    rs.counters.dumpJson(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(DiagProcessor, RunningDifferentProgramReloadsMemory)
+{
+    // A processor that already ran program A must not execute A's
+    // stale image when handed program B (the old `if
+    // (!program_loaded_)` guard skipped the reload entirely).
+    const Program a = asmProgram(R"(
+        _start:
+            li a0, 111
+            ebreak
+    )");
+    const Program b = asmProgram(R"(
+        _start:
+            li a0, 222
+            ebreak
+    )");
+    DiagProcessor proc(DiagConfig::f4c2());
+    ASSERT_TRUE(proc.run(a).halted);
+    EXPECT_EQ(proc.finalReg(0, 10), 111u);
+    ASSERT_TRUE(proc.run(b).halted);
+    EXPECT_EQ(proc.finalReg(0, 10), 222u);
+
+    // A fresh processor running only B is the reference; the reloaded
+    // processor must report the very same cycles and counters.
+    DiagProcessor fresh(DiagConfig::f4c2());
+    const sim::RunStats rf = fresh.run(b);
+    DiagProcessor twice(DiagConfig::f4c2());
+    ASSERT_TRUE(twice.run(a).halted);
+    const sim::RunStats rs = twice.run(b);
+    EXPECT_EQ(rs.cycles, rf.cycles);
+    EXPECT_EQ(countersJson(rs), countersJson(rf));
+}
+
+TEST(DiagProcessor, RunTwiceEqualsRunOnce)
+{
+    // Counters are per-run deltas: the second run of the same program
+    // must report exactly what a fresh processor's first run reports
+    // (the old code folded run 1's counters and cache state into run
+    // 2's RunStats).
+    const Program p = asmProgram(R"(
+        _start:
+            li a0, 0
+            li a1, 64
+        loop:
+            slli t0, a0, 2
+            sw a0, 0x400(t0)
+            addi a0, a0, 1
+            bne a0, a1, loop
+            ebreak
+    )");
+    DiagProcessor fresh(DiagConfig::f4c16());
+    const sim::RunStats first = fresh.run(p);
+
+    DiagProcessor reused(DiagConfig::f4c16());
+    const sim::RunStats r1 = reused.run(p);
+    const sim::RunStats r2 = reused.run(p);
+    EXPECT_EQ(countersJson(r1), countersJson(first));
+    EXPECT_EQ(r2.cycles, first.cycles);
+    EXPECT_EQ(r2.instructions, first.instructions);
+    EXPECT_EQ(countersJson(r2), countersJson(first));
+}
+
+TEST(DiagProcessor, RerunAfterWarmCachesStaysWarm)
+{
+    // loadProgram + warmCaches + two runs: the second run re-warms to
+    // the same post-warm state, so both runs are identical.
+    const Program p = asmProgram(R"(
+        _start:
+            li a0, 0
+            li a1, 32
+            li a2, 0
+        loop:
+            slli t0, a0, 2
+            lw t1, 0x400(t0)
+            add a2, a2, t1
+            addi a0, a0, 1
+            bne a0, a1, loop
+            ebreak
+    )");
+    DiagProcessor proc(DiagConfig::f4c16());
+    proc.loadProgram(p);
+    proc.warmCaches();
+    const sim::RunStats r1 = proc.run(p);
+    const sim::RunStats r2 = proc.run(p);
+    EXPECT_EQ(r2.cycles, r1.cycles);
+    EXPECT_EQ(countersJson(r2), countersJson(r1));
 }

@@ -2,6 +2,8 @@
  *  branch-misprediction cost, width sensitivity. */
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "asm/assembler.hpp"
 #include "ooo/processor.hpp"
 #include "sim/fuzz.hpp"
@@ -242,3 +244,65 @@ TEST_P(OooDiff, RandomProgramsMatchGolden)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OooDiff, ::testing::Range<u64>(300, 325));
+
+// --- Per-run isolation regressions (same contract as DiAG's). ------
+
+namespace
+{
+
+std::string
+countersJson(const sim::RunStats &rs)
+{
+    std::ostringstream os;
+    rs.counters.dumpJson(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(OooCore, RunningDifferentProgramReloadsMemory)
+{
+    const Program a = asmProgram(R"(
+        _start:
+            li a0, 111
+            ebreak
+    )");
+    const Program b = asmProgram(R"(
+        _start:
+            li a0, 222
+            ebreak
+    )");
+    OooProcessor proc(OooConfig::baseline8());
+    ASSERT_TRUE(proc.run(a).halted);
+    EXPECT_EQ(proc.finalReg(0, 10), 111u);
+    ASSERT_TRUE(proc.run(b).halted);
+    EXPECT_EQ(proc.finalReg(0, 10), 222u);
+}
+
+TEST(OooCore, RunTwiceEqualsRunOnce)
+{
+    // Per-run counter deltas: a reused processor's second run must
+    // match a fresh processor's first run exactly — caches, FU busy
+    // calendars, and StatGroup all reset between runs.
+    const Program p = asmProgram(R"(
+        _start:
+            li a0, 0
+            li a1, 64
+        loop:
+            slli t0, a0, 2
+            sw a0, 0x400(t0)
+            addi a0, a0, 1
+            bne a0, a1, loop
+            ebreak
+    )");
+    OooProcessor fresh(OooConfig::baseline8());
+    const sim::RunStats first = fresh.run(p);
+
+    OooProcessor reused(OooConfig::baseline8());
+    const sim::RunStats r1 = reused.run(p);
+    const sim::RunStats r2 = reused.run(p);
+    EXPECT_EQ(countersJson(r1), countersJson(first));
+    EXPECT_EQ(r2.cycles, first.cycles);
+    EXPECT_EQ(r2.instructions, first.instructions);
+    EXPECT_EQ(countersJson(r2), countersJson(first));
+}

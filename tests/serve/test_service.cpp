@@ -145,10 +145,12 @@ TEST(SimService, CancelMidRunStopsTheEngine)
     SimService svc(cfg);
     SimRequest q;
     q.id = 1;
-    q.workload = "bfs"; // long enough that 15 ms lands mid-run
+    // pathfinder runs ~30 ms host time on F4C16 even with skip-idle
+    // scheduling, so a 5 ms cancel lands mid-run.
+    q.workload = "pathfinder";
     q.config = "F4C16";
     auto t = svc.submit(q);
-    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
     t.cancel.cancel();
     const SimResponse r = t.result.get();
     EXPECT_EQ(r.status, RespStatus::Cancelled);

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Gate simulator-throughput benchmark results (CI bench smoke).
+
+Reads a bench_sim_speed --benchmark_out JSON file and fails (exit 1)
+when:
+  * the timing library self-reports a debug build (the numbers would
+    measure the library, not the simulator),
+  * the simulator under test was not optimized,
+  * BM_DiagModel's sim_inst_per_s falls below the absolute floor
+    (guards against the skip-idle scheduler regressing back toward the
+    4.5M inst/s dense baseline), or
+  * BM_DiagModel is not at least MIN_RATIO times BM_DiagModelDense
+    (the steady-state loop batcher's speedup on the bench kernel).
+
+Usage: check_bench.py BENCH_sim_speed.json [--floor INSTS_PER_S]
+                                           [--ratio MIN_RATIO]
+"""
+
+import argparse
+import json
+import sys
+
+# The committed pre-skip-idle baseline measured 4.51M simulated
+# instructions per host second for BM_DiagModel; the issue's acceptance
+# bar is >= 3x that. CI hosts vary, so the default floor keeps margin.
+DEFAULT_FLOOR = 13.5e6
+DEFAULT_RATIO = 3.0
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_json")
+    ap.add_argument("--floor", type=float, default=DEFAULT_FLOOR,
+                    help="minimum BM_DiagModel sim_inst_per_s")
+    ap.add_argument("--ratio", type=float, default=DEFAULT_RATIO,
+                    help="minimum BM_DiagModel / BM_DiagModelDense")
+    args = ap.parse_args()
+
+    with open(args.bench_json) as f:
+        doc = json.load(f)
+
+    ctx = doc.get("context", {})
+    if ctx.get("library_build_type") != "release":
+        fail(f"timing library built as "
+             f"'{ctx.get('library_build_type')}' — numbers are not a "
+             f"measurement (need a Release build of the bench tree)")
+    if ctx.get("diag_optimized") == "false":
+        fail("simulator under test compiled without optimization")
+
+    rates = {}
+    for run in doc.get("benchmarks", []):
+        if "sim_inst_per_s" in run:
+            rates[run["name"]] = run["sim_inst_per_s"]
+
+    diag = rates.get("BM_DiagModel")
+    dense = rates.get("BM_DiagModelDense")
+    if diag is None:
+        fail("BM_DiagModel missing from the benchmark output")
+    if dense is None:
+        fail("BM_DiagModelDense missing from the benchmark output")
+
+    print(f"check_bench: BM_DiagModel      {diag:.3e} inst/s")
+    print(f"check_bench: BM_DiagModelDense {dense:.3e} inst/s")
+    print(f"check_bench: speedup           {diag / dense:.2f}x "
+          f"(floor {args.ratio:.2f}x)")
+
+    if diag < args.floor:
+        fail(f"BM_DiagModel {diag:.3e} inst/s below the "
+             f"{args.floor:.3e} floor")
+    if diag < args.ratio * dense:
+        fail(f"skip-idle speedup {diag / dense:.2f}x below the "
+             f"{args.ratio:.2f}x floor")
+    print("check_bench: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,8 @@
  *     --threads N                 software threads (default: 1)
  *     --workload NAME             run a built-in benchmark kernel
  *     --simt                      use the workload's simt variant
+ *     --dense-loop                disable skip-idle scheduling (diag
+ *                                 engine; must not change any number)
  *     --list-workloads            print the benchmark inventory
  *     --stats                     dump every model counter
  *     --regs                      dump final integer registers
@@ -65,6 +67,7 @@ struct Options
     std::string file;
     unsigned threads = 1;
     bool simt = false;
+    bool dense_loop = false;
     bool stats = false;
     bool regs = false;
     bool golden_diff = false;
@@ -216,6 +219,7 @@ runWorkload(const Options &opt)
         core::DiagConfig cfg = harness::configByName(opt.config);
         if (opt.max_cycles)
             cfg.max_cycles = opt.max_cycles;
+        cfg.dense_loop = opt.dense_loop;
         run = harness::runOnDiag(cfg, w, spec);
     } else if (opt.engine == "ooo") {
         ooo::OooConfig cfg = ooo::OooConfig::baseline8();
@@ -300,6 +304,7 @@ runProgram(const Options &opt, const Program &prog,
         core::DiagConfig cfg = harness::configByName(opt.config);
         if (opt.max_cycles)
             cfg.max_cycles = opt.max_cycles;
+        cfg.dense_loop = opt.dense_loop;
         core::DiagProcessor proc(cfg);
         proc.attachTrace(trc);
         rs = proc.run(prog, opt.max_insts);
@@ -481,6 +486,9 @@ main(int argc, char **argv)
                 "run a built-in benchmark kernel")
         .flag("--simt", &opt.simt,
               "use the simt-annotated variant")
+        .flag("--dense-loop", &opt.dense_loop,
+              "disable skip-idle scheduling (diag engine; equivalence "
+              "debugging — must not change any reported number)")
         .flag("--list-workloads", &list_workloads,
               "list the benchmark inventory")
         .flag("--stats", &opt.stats, "dump all model counters")
