@@ -17,13 +17,6 @@ StatGroup::dump(std::ostream &os) const
     }
 }
 
-namespace
-{
-
-/** Byte-stable JSON number: counters are mostly exact integral counts,
- *  which render without a fraction; anything else uses %.12g (enough
- *  digits that equal doubles render equal bytes, and unequal ones
- *  almost surely do not). */
 std::string
 jsonNumber(double v)
 {
@@ -33,8 +26,6 @@ jsonNumber(double v)
     return detail::vformat("%.12g", v);
 }
 
-/** Counter keys are ASCII identifiers, but escape defensively so a
- *  hostile key cannot break the document. */
 std::string
 jsonEscape(const std::string &s)
 {
@@ -50,8 +41,6 @@ jsonEscape(const std::string &s)
     }
     return out;
 }
-
-} // namespace
 
 void
 StatGroup::dumpJson(std::ostream &os) const

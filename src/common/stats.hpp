@@ -17,6 +17,22 @@ namespace diag
 {
 
 /**
+ * Byte-stable JSON number: counters are mostly exact integral counts,
+ * which render without a fraction; anything else uses %.12g (enough
+ * digits that equal doubles render equal bytes, and unequal ones
+ * almost surely do not). Shared by StatGroup::dumpJson and the obs
+ * metrics registry so every JSON artifact renders numbers identically.
+ */
+std::string jsonNumber(double v);
+
+/**
+ * Escape a string for embedding in a JSON document. Counter keys are
+ * ASCII identifiers, but escape defensively so a hostile key cannot
+ * break the document.
+ */
+std::string jsonEscape(const std::string &s);
+
+/**
  * A flat collection of named double-valued statistics. Counters default
  * to zero; reading a missing counter returns zero so consumers do not
  * need to know the full set in advance.

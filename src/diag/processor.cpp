@@ -96,6 +96,13 @@ DiagProcessor::attachAddrTrace(trace::AddrTrace *t)
 }
 
 void
+DiagProcessor::attachObs(obs::SimProfile *p)
+{
+    for (auto &ring : rings_)
+        ring->setObs(p);
+}
+
+void
 DiagProcessor::lintStrict(const Program &prog,
                           const std::vector<ThreadSpec> &threads) const
 {

@@ -14,6 +14,7 @@
 #include "fault/watchdog.hpp"
 #include "isa/decoder.hpp"
 #include "isa/exec.hpp"
+#include "obs/sim_profile.hpp"
 #include "trace/addr_trace.hpp"
 
 namespace diag::core
@@ -198,17 +199,26 @@ u8
 Ring::qualifyBatchWindow(Cluster &cl, unsigned slot) const
 {
     const unsigned n = static_cast<unsigned>(cl.insts.size());
-    if (slot >= n)
+    if (slot >= n) {
+        if (obs_)
+            ++obs_->disqualified[obs::kReasonOutOfLine];
         return 1;
+    }
     if (cl.batch_window.size() != n)
         cl.batch_window.assign(n, 0);
     if (cl.batch_window[slot] != 0)
         return cl.batch_window[slot];
     u8 code = 1;
+    // Self-profiling (DESIGN.md §16): the verdict is cached per line
+    // load, so each reason tallies once per classification, not once
+    // per execution of the line.
+    unsigned reason = obs::kReasonNoTerminator;
     for (unsigned b = slot; b < n; ++b) {
         const DecodedInst &di = cl.insts[b];
-        if (!di.valid())
+        if (!di.valid()) {
+            reason = obs::kReasonInvalidInst;
             break;
+        }
         if (di.isBranch()) {
             // Window terminator: a conditional backward branch whose
             // target is the entry slot again (a self-loop).
@@ -217,13 +227,25 @@ Ring::qualifyBatchWindow(Cluster &cl, unsigned slot) const
                 static_cast<Addr>(static_cast<i64>(addr) + di.imm);
             if (di.imm < 0 && target == cl.line_base + 4 * slot)
                 code = static_cast<u8>(2 + (b - slot));
+            else
+                reason = obs::kReasonNotSelfLoop;
             break;
         }
         // Interior instructions must be pure lane-to-lane compute:
         // memory would touch cache/bus/LSU state the loop probe does
         // not snapshot; control, system, and simt end the activation.
-        if (di.isMem() || di.isControl() || di.isSimt())
+        if (di.isMem() || di.isControl() || di.isSimt()) {
+            reason = di.isMem()    ? obs::kReasonInteriorMem
+                     : di.isSimt() ? obs::kReasonInteriorSimt
+                                   : obs::kReasonInteriorControl;
             break;
+        }
+    }
+    if (obs_) {
+        if (code >= 2)
+            ++obs_->lines_batchable;
+        else
+            ++obs_->disqualified[reason];
     }
     cl.batch_window[slot] = code;
     return code;
@@ -318,6 +340,8 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
         probe.inflight = inflight;
         probe.stats = stats_.all();
         probe.have_snap = true;
+        if (obs_)
+            ++obs_->probe_attempts;
     };
 
     // Returns true when it advanced the thread past j>=1 batched loop
@@ -415,13 +439,17 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
             }
         }
         if (!ok) {
-            if (!ramping && ++probe.fails >= kProbeFails)
+            if (obs_)
+                ++obs_->probe_misses;
+            if (!ramping && ++probe.fails >= kProbeFails) {
                 cl.batch_window[slot] = 1;  // dynamic blacklist
+                if (obs_)
+                    ++obs_->probe_blacklisted;
+            }
             probe.have_delta = false;
             snapshot_probe(cl, slot, last);
             return false;
         }
-        if (getenv("DIAG_BATCH_DEBUG")) fprintf(stderr, "[B] pc=%x diff OK c=%llu have_delta=%d c_match=%d lane_match=%d stat_match=%d\n", pc, (unsigned long long)c, (int)probe.have_delta, (int)(c==probe.c), (int)(lane_d==probe.lane_d), (int)(stat_d==probe.stat_d));
         if (!probe.have_delta || c != probe.c ||
             lane_d != probe.lane_d || stat_d != probe.stat_d) {
             probe.c = c;
@@ -498,6 +526,11 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
         cl.last_use = use_counter_;
         retired += j * per_iter;
         activations += j;
+        if (obs_) {
+            ++obs_->batch_jumps;
+            obs_->batched_iterations += j;
+            obs_->batched_insts += j * per_iter;
+        }
         for (const auto &kv : probe.stat_d)
             stats_.inc(kv.first, static_cast<double>(j) * kv.second);
         probe.have_snap = false;  // re-probe from scratch after a jump
@@ -632,6 +665,8 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
             prefetch(line + line_bytes_, in.min_start, mem);
 
         const ActivationOutput act = engine_.run(in, regs, tmc);
+        if (obs_)
+            ++obs_->dense_activations;
         if (trc_)
             trc_->activation(static_cast<u8>(index_),
                              static_cast<u16>(cl.index), pc, in.min_start,
@@ -733,6 +768,8 @@ Ring::runThread(Addr entry, const LaneFile &init_regs, SparseMemory &mem,
                     std::max(act.exit_resolve, got.ready);
                 again.trap_on_simt = false;
                 const ActivationOutput act2 = engine_.run(again, regs, tmc);
+                if (obs_)
+                    ++obs_->dense_activations;
                 if (trc_)
                     trc_->activation(static_cast<u8>(index_),
                                      static_cast<u16>(cl.index),
@@ -977,6 +1014,12 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
     if (capped)
         warn("simt region at 0x%x exceeds 2^20 threads; capping",
              simt_s_pc);
+    if (obs_) {
+        if (closed)
+            ++obs_->simt_closed_form;
+        else
+            ++obs_->simt_iterative;
+    }
     stats_.inc("simt_regions");
     stats_.inc("simt_threads", static_cast<double>(trips));
     // Per-region counters (keyed by the simt_s pc) let the bound
@@ -1067,6 +1110,8 @@ Ring::runSimtPipeline(const SimtRegion &region, Addr simt_s_pc,
             in.mode = ActMode::SimtStage;
             in.simt_step = step;
             const ActivationOutput act = engine_.run(in, thr, tmc);
+            if (obs_)
+                ++obs_->simt_activations;
             if (trc_) {
                 trc_->simtStage(static_cast<u8>(index_),
                                 static_cast<u16>(cl.index), tpc,

@@ -19,6 +19,11 @@
 #include "host/cancel.hpp"
 #include "mem/bus.hpp"
 
+namespace diag::obs
+{
+struct SimProfile;
+} // namespace diag::obs
+
 namespace diag::core
 {
 
@@ -80,6 +85,16 @@ class Ring
      * with or without a token attached.
      */
     void setCancelToken(const host::CancelToken *t) { cancel_ = t; }
+
+    /**
+     * Attach (or detach with nullptr) a skip-idle self-profile
+     * (DESIGN.md §16). The profile is pure observation — plain u64
+     * tallies of fast-path coverage — and, unlike the tracers, does
+     * NOT disqualify the loop batcher: a profiled run batches exactly
+     * where an unprofiled one does and computes cycle- and
+     * counter-identical results.
+     */
+    void setObs(obs::SimProfile *p) { obs_ = p; }
 
     /** Pre-validate a simt region starting at @p simt_s_pc. Public so
      *  tests can check it agrees with the static analyzer. */
@@ -175,6 +190,7 @@ class Ring
     trace::Tracer *trc_ = nullptr;             //!< null = tracing off
     trace::AddrTrace *atrc_ = nullptr;         //!< null = no addr log
     const host::CancelToken *cancel_ = nullptr; //!< null = no watchdog
+    obs::SimProfile *obs_ = nullptr;           //!< null = profiling off
 };
 
 } // namespace diag::core

@@ -1,0 +1,42 @@
+#include "obs/serve_obs.hpp"
+
+#include "common/log.hpp"
+
+namespace diag::obs
+{
+
+void
+ServeObs::spanQueue(u64 request, u64 ts_ms, u64 dur_ms)
+{
+    spans.push_back({trace::kSpanTrackQueue,
+                     detail::vformat("req %llu queued",
+                                     static_cast<unsigned long long>(
+                                         request)),
+                     "queue", ts_ms * 1000, dur_ms * 1000, request});
+}
+
+void
+ServeObs::spanAttempt(unsigned worker, u64 request, unsigned attempt,
+                      const char *cat, u64 ts_ms, u64 dur_ms)
+{
+    spans.push_back({worker,
+                     detail::vformat(
+                         "req %llu attempt %u",
+                         static_cast<unsigned long long>(request),
+                         attempt),
+                     cat, ts_ms * 1000, dur_ms * 1000, request});
+}
+
+void
+ServeObs::spanBackoff(unsigned worker, u64 request, unsigned attempt,
+                      u64 ts_ms, u64 dur_ms)
+{
+    spans.push_back({worker,
+                     detail::vformat(
+                         "req %llu backoff %u",
+                         static_cast<unsigned long long>(request),
+                         attempt),
+                     "backoff", ts_ms * 1000, dur_ms * 1000, request});
+}
+
+} // namespace diag::obs

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Request-lifecycle observability for the serve layer (DESIGN.md §16):
+ * a MetricRegistry holding per-stage latency histograms plus lifecycle
+ * counters, and a span list renderable as a Perfetto track per worker
+ * via trace::writeSpanTrace.
+ *
+ * The serve layer records timestamps in milliseconds (virtual ms in the
+ * soak DES, wall ms in the threaded service); spans convert to
+ * microseconds on the way into the track so the viewer scale matches
+ * the engine traces. A ServeObs is unsynchronized like the registry it
+ * wraps — the soak DES owns one on its single replay thread, and the
+ * threaded service guards its instance with the service mutex.
+ */
+#ifndef DIAG_OBS_SERVE_OBS_HPP
+#define DIAG_OBS_SERVE_OBS_HPP
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "trace/export.hpp"
+
+namespace diag::obs
+{
+
+/** Stage histograms, lifecycle metrics, and spans for one service
+ *  run. Copyable so the threaded service can hand out snapshots. */
+class ServeObs
+{
+  public:
+    MetricRegistry reg{"serve"};
+    std::vector<trace::SpanEvent> spans;
+
+    // ---- stage histograms (fixed key set, see DESIGN.md §16) ----
+
+    /** Admission to first dispatch, ms. */
+    void queueWaitMs(u64 ms) { reg.observe("queue_wait_ms", ms); }
+    /** One attempt's service time, ms (breaker-gated excluded). */
+    void attemptMs(u64 ms) { reg.observe("attempt_ms", ms); }
+    /** Retry backoff wait, ms. */
+    void backoffMs(u64 ms) { reg.observe("backoff_ms", ms); }
+    /** Admission to resolution, ms. */
+    void totalMs(u64 ms) { reg.observe("total_ms", ms); }
+    /** High-watermark of the admission queue depth. */
+    void queueDepth(u64 depth) { reg.maxGauge("queue_depth_max", depth); }
+
+    // ---- span emitters (ts/dur in ms; stored as us) ----
+
+    /** Queued span on the shared queue track. */
+    void spanQueue(u64 request, u64 ts_ms, u64 dur_ms);
+
+    /**
+     * One attempt on @p worker's track. @p cat is the span taxonomy
+     * slot: "attempt" (real execution), "breaker" (gated, burns the
+     * attempt without running), or "cache" (served from the result
+     * cache, zero duration).
+     */
+    void spanAttempt(unsigned worker, u64 request, unsigned attempt,
+                     const char *cat, u64 ts_ms, u64 dur_ms);
+
+    /** Retry backoff on @p worker's track. */
+    void spanBackoff(unsigned worker, u64 request, unsigned attempt,
+                     u64 ts_ms, u64 dur_ms);
+};
+
+} // namespace diag::obs
+
+#endif // DIAG_OBS_SERVE_OBS_HPP

@@ -27,7 +27,7 @@ elapsedMs(Clock::time_point since)
 SimService::SimService(ServiceConfig cfg)
     : cfg_(cfg), epoch_(Clock::now()), queue_(cfg.queue),
       breaker_(cfg.restart_budget, cfg.breaker_cooldown_ms),
-      pool_(cfg.workers)
+      series_(cfg.metrics_stride), pool_(cfg.workers)
 {
 }
 
@@ -37,6 +37,19 @@ u64
 SimService::nowMs() const
 {
     return elapsedMs(epoch_);
+}
+
+unsigned
+SimService::workerIdLocked()
+{
+    const auto id = std::this_thread::get_id();
+    auto it = worker_ids_.find(id);
+    if (it == worker_ids_.end())
+        it = worker_ids_
+                 .emplace(id,
+                          static_cast<unsigned>(worker_ids_.size()))
+                 .first;
+    return it->second;
 }
 
 SimService::Ticket
@@ -78,8 +91,10 @@ SimService::submit(const SimRequest &req)
         std::lock_guard<std::mutex> lk(m_);
         ++stats_.submitted;
         adm = queue_.tryPush(p, req.priority);
-        if (adm == Admission::Admitted)
+        if (adm == Admission::Admitted) {
             ++stats_.accepted;
+            obs_.queueDepth(queue_.size());
+        }
         else if (adm == Admission::Shed)
             ++stats_.shed;
         else
@@ -124,6 +139,19 @@ void
 SimService::serveRequest(std::unique_ptr<Pending> p)
 {
     const u64 id = p->v.req.id;
+
+    // Lifecycle spans: the queue wait ends here, where a pool thread
+    // picks the request up.
+    unsigned worker_id;
+    {
+        const u64 wait = elapsedMs(p->accepted_at);
+        const u64 now = nowMs();
+        std::lock_guard<std::mutex> lk(m_);
+        worker_id = workerIdLocked();
+        obs_.queueWaitMs(wait);
+        obs_.spanQueue(id, now >= wait ? now - wait : 0, wait);
+    }
+
     const auto finish = [&](SimResponse r) {
         r.id = id;
         r.latency_ms = elapsedMs(p->accepted_at);
@@ -135,6 +163,7 @@ SimService::serveRequest(std::unique_ptr<Pending> p)
               case RespStatus::Cancelled: ++stats_.cancelled; break;
               default: ++stats_.failed; break;
             }
+            obs_.totalMs(r.latency_ms);
         }
         p->promise.set_value(std::move(r));
     };
@@ -163,6 +192,12 @@ SimService::serveRequest(std::unique_ptr<Pending> p)
         if (cfg_.cache_enabled) {
             std::string payload;
             if (cache_.get(p->v.content_key, &payload)) {
+                {
+                    const u64 now = nowMs();
+                    std::lock_guard<std::mutex> lk(m_);
+                    obs_.spanAttempt(worker_id, id, attempts + 1,
+                                     "cache", now, 0);
+                }
                 r.status = RespStatus::Ok;
                 r.fail = FailKind::None;
                 r.attempts = attempts;
@@ -174,6 +209,7 @@ SimService::serveRequest(std::unique_ptr<Pending> p)
 
         ++attempts;
         AttemptResult ar;
+        const u64 attempt_start_ms = nowMs();
 
         // Circuit breaker guards the crash-isolated path only; an
         // in-process attempt cannot consume restart budget.
@@ -199,6 +235,8 @@ SimService::serveRequest(std::unique_ptr<Pending> p)
             }
             spec.inject_crash = cfg_.faults.crashes(id, attempts);
             spec.inject_stall = cfg_.faults.stalls(id, attempts);
+            if (!cfg_.subprocess)
+                spec.metrics_stride = cfg_.metrics_stride;
             ar = executeAttempt(spec);
             if (cfg_.subprocess) {
                 std::lock_guard<std::mutex> lk(m_);
@@ -213,6 +251,21 @@ SimService::serveRequest(std::unique_ptr<Pending> p)
                     ++stats_.worker_crashes;
                 if (ar.fail == FailKind::WorkerStall)
                     ++stats_.worker_stalls;
+            }
+        }
+        {
+            const u64 attempt_ms =
+                gated ? 0 : nowMs() - attempt_start_ms;
+            std::lock_guard<std::mutex> lk(m_);
+            if (!gated)
+                obs_.attemptMs(attempt_ms);
+            obs_.spanAttempt(worker_id, id, attempts,
+                             gated ? "breaker" : "attempt",
+                             attempt_start_ms, attempt_ms);
+            if (ar.trace) {
+                series_.merge(ar.trace->metrics());
+                if (ar.trace->clusters() > series_clusters_)
+                    series_clusters_ = ar.trace->clusters();
             }
         }
 
@@ -263,12 +316,15 @@ SimService::serveRequest(std::unique_ptr<Pending> p)
 
         // Retry with seeded backoff. Sleep in small ticks so a
         // cancel or deadline still lands promptly.
-        {
-            std::lock_guard<std::mutex> lk(m_);
-            ++stats_.retries;
-        }
         const u64 backoff =
             cfg_.retry.backoffMs(cfg_.seed, id, attempts);
+        {
+            const u64 now = nowMs();
+            std::lock_guard<std::mutex> lk(m_);
+            ++stats_.retries;
+            obs_.backoffMs(backoff);
+            obs_.spanBackoff(worker_id, id, attempts, now, backoff);
+        }
         u64 slept = 0;
         while (slept < backoff && !p->cancel.stopRequested()) {
             const u64 tick = backoff - slept < 10 ? backoff - slept
@@ -305,6 +361,27 @@ SimService::queueDepth() const
 {
     std::lock_guard<std::mutex> lk(m_);
     return queue_.size();
+}
+
+obs::ServeObs
+SimService::obsSnapshot() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return obs_;
+}
+
+trace::MetricsSeries
+SimService::metricsSeries() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return series_;
+}
+
+unsigned
+SimService::metricsClusters() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return series_clusters_;
 }
 
 } // namespace diag::serve

@@ -37,11 +37,14 @@
 
 #include <chrono>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 #include "host/cancel.hpp"
 #include "host/thread_pool.hpp"
+#include "obs/serve_obs.hpp"
 #include "serve/breaker.hpp"
 #include "serve/cache.hpp"
 #include "serve/fault_plan.hpp"
@@ -66,6 +69,11 @@ struct ServiceConfig
     u64 default_deadline_ms = 30000;
     bool cache_enabled = true;
     u64 seed = 1; //!< jitter/fault determinism base
+    /** When nonzero, every in-process attempt runs under a
+     *  metrics-only tracer with this stride and the service folds the
+     *  per-attempt time series into one service-wide series
+     *  (metricsSeries()). Ignored in subprocess mode. */
+    u64 metrics_stride = 0;
 };
 
 /** Service-level tallies (monotonic). */
@@ -120,6 +128,19 @@ class SimService
     const char *breakerState() const;
     size_t queueDepth() const;
 
+    /** Request-lifecycle observability snapshot: stage histograms,
+     *  lifecycle counters, and wall-clock spans keyed by dense worker
+     *  index. Unlike the soak's, these carry real timings and are not
+     *  run-to-run reproducible. */
+    obs::ServeObs obsSnapshot() const;
+
+    /** Service-wide time series folded from every successful
+     *  in-process attempt (empty unless metrics_stride was set). */
+    trace::MetricsSeries metricsSeries() const;
+    /** Largest cluster count seen by a folded attempt (exporter
+     *  normalization hint). */
+    unsigned metricsClusters() const;
+
   private:
     struct Pending
     {
@@ -133,6 +154,9 @@ class SimService
     void pumpOne();
     void serveRequest(std::unique_ptr<Pending> p);
     u64 nowMs() const;
+    /** Dense index of the calling pool thread for span tracks;
+     *  assigned on first use. Caller holds m_. */
+    unsigned workerIdLocked();
 
     ServiceConfig cfg_;
     std::chrono::steady_clock::time_point epoch_;
@@ -142,6 +166,10 @@ class SimService
     ServiceStats stats_;
     CircuitBreaker breaker_;
     u64 cache_inserts_ = 0; //!< insert ordinal for fault decisions
+    obs::ServeObs obs_;
+    std::map<std::thread::id, unsigned> worker_ids_;
+    trace::MetricsSeries series_;
+    unsigned series_clusters_ = 0;
 
     ResultCache cache_; // internally locked
 

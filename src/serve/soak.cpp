@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <set>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +36,8 @@ struct Slot
     FailKind pending = FailKind::None;
     bool breaker_gated = false; //!< this attempt never ran at all
     bool resolved = false;
+    unsigned worker = 0;     //!< virtual worker holding the request
+    bool dispatched = false; //!< first AttemptStart already seen
 };
 
 struct Event
@@ -150,8 +153,13 @@ runSoak(const SoakSpec &spec)
                            spec.breaker_cooldown_ms);
     ResultCache cache;
     u64 cache_inserts = 0;
-    unsigned free_workers =
-        spec.virtual_workers ? spec.virtual_workers : 1;
+    // Free virtual workers by id; dispatch always takes the smallest
+    // so worker-track assignment in the span trace is deterministic
+    // (identity never affects timing, only labeling).
+    std::set<unsigned> free_workers;
+    for (unsigned w = 0;
+         w < (spec.virtual_workers ? spec.virtual_workers : 1); ++w)
+        free_workers.insert(w);
 
     std::priority_queue<Event, std::vector<Event>, EventAfter> heap;
     u64 seq = 0;
@@ -168,6 +176,7 @@ runSoak(const SoakSpec &spec)
         s.resolved = true;
         ++tally;
         latencies.push_back(t - s.arrival_ms);
+        rep.obs.totalMs(t - s.arrival_ms);
         if (t > rep.virtual_makespan_ms)
             rep.virtual_makespan_ms = t;
     };
@@ -181,11 +190,13 @@ runSoak(const SoakSpec &spec)
         if (from_cache)
             ++rep.ok_from_cache;
     };
-    const auto releaseWorker = [&](u64 t) {
-        if (auto next = queue.tryPop())
+    const auto releaseWorker = [&](u64 t, unsigned w) {
+        if (auto next = queue.tryPop()) {
+            slots[*next].worker = w;
             push(t, Event::AttemptStart, *next);
-        else
-            ++free_workers;
+        } else {
+            free_workers.insert(w);
+        }
     };
 
     while (!heap.empty()) {
@@ -211,9 +222,13 @@ runSoak(const SoakSpec &spec)
                 resolve(ev.idx, t, rep.shed);
                 break;
             }
-            if (free_workers > 0) {
-                --free_workers;
-                push(t, Event::AttemptStart, *queue.tryPop());
+            rep.obs.queueDepth(queue.size());
+            if (!free_workers.empty()) {
+                const unsigned w = *free_workers.begin();
+                free_workers.erase(free_workers.begin());
+                const u32 next = *queue.tryPop();
+                slots[next].worker = w;
+                push(t, Event::AttemptStart, next);
             }
             break;
           }
@@ -221,17 +236,25 @@ runSoak(const SoakSpec &spec)
           case Event::AttemptStart: {
             // Mirrors SimService::serveRequest's loop head: the
             // deadline gate, then the cache, then one attempt.
+            if (!s.dispatched) {
+                s.dispatched = true;
+                rep.obs.queueWaitMs(t - s.arrival_ms);
+                rep.obs.spanQueue(s.req.id, s.arrival_ms,
+                                  t - s.arrival_ms);
+            }
             const u64 dl = s.req.deadline_ms;
             if (dl > 0 && t - s.arrival_ms >= dl) {
                 resolve(ev.idx, t, rep.expired);
-                releaseWorker(t);
+                releaseWorker(t, s.worker);
                 break;
             }
             std::string payload;
             if (spec.cache_enabled &&
                 cache.get(s.content_key, &payload)) {
+                rep.obs.spanAttempt(s.worker, s.req.id,
+                                    s.attempts + 1, "cache", t, 0);
                 resolveOk(ev.idx, t, true, payload);
-                releaseWorker(t);
+                releaseWorker(t, s.worker);
                 break;
             }
             ++s.attempts;
@@ -261,6 +284,12 @@ runSoak(const SoakSpec &spec)
                     dt = dl - (t - s.arrival_ms);
                 }
             }
+            if (!s.breaker_gated)
+                rep.obs.attemptMs(dt);
+            rep.obs.spanAttempt(s.worker, s.req.id, s.attempts,
+                                s.breaker_gated ? "breaker"
+                                                : "attempt",
+                                t, dt);
             push(t + dt, Event::AttemptEnd, ev.idx);
             break;
           }
@@ -286,25 +315,28 @@ runSoak(const SoakSpec &spec)
                         cache.corrupt(s.content_key);
                 }
                 resolveOk(ev.idx, t, false, payload);
-                releaseWorker(t);
+                releaseWorker(t, s.worker);
                 break;
             }
             if (s.pending == FailKind::Timeout) {
                 resolve(ev.idx, t, rep.expired);
-                releaseWorker(t);
+                releaseWorker(t, s.worker);
                 break;
             }
             if (spec.retry.shouldRetry(s.pending, s.attempts)) {
                 ++rep.retries;
                 // The virtual worker stays held through the backoff,
                 // exactly as a pool thread does in serveRequest.
-                push(t + spec.retry.backoffMs(spec.seed, s.req.id,
-                                              s.attempts),
-                     Event::AttemptStart, ev.idx);
+                const u64 backoff = spec.retry.backoffMs(
+                    spec.seed, s.req.id, s.attempts);
+                rep.obs.backoffMs(backoff);
+                rep.obs.spanBackoff(s.worker, s.req.id, s.attempts,
+                                    t, backoff);
+                push(t + backoff, Event::AttemptStart, ev.idx);
                 break;
             }
             resolve(ev.idx, t, rep.failed);
-            releaseWorker(t);
+            releaseWorker(t, s.worker);
             break;
           }
         }
@@ -332,8 +364,30 @@ runSoak(const SoakSpec &spec)
         };
         rep.latency_p50_ms = pct(50);
         rep.latency_p95_ms = pct(95);
+        rep.latency_p99_ms = pct(99);
         rep.latency_max_ms = latencies.back();
     }
+
+    // Mirror the report tallies into the registry so the obs snapshot
+    // is self-contained (one JSON object carries histograms and the
+    // lifecycle counters they contextualize).
+    obs::MetricRegistry &reg = rep.obs.reg;
+    reg.set("requests", rep.requests);
+    reg.set("ok", rep.ok);
+    reg.set("ok_from_cache", rep.ok_from_cache);
+    reg.set("rejected_full", rep.rejected_full);
+    reg.set("shed", rep.shed);
+    reg.set("expired", rep.expired);
+    reg.set("failed", rep.failed);
+    reg.set("malformed", rep.malformed);
+    reg.set("retries", rep.retries);
+    reg.set("worker_crashes", rep.worker_crashes);
+    reg.set("worker_stalls", rep.worker_stalls);
+    reg.set("breaker_trips", rep.breaker_trips);
+    reg.set("cache_hits", rep.cache.hits);
+    reg.set("cache_misses", rep.cache.misses);
+    reg.set("cache_inserts", rep.cache.inserts);
+    reg.set("cache_integrity_drops", rep.cache.integrity_drops);
     return rep;
 }
 
@@ -373,9 +427,14 @@ renderSoakJson(const SoakSpec &spec, const SoakReport &rep)
         u(rep.cache.inserts), u(rep.cache.integrity_drops));
     os << detail::vformat(
         "  \"latency_ms\": {\"mean\": %.3f, \"p50\": %llu, "
-        "\"p95\": %llu, \"max\": %llu},\n",
+        "\"p95\": %llu, \"p99\": %llu, \"max\": %llu},\n",
         rep.latency_mean_ms, u(rep.latency_p50_ms),
-        u(rep.latency_p95_ms), u(rep.latency_max_ms));
+        u(rep.latency_p95_ms), u(rep.latency_p99_ms),
+        u(rep.latency_max_ms));
+    std::string obsj = rep.obs.reg.toJson();
+    while (!obsj.empty() && obsj.back() == '\n')
+        obsj.pop_back();
+    os << "  \"obs\": " << obsj << ",\n";
     os << detail::vformat(
         "  \"virtual_makespan_ms\": %llu,\n  \"base_runs\": "
         "%llu,\n  \"wrong_payloads\": %llu,\n  \"unresolved\": "

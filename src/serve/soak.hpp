@@ -38,6 +38,7 @@
 
 #include <string>
 
+#include "obs/serve_obs.hpp"
 #include "serve/cache.hpp"
 #include "serve/fault_plan.hpp"
 #include "serve/queue.hpp"
@@ -89,10 +90,18 @@ struct SoakReport
     double latency_mean_ms = 0.0;
     u64 latency_p50_ms = 0;
     u64 latency_p95_ms = 0;
+    u64 latency_p99_ms = 0;
     u64 latency_max_ms = 0;
     u64 virtual_makespan_ms = 0;
     u64 wrong_payloads = 0; //!< Ok payloads != golden (oracle; 0)
     u64 unresolved = 0;     //!< requests without a terminal answer
+
+    /** Request-lifecycle observability: per-stage latency histograms,
+     *  lifecycle counters mirroring the tallies above, and spans on
+     *  the virtual-worker timeline. Filled entirely by the
+     *  single-threaded phase-2 replay, so it is byte-identical for
+     *  any jobs value just like the rest of the report. */
+    obs::ServeObs obs;
 
     bool
     robust() const

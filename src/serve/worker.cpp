@@ -42,17 +42,28 @@ hostStopped(const sim::RunStats &s)
  * cancellation).
  */
 AttemptResult
-runBody(const ValidatedRequest &v, const host::CancelToken *tok)
+runBody(const ValidatedRequest &v, const host::CancelToken *tok,
+        u64 metrics_stride)
 {
     harness::RunSpec rs;
     rs.threads = v.req.threads;
     rs.use_simt = v.req.use_simt;
     rs.tolerate_failures = true;
     rs.cancel = tok;
+    // Metrics-only tracing: no event mask, so the ring buffer stays
+    // empty and only the time series accumulates.
+    trace::TraceConfig tc;
+    if (metrics_stride > 0) {
+        tc.event_mask = 0;
+        tc.metrics_stride = metrics_stride;
+        tc.buffer_events = 1;
+        rs.trace = &tc;
+    }
     const harness::EngineRun run = harness::runOnDiag(v.cfg, v.w, rs);
 
     AttemptResult r;
     r.cycles = run.stats.cycles;
+    r.trace = run.trace;
     if (run.stats.halted) {
         if (!run.checked) {
             r.fail = FailKind::Sdc;
@@ -101,7 +112,7 @@ childMain(int wfd, const AttemptSpec &spec)
 {
     if (spec.inject_crash)
         abort(); // a real worker crash: parent sees WIFSIGNALED
-    const AttemptResult r = runBody(*spec.v, nullptr);
+    const AttemptResult r = runBody(*spec.v, nullptr, 0);
     if (spec.inject_stall) {
         // A real stall: the result exists but never reaches the
         // parent, which must SIGKILL us at the deadline.
@@ -356,7 +367,7 @@ executeAttempt(const AttemptSpec &spec)
         local = host::CancelToken::withTimeout(spec.deadline_ms);
         tok = &local;
     }
-    return runBody(*spec.v, tok);
+    return runBody(*spec.v, tok, spec.metrics_stride);
 }
 
 } // namespace diag::serve

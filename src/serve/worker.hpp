@@ -30,12 +30,14 @@
 #ifndef DIAG_SERVE_WORKER_HPP
 #define DIAG_SERVE_WORKER_HPP
 
+#include <memory>
 #include <string>
 
 #include "diag/config.hpp"
 #include "host/cancel.hpp"
 #include "serve/request.hpp"
 #include "sim/run_stats.hpp"
+#include "trace/tracer.hpp"
 #include "workloads/workload.hpp"
 
 namespace diag::serve
@@ -81,6 +83,12 @@ struct AttemptSpec
     /** Client cancellation, polled by the engine mid-run (in-process
      *  attempts only; a subprocess is covered by the deadline). */
     const host::CancelToken *cancel = nullptr;
+    /** When nonzero, the attempt runs under a metrics-only tracer
+     *  with this time-series stride and returns it in
+     *  AttemptResult::trace. In-process attempts only: the subprocess
+     *  result frame carries no series (the child's tracer dies with
+     *  it), so subprocess mode ignores this. */
+    u64 metrics_stride = 0;
 };
 
 /** Classified outcome of one attempt. */
@@ -93,6 +101,10 @@ struct AttemptResult
     /** Simulated cycles the run consumed (0 when it never ran).
      *  The soak DES derives virtual service time from this. */
     u64 cycles = 0;
+    /** The attempt's tracer when AttemptSpec::metrics_stride was set
+     *  and the run happened in-process (else null). The caller folds
+     *  its MetricsSeries into a service-wide series. */
+    std::shared_ptr<trace::Tracer> trace;
 };
 
 /** Run one attempt per @p spec (see the file comment). */

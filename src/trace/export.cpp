@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/stats.hpp"
 
 namespace diag::trace
 {
@@ -202,9 +203,14 @@ void
 writeMetricsJson(std::ostream &os, const Tracer &tracer,
                  const TraceMeta &meta)
 {
-    const MetricsSeries &m = tracer.metrics();
+    writeMetricsJson(os, tracer.metrics(), tracer.clusters(), meta);
+}
+
+void
+writeMetricsJson(std::ostream &os, const MetricsSeries &m,
+                 unsigned clusters, const TraceMeta &meta)
+{
     const double stride = static_cast<double>(m.stride());
-    const unsigned clusters = tracer.clusters();
     os << detail::vformat(
         "{\n\"workload\":\"%s\",\n\"config\":\"%s\",\n\"simt\":%s,\n"
         "\"stride\":%llu,\n\"clusters\":%u,\n\"samples\":[",
@@ -232,6 +238,54 @@ writeMetricsJson(std::ostream &os, const Tracer &tracer,
         first = false;
     }
     os << "\n]\n}\n";
+}
+
+void
+writeSpanTrace(std::ostream &os, const std::vector<SpanEvent> &spans,
+               const TraceMeta &meta)
+{
+    // All spans live in one "serve" process; pick a pid clear of the
+    // ring pids so a span trace can be concatenated with a sim trace
+    // in a viewer without track collisions.
+    constexpr unsigned kServePid = 100;
+    std::set<unsigned> tracks;
+    for (const SpanEvent &sp : spans)
+        tracks.insert(sp.track);
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string &obj) {
+        os << (first ? "\n" : ",\n") << obj;
+        first = false;
+    };
+    emit(detail::vformat(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+        "\"args\":{\"name\":\"serve\"}}",
+        kServePid));
+    for (const unsigned tid : tracks)
+        emit(detail::vformat(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
+            "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+            kServePid, tid,
+            tid == kSpanTrackQueue
+                ? "queue"
+                : detail::vformat("worker %u", tid).c_str()));
+    for (const SpanEvent &sp : spans)
+        emit(detail::vformat(
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+            "\"ts\":%llu,\"dur\":%llu,\"pid\":%u,\"tid\":%u,"
+            "\"args\":{\"request\":%llu}}",
+            jsonEscape(sp.name).c_str(), jsonEscape(sp.cat).c_str(),
+            static_cast<unsigned long long>(sp.ts_us),
+            static_cast<unsigned long long>(sp.dur_us), kServePid,
+            sp.track, static_cast<unsigned long long>(sp.arg)));
+    os << "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{"
+       << detail::vformat(
+              "\"workload\":\"%s\",\"config\":\"%s\","
+              "\"time_unit\":\"1 ts = 1 us\",\"spans\":%llu}",
+              meta.workload.c_str(), meta.config.c_str(),
+              static_cast<unsigned long long>(spans.size()))
+       << "}\n";
 }
 
 } // namespace diag::trace

@@ -10,6 +10,7 @@
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "trace/tracer.hpp"
 
@@ -44,6 +45,42 @@ void writeChromeTrace(std::ostream &os, const Tracer &tracer,
  */
 void writeMetricsJson(std::ostream &os, const Tracer &tracer,
                       const TraceMeta &meta);
+
+/**
+ * Render a bare MetricsSeries with the same schema as the tracer
+ * overload — the path diag-serve --batch uses after folding
+ * per-attempt series into one service-wide series.
+ */
+void writeMetricsJson(std::ostream &os, const MetricsSeries &series,
+                      unsigned clusters, const TraceMeta &meta);
+
+/**
+ * One request-lifecycle span on a service worker track (DESIGN.md
+ * §16). Spans are generic — the exporter knows nothing about the
+ * serve layer beyond the track naming convention below.
+ */
+struct SpanEvent
+{
+    unsigned track = 0;  //!< worker index, or kSpanTrackQueue
+    std::string name;    //!< label, e.g. "req 3 attempt 1"
+    std::string cat;     //!< stage taxonomy: queue|attempt|backoff
+    u64 ts_us = 0;       //!< start (virtual or wall microseconds)
+    u64 dur_us = 0;      //!< duration
+    u64 arg = 0;         //!< request index
+};
+
+/** Track id rendered as "queue" instead of "worker N". */
+constexpr unsigned kSpanTrackQueue = 250;
+
+/**
+ * Render spans as Chrome trace-event JSON: one "serve" process with a
+ * thread track per worker plus the queue track. Spans are written in
+ * record order with fixed formatting — byte-identical output for the
+ * same span list regardless of host job count.
+ */
+void writeSpanTrace(std::ostream &os,
+                    const std::vector<SpanEvent> &spans,
+                    const TraceMeta &meta);
 
 } // namespace diag::trace
 

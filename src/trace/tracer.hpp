@@ -101,6 +101,31 @@ class MetricsSeries
 
     const std::vector<MetricsSample> &samples() const { return buf_; }
 
+    /**
+     * Bucket-wise sum of another series into this one (retired, busy,
+     * and lane-write totals add; a bucket's region tag is kept if
+     * already set, else taken from @p o). Commutative apart from the
+     * region tag, which is only used for labeling. Strides must match;
+     * a mismatched merge is ignored. Used by diag-serve --batch to
+     * fold per-attempt series into one service-wide time series.
+     */
+    void
+    merge(const MetricsSeries &o)
+    {
+        if (stride_ != o.stride_ || !enabled())
+            return;
+        for (const MetricsSample &src : o.buf_) {
+            MetricsSample *s = bucket(src.cycle);
+            if (!s)
+                return;
+            s->retired += src.retired;
+            s->cluster_busy += src.cluster_busy;
+            s->lane_writes += src.lane_writes;
+            if (s->region == 0)
+                s->region = src.region;
+        }
+    }
+
   private:
     /** Bucket holding cycle @p at; nullptr when sampling is off or
      *  the index is implausible (corrupted-cycle guard). */

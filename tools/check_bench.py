@@ -12,13 +12,22 @@ when:
   * BM_DiagModel is not at least MIN_RATIO times BM_DiagModelDense
     (the steady-state loop batcher's speedup on the bench kernel).
 
+With --trajectory, additionally validates the accumulated
+BENCH_trajectory.json (see tools/bench_trajectory.py) against its
+schema, so a malformed append fails the bench smoke rather than
+rotting silently; an absent trajectory file is tolerated.
+
 Usage: check_bench.py BENCH_sim_speed.json [--floor INSTS_PER_S]
                                            [--ratio MIN_RATIO]
+                                           [--trajectory FILE]
 """
 
 import argparse
 import json
+import os
 import sys
+
+import bench_trajectory
 
 # The committed pre-skip-idle baseline measured 4.51M simulated
 # instructions per host second for BM_DiagModel; the issue's acceptance
@@ -39,7 +48,22 @@ def main() -> None:
                     help="minimum BM_DiagModel sim_inst_per_s")
     ap.add_argument("--ratio", type=float, default=DEFAULT_RATIO,
                     help="minimum BM_DiagModel / BM_DiagModelDense")
+    ap.add_argument("--trajectory", default=None,
+                    help="also validate this BENCH_trajectory.json "
+                         "(absent file tolerated)")
     args = ap.parse_args()
+
+    if args.trajectory is not None and os.path.exists(args.trajectory):
+        with open(args.trajectory) as f:
+            try:
+                tdoc = json.load(f)
+            except json.JSONDecodeError as e:
+                fail(f"{args.trajectory}: not JSON: {e}")
+        errs = bench_trajectory.validate_doc(tdoc)
+        if errs:
+            fail(f"{args.trajectory}: {errs[0]}")
+        print(f"check_bench: trajectory {args.trajectory} valid "
+              f"({len(tdoc['records'])} records)")
 
     with open(args.bench_json) as f:
         doc = json.load(f)

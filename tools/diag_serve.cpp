@@ -21,6 +21,13 @@
  *     byte-identical for any --jobs value, including under fault
  *     injection (--crash-pct/--stall-pct/--corrupt-pct).
  *
+ * Observability: --span-trace FILE writes request-lifecycle spans
+ * (queue wait, attempts, backoffs, one Perfetto track per worker) in
+ * both modes; batch mode adds --metrics FILE / --metrics-stride N,
+ * the same time-series schema diag-run emits, folded across every
+ * in-process attempt. Reports embed an "obs" object with per-stage
+ * latency histograms (p50/p95/p99) and lifecycle counters.
+ *
  * Common service knobs: --workers, --queue-capacity, --deadline-ms,
  * --max-attempts, --restart-budget, --no-cache, --subprocess
  * (batch mode only: run each attempt in a forked, crash-isolated
@@ -38,8 +45,10 @@
 
 #include "common/log.hpp"
 #include "harness/cli.hpp"
+#include "obs/serve_obs.hpp"
 #include "serve/service.hpp"
 #include "serve/soak.hpp"
+#include "trace/export.hpp"
 
 using namespace diag;
 
@@ -76,8 +85,23 @@ parseBatchLine(const std::string &line, u64 id, u64 default_deadline,
     return true;
 }
 
+/** Write request-lifecycle spans as Perfetto JSON. */
+void
+writeSpans(const std::string &path,
+           const std::vector<trace::SpanEvent> &spans,
+           const trace::TraceMeta &meta)
+{
+    std::ofstream os(path);
+    fatal_if(!os.good(), "cannot write '%s'", path.c_str());
+    trace::writeSpanTrace(os, spans, meta);
+    std::fprintf(stderr, "spans: %s (%zu spans)\n", path.c_str(),
+                 spans.size());
+}
+
 int
-runBatch(const std::string &path, const serve::ServiceConfig &cfg)
+runBatch(const std::string &path, const serve::ServiceConfig &cfg,
+         const std::string &metrics_file,
+         const std::string &span_file)
 {
     std::ifstream file;
     std::istream *in = &std::cin;
@@ -137,6 +161,42 @@ runBatch(const std::string &path, const serve::ServiceConfig &cfg)
         static_cast<unsigned long long>(s.worker_stalls),
         static_cast<unsigned long long>(c.hits),
         svc.breakerState());
+
+    // Lifecycle observability: the summary's counters again, this
+    // time next to the stage histograms that contextualize them.
+    serve::ServiceStats st = s;
+    obs::ServeObs ob = svc.obsSnapshot();
+    ob.reg.set("submitted", st.submitted);
+    ob.reg.set("accepted", st.accepted);
+    ob.reg.set("ok", st.ok);
+    ob.reg.set("failed", st.failed);
+    ob.reg.set("expired", st.expired);
+    ob.reg.set("cancelled", st.cancelled);
+    ob.reg.set("rejected_full", st.rejected_full);
+    ob.reg.set("shed", st.shed);
+    ob.reg.set("malformed", st.malformed);
+    ob.reg.set("retries", st.retries);
+    ob.reg.set("worker_crashes", st.worker_crashes);
+    ob.reg.set("worker_stalls", st.worker_stalls);
+    ob.reg.set("cache_hits", c.hits);
+    ob.reg.set("cache_misses", c.misses);
+    ob.reg.set("cache_inserts", c.inserts);
+    ob.reg.set("cache_integrity_drops", c.integrity_drops);
+    std::string js = ob.reg.toJson();
+    while (!js.empty() && js.back() == '\n')
+        js.pop_back();
+    std::printf("{\"obs\": %s}\n", js.c_str());
+
+    const trace::TraceMeta meta{"batch", "service", false};
+    if (!metrics_file.empty()) {
+        std::ofstream os(metrics_file);
+        fatal_if(!os.good(), "cannot write '%s'",
+                 metrics_file.c_str());
+        trace::writeMetricsJson(os, svc.metricsSeries(),
+                                svc.metricsClusters(), meta);
+    }
+    if (!span_file.empty())
+        writeSpans(span_file, ob.spans, meta);
     return 0;
 }
 
@@ -159,6 +219,9 @@ main(int argc, char **argv)
     u64 queue_capacity = 0;
     u64 deadline_ms = kUnset;
     unsigned max_attempts = 3;
+    std::string metrics_file;
+    u64 metrics_stride = 0;
+    std::string span_file;
 
     harness::ArgParser ap("diag-serve");
     ap.option("--batch", &batch_path, "FILE",
@@ -194,6 +257,16 @@ main(int argc, char **argv)
               "batch: crash-isolate each attempt in a forked child")
         .flag("--no-cache", &no_cache,
               "disable the content-hash result cache")
+        .option("--metrics", &metrics_file, "FILE",
+                "batch: write the folded IPC/occupancy time series "
+                "(in-process attempts; same schema as diag-run "
+                "--metrics)")
+        .option("--metrics-stride", &metrics_stride, "N",
+                "sample bucket width in cycles (default 1000 with "
+                "--metrics)")
+        .option("--span-trace", &span_file, "FILE",
+                "write request-lifecycle spans (queue/attempt/"
+                "backoff per worker track) as Perfetto JSON")
         .option("--json", &json_path, "FILE",
                 "soak: write the JSON report to FILE (\"-\" = "
                 "stdout only)")
@@ -228,6 +301,9 @@ main(int argc, char **argv)
         const serve::SoakReport rep = serve::runSoak(sp);
         const std::string json = serve::renderSoakJson(sp, rep);
         std::fwrite(json.data(), 1, json.size(), stdout);
+        if (!span_file.empty())
+            writeSpans(span_file, rep.obs.spans,
+                       {"soak", "virtual", false});
         if (!json_path.empty() && json_path != "-") {
             std::ofstream out(json_path);
             fatal_if(!out.good(), "cannot write '%s'",
@@ -258,5 +334,13 @@ main(int argc, char **argv)
         deadline_ms != kUnset ? deadline_ms : 30000;
     cfg.cache_enabled = !no_cache;
     cfg.seed = sp.seed;
-    return runBatch(batch_path, cfg);
+    cfg.metrics_stride =
+        metrics_stride ? metrics_stride
+                       : (metrics_file.empty() ? 0 : 1000);
+    if (cfg.subprocess && cfg.metrics_stride != 0)
+        std::fprintf(stderr,
+                     "diag-serve: note: --metrics is ignored for "
+                     "--subprocess attempts (the child's series "
+                     "dies with it)\n");
+    return runBatch(batch_path, cfg, metrics_file, span_file);
 }

@@ -124,6 +124,13 @@ runSingle(const Options &opt)
                     res.run.trace->sink().events().size(),
                     static_cast<unsigned long long>(
                         res.run.trace->sink().dropped()));
+        if (res.run.trace->sink().dropped() > 0)
+            std::fprintf(stderr,
+                         "diag-trace: warning: the trace ring buffer "
+                         "dropped %llu events (oldest first); narrow "
+                         "--events to keep the whole run\n",
+                         static_cast<unsigned long long>(
+                             res.run.trace->sink().dropped()));
     }
     if (!opt.metrics_file.empty()) {
         std::ofstream os(opt.metrics_file);
